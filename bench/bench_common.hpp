@@ -1,0 +1,38 @@
+// Shared plumbing for the reproduction benches: key=value CLI parsing and
+// the standard header each binary prints.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "experiments/harness.hpp"
+#include "experiments/report.hpp"
+#include "util/config.hpp"
+#include "util/log.hpp"
+#include "util/str.hpp"
+
+namespace tsn::bench {
+
+inline util::Config parse_cli(int argc, char** argv) {
+  util::Config cfg = util::Config::from_args(argc, argv);
+  util::set_log_level(util::parse_log_level(cfg.get_string("log", "warn")));
+  return cfg;
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n################################################################\n");
+  std::printf("# %s\n", title.c_str());
+  std::printf("# reproduces: %s\n", paper_ref.c_str());
+  std::printf("################################################################\n");
+}
+
+inline experiments::ScenarioConfig scenario_from_cli(const util::Config& cli) {
+  experiments::ScenarioConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  cfg.sync_interval_ns = cli.get_int("sync_interval_ns", cfg.sync_interval_ns);
+  cfg.validity_threshold_ns = cli.get_double("validity_threshold_ns", cfg.validity_threshold_ns);
+  cfg.synctime_feed_forward = cli.get_bool("feed_forward", cfg.synctime_feed_forward);
+  return cfg;
+}
+
+} // namespace tsn::bench

@@ -1,0 +1,147 @@
+// Google-benchmark microbenchmarks for the hot paths of the library:
+// the FTA itself, FTSHMEM primitives, the event queue, the PI servo, the
+// wire format, and the clock models.
+#include <benchmark/benchmark.h>
+
+#include "core/ft_shmem.hpp"
+#include "core/fta.hpp"
+#include "core/seqlock.hpp"
+#include "gptp/messages.hpp"
+#include "gptp/servo.hpp"
+#include "sim/simulation.hpp"
+#include "tsn_time/phc_clock.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tsn;
+
+void BM_FtaAggregate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::RngStream rng(1, "bm-fta");
+  std::vector<double> values;
+  for (int i = 0; i < n; ++i) values.push_back(rng.uniform(-1e6, 1e6));
+  for (auto _ : state) {
+    auto copy = values;
+    benchmark::DoNotOptimize(core::fault_tolerant_average(std::move(copy), 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FtaAggregate)->Arg(4)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_Median(benchmark::State& state) {
+  util::RngStream rng(1, "bm-med");
+  std::vector<double> values;
+  for (int i = 0; i < state.range(0); ++i) values.push_back(rng.uniform(-1e6, 1e6));
+  for (auto _ : state) {
+    auto copy = values;
+    benchmark::DoNotOptimize(core::median(std::move(copy)));
+  }
+}
+BENCHMARK(BM_Median)->Arg(4)->Arg(64);
+
+void BM_SeqLockStore(benchmark::State& state) {
+  core::SeqLock<core::GmOffsetRecord> lock;
+  core::GmOffsetRecord rec;
+  rec.offset_ns = 42.0;
+  for (auto _ : state) {
+    lock.store(rec);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SeqLockStore);
+
+void BM_SeqLockLoad(benchmark::State& state) {
+  core::SeqLock<core::GmOffsetRecord> lock;
+  lock.store({});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lock.load());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SeqLockLoad);
+
+void BM_FtShmemGate(benchmark::State& state) {
+  core::FtShmem shm(4);
+  std::int64_t now = 0;
+  for (auto _ : state) {
+    now += 125;
+    benchmark::DoNotOptimize(shm.try_acquire_gate(now, 125));
+  }
+}
+BENCHMARK(BM_FtShmemGate);
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  sim::EventQueue q;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) q.schedule(sim::SimTime(t + (i * 7919) % 1000), [] {});
+    while (auto e = q.try_pop()) benchmark::DoNotOptimize(&e);
+    t += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_PiServoSample(benchmark::State& state) {
+  gptp::PiServo servo;
+  std::int64_t ts = 0;
+  for (auto _ : state) {
+    ts += 125'000'000;
+    benchmark::DoNotOptimize(servo.sample(500, ts));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PiServoSample);
+
+void BM_SerializeFollowUp(benchmark::State& state) {
+  gptp::FollowUpMessage m;
+  m.header.type = gptp::MessageType::kFollowUp;
+  m.header.sequence_id = 7;
+  m.precise_origin = gptp::Timestamp::from_ns(123456789);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gptp::serialize(gptp::Message{m}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SerializeFollowUp);
+
+void BM_ParseFollowUp(benchmark::State& state) {
+  gptp::FollowUpMessage m;
+  m.header.type = gptp::MessageType::kFollowUp;
+  const auto bytes = gptp::serialize(gptp::Message{m});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gptp::parse(bytes));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseFollowUp);
+
+void BM_PhcRead(benchmark::State& state) {
+  sim::Simulation sim(1);
+  time::PhcModel model;
+  time::PhcClock phc(sim, model, "bm");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phc.read());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PhcRead);
+
+void BM_SimulationPeriodicTasks(benchmark::State& state) {
+  // End-to-end simulation throughput: N periodic no-op tasks at 8 Hz.
+  for (auto _ : state) {
+    sim::Simulation sim(1);
+    for (int i = 0; i < 32; ++i) {
+      sim.every(sim::SimTime(i), 125'000'000, [](sim::SimTime) {});
+    }
+    sim.run_until(sim::SimTime(10'000'000'000LL)); // 10 s
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 80);
+}
+BENCHMARK(BM_SimulationPeriodicTasks);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Section III-A3 / III-B / III-C scalars: the measured path latencies and
+// the derived precision bounds of both experiments.
+//
+//   experiment 1 (cyber-resilience): dmin 4120 ns, dmax 9188 ns,
+//       E 5068 ns, Pi 12.636 us, gamma 1313 ns
+//   experiment 2 (fault injection):  Pi 11.42 us, gamma 856 ns
+//
+// The paper notes the difference between the experiments "stems from
+// varying minimum and maximum network latency measurements"; we reproduce
+// that by calibrating with two different seeds (two cabling/jitter draws).
+#include "bench_common.hpp"
+
+using namespace tsn;
+
+int main(int argc, char** argv) {
+  const auto cli = bench::parse_cli(argc, argv);
+  bench::banner("Path latency calibration and precision bounds",
+                "Sec. III-A3 scalars for both experiments");
+
+  struct PaperRow {
+    const char* name;
+    std::uint64_t seed;
+    double dmin, dmax, pi, gamma;
+  };
+  const PaperRow rows[] = {
+      {"experiment 1 (attack)", 1, 4120, 9188, 12'636, 1313},
+      {"experiment 2 (fault injection)", 2, 3520, 7688, 11'420, 856},
+  };
+
+  int rc = 0;
+  for (const auto& row : rows) {
+    experiments::ScenarioConfig cfg = bench::scenario_from_cli(cli);
+    cfg.seed = row.seed;
+    experiments::Scenario scenario(cfg);
+    experiments::ExperimentHarness harness(scenario);
+    harness.bring_up();
+    const auto cal = harness.calibrate(cli.get_int("rounds", 60));
+    std::printf("\n--- %s (seed %llu)\n", row.name, (unsigned long long)row.seed);
+    experiments::print_calibration(cal, row.dmin, row.dmax, row.pi, row.gamma);
+
+    // Sanity: same order of magnitude as the testbed.
+    if (cal.bound.pi_ns < 6'000 || cal.bound.pi_ns > 25'000) rc = 1;
+  }
+
+  std::printf("\nNote: paper experiment 2 reports only Pi and gamma; its dmin/dmax\n"
+              "columns above are back-derived from Pi = 2(E + 1.25us).\n");
+  return rc;
+}

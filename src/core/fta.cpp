@@ -1,0 +1,49 @@
+#include "core/fta.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tsn::core {
+
+std::optional<double> fault_tolerant_average(std::vector<double> values, int f) {
+  if (f < 0) throw std::invalid_argument("fta: f must be >= 0");
+  const std::size_t n = values.size();
+  if (n < static_cast<std::size_t>(2 * f + 1)) return std::nullopt;
+  std::sort(values.begin(), values.end());
+  double sum = 0.0;
+  const std::size_t lo = static_cast<std::size_t>(f);
+  const std::size_t hi = n - static_cast<std::size_t>(f);
+  for (std::size_t i = lo; i < hi; ++i) sum += values[i];
+  return sum / static_cast<double>(hi - lo);
+}
+
+std::optional<double> median(std::vector<double> values) {
+  if (values.empty()) return std::nullopt;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+std::optional<double> mean(const std::vector<double>& values) {
+  if (values.empty()) return std::nullopt;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+std::optional<double> aggregate(std::vector<double> values, AggregationMethod method, int f) {
+  switch (method) {
+    case AggregationMethod::kFta: return fault_tolerant_average(std::move(values), f);
+    case AggregationMethod::kMedian: return median(std::move(values));
+    case AggregationMethod::kMean: return mean(values);
+  }
+  return std::nullopt;
+}
+
+double fta_precision_multiplier(int n, int f) {
+  if (n <= 3 * f) throw std::invalid_argument("fta bound requires N > 3f");
+  return static_cast<double>(n - 2 * f) / static_cast<double>(n - 3 * f);
+}
+
+} // namespace tsn::core

@@ -1,0 +1,58 @@
+// Single-writer/multi-reader sequence lock for trivially copyable records.
+//
+// FTSHMEM and STSHMEM are shared-memory regions in the paper (between
+// ptp4l processes and between VMs respectively). We reproduce their
+// concurrency semantics faithfully: writers never block, readers retry on
+// torn reads. The simulation itself is single-threaded, but the seqlock is
+// real and is exercised with std::thread in the test suite.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace tsn::core {
+
+template <typename T>
+class SeqLock {
+  static_assert(std::is_trivially_copyable_v<T>, "seqlock payload must be memcpy-safe");
+
+ public:
+  SeqLock() = default;
+  explicit SeqLock(const T& initial) : value_(initial) {}
+
+  /// Store a new value (single writer at a time).
+  void store(const T& value) {
+    const std::uint64_t seq = seq_.load(std::memory_order_relaxed);
+    seq_.store(seq + 1, std::memory_order_release); // odd: write in progress
+    std::atomic_thread_fence(std::memory_order_release);
+    std::memcpy(&value_, &value, sizeof(T));
+    std::atomic_thread_fence(std::memory_order_release);
+    seq_.store(seq + 2, std::memory_order_release); // even: stable
+  }
+
+  /// Read a consistent snapshot (retries while a write is in flight).
+  T load() const {
+    T out;
+    std::uint64_t before = 0;
+    std::uint64_t after = 0;
+    do {
+      before = seq_.load(std::memory_order_acquire);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      std::memcpy(&out, &value_, sizeof(T));
+      std::atomic_thread_fence(std::memory_order_acquire);
+      after = seq_.load(std::memory_order_acquire);
+    } while (before != after || (before & 1) != 0);
+    return out;
+  }
+
+  /// Number of completed writes (even sequence / 2).
+  std::uint64_t version() const { return seq_.load(std::memory_order_acquire) / 2; }
+
+ private:
+  std::atomic<std::uint64_t> seq_{0};
+  T value_{};
+};
+
+} // namespace tsn::core

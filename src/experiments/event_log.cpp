@@ -1,0 +1,44 @@
+#include "experiments/event_log.hpp"
+
+namespace tsn::experiments {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kVmFailure: return "vm_failure";
+    case EventKind::kVmReboot: return "vm_reboot";
+    case EventKind::kTakeover: return "takeover";
+    case EventKind::kVmRecovery: return "vm_recovery";
+    case EventKind::kAppFault: return "app_fault";
+    case EventKind::kAttack: return "attack";
+    case EventKind::kValidityChange: return "validity_change";
+    case EventKind::kPhaseChange: return "phase_change";
+  }
+  return "?";
+}
+
+void EventLog::record(std::int64_t t_ns, EventKind kind, std::string subject,
+                      std::string detail) {
+  events_.push_back({t_ns, kind, std::move(subject), std::move(detail)});
+}
+
+std::vector<ExperimentEvent> EventLog::window(std::int64_t lo_ns, std::int64_t hi_ns) const {
+  std::vector<ExperimentEvent> out;
+  for (const auto& e : events_) {
+    if (e.t_ns >= lo_ns && e.t_ns < hi_ns) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t EventLog::count(EventKind kind) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) n += (e.kind == kind) ? 1 : 0;
+  return n;
+}
+
+std::size_t EventLog::count(EventKind kind, const std::string& subject) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) n += (e.kind == kind && e.subject == subject) ? 1 : 0;
+  return n;
+}
+
+} // namespace tsn::experiments

@@ -1,0 +1,44 @@
+// Typed experiment event log: the data behind the annotations of Fig. 5
+// (VM failure triangles, takeover stars, application-fault crosses).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsn::experiments {
+
+enum class EventKind {
+  kVmFailure,
+  kVmReboot,
+  kTakeover,
+  kVmRecovery,
+  kAppFault,      ///< tx_timeout / deadline_miss / sync_receipt_timeout
+  kAttack,
+  kValidityChange,
+  kPhaseChange,
+};
+
+const char* to_string(EventKind kind);
+
+struct ExperimentEvent {
+  std::int64_t t_ns = 0;
+  EventKind kind = EventKind::kAppFault;
+  std::string subject; ///< VM / domain the event concerns
+  std::string detail;
+};
+
+class EventLog {
+ public:
+  void record(std::int64_t t_ns, EventKind kind, std::string subject, std::string detail = {});
+
+  const std::vector<ExperimentEvent>& events() const { return events_; }
+  std::vector<ExperimentEvent> window(std::int64_t lo_ns, std::int64_t hi_ns) const;
+  std::size_t count(EventKind kind) const;
+  std::size_t count(EventKind kind, const std::string& subject) const;
+
+ private:
+  std::vector<ExperimentEvent> events_;
+};
+
+} // namespace tsn::experiments

@@ -1,0 +1,105 @@
+#include "experiments/harness.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/str.hpp"
+
+namespace tsn::experiments {
+
+ExperimentHarness::ExperimentHarness(Scenario& scenario) : scenario_(scenario) {
+  wire_event_recording();
+}
+
+void ExperimentHarness::wire_event_recording() {
+  auto& sim = scenario_.sim();
+  for (std::size_t x = 0; x < scenario_.num_ecds(); ++x) {
+    hv::Ecd& ecd = scenario_.ecd(x);
+    ecd.monitor().on_vm_failure = [this, &sim, &ecd](std::size_t idx) {
+      events_.record(sim.now().ns(), EventKind::kVmFailure, ecd.vm(idx).name());
+    };
+    ecd.monitor().on_takeover = [this, &sim, &ecd](std::size_t idx) {
+      events_.record(sim.now().ns(), EventKind::kTakeover, ecd.vm(idx).name());
+    };
+    ecd.monitor().on_vm_recovery = [this, &sim, &ecd](std::size_t idx) {
+      events_.record(sim.now().ns(), EventKind::kVmRecovery, ecd.vm(idx).name());
+    };
+    for (std::size_t i = 0; i < ecd.vm_count(); ++i) {
+      ecd.vm(i).set_fault_callback([this, &sim](const std::string& vm, const std::string& kind) {
+        events_.record(sim.now().ns(), EventKind::kAppFault, vm, kind);
+      });
+    }
+  }
+}
+
+void ExperimentHarness::bring_up(std::int64_t limit_ns, std::int64_t settle_ns) {
+  if (!started_) {
+    scenario_.start();
+    started_ = true;
+  }
+  auto& sim = scenario_.sim();
+  const std::int64_t step = 1'000'000'000;
+  while (!scenario_.all_in_fta_phase()) {
+    if (sim.now().ns() > limit_ns) {
+      throw std::runtime_error("bring_up: initial synchronization did not converge");
+    }
+    sim.run_until(sim.now() + step);
+  }
+  TSN_LOG_INFO("harness", "all VMs in FTA phase at t=%s",
+               util::hms(sim.now().ns()).c_str());
+  sim.run_until(sim.now() + settle_ns);
+}
+
+ExperimentHarness::Calibration ExperimentHarness::calibrate(int rounds,
+                                                            std::int64_t spacing_ns) {
+  auto& sim = scenario_.sim();
+  bool done = false;
+  scenario_.path_meter().run(rounds, spacing_ns, [&] { done = true; });
+  while (!done) {
+    sim.run_until(sim.now() + spacing_ns);
+  }
+  auto& meter = scenario_.path_meter();
+  calibration_.dmin_ns = meter.dmin_ns();
+  calibration_.dmax_ns = meter.dmax_ns();
+  calibration_.gamma_ns =
+      meter.gamma_ns(scenario_.measurement_vm_name(), scenario_.probe_destinations());
+
+  measure::BoundInputs in;
+  in.n = static_cast<int>(scenario_.num_ecds());
+  in.f = scenario_.config().fta_f;
+  in.dmin_ns = calibration_.dmin_ns;
+  in.dmax_ns = calibration_.dmax_ns;
+  in.rmax_ppm = scenario_.config().max_drift_ppm;
+  in.sync_interval_ns = scenario_.config().sync_interval_ns;
+  calibration_.bound = measure::compute_bound(in);
+  return calibration_;
+}
+
+void ExperimentHarness::run_measured(std::int64_t duration_ns) {
+  auto& sim = scenario_.sim();
+  scenario_.probe().start();
+  sim.run_until(sim.now() + duration_ns);
+  scenario_.probe().stop();
+}
+
+std::uint64_t ExperimentHarness::total_tx_timestamp_timeouts() {
+  std::uint64_t total = 0;
+  for (std::size_t x = 0; x < scenario_.num_ecds(); ++x) {
+    for (std::size_t i = 0; i < scenario_.ecd(x).vm_count(); ++i) {
+      total += scenario_.vm(x, i).total_tx_timestamp_timeouts();
+    }
+  }
+  return total;
+}
+
+std::uint64_t ExperimentHarness::total_deadline_misses() {
+  std::uint64_t total = 0;
+  for (std::size_t x = 0; x < scenario_.num_ecds(); ++x) {
+    for (std::size_t i = 0; i < scenario_.ecd(x).vm_count(); ++i) {
+      total += scenario_.vm(x, i).total_deadline_misses();
+    }
+  }
+  return total;
+}
+
+} // namespace tsn::experiments

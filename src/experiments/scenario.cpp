@@ -1,0 +1,283 @@
+#include "experiments/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+#include "util/str.hpp"
+
+namespace tsn::experiments {
+namespace {
+
+constexpr std::uint16_t kMeasurementVlan = 100;
+
+/// Diverse kernels for the redundant VMs (not attack targets).
+const char* redundant_kernel(std::size_t ecd_idx) {
+  static const char* kVersions[] = {"5.4.0", "5.10.0", "5.15.0", "6.1.0"};
+  return kVersions[ecd_idx % 4];
+}
+
+} // namespace
+
+Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg), sim_(cfg.seed) {
+  if (cfg_.num_ecds < 2 || cfg_.gm_kernels.size() < cfg_.num_ecds) {
+    throw std::invalid_argument("Scenario: need >= 2 ECDs and a kernel per GM");
+  }
+  build_ecds();
+  build_network();
+  build_bridges();
+  configure_measurement_vlan();
+  configure_data_fdb();
+  build_probe();
+}
+
+std::size_t Scenario::mesh_port(std::size_t x, std::size_t y) const {
+  // Ports 2..(num_ecds) of sw_x face the other switches in ascending order.
+  std::size_t rank = 0;
+  for (std::size_t peer = 0; peer < cfg_.num_ecds; ++peer) {
+    if (peer == x) continue;
+    if (peer == y) return 2 + rank;
+    ++rank;
+  }
+  throw std::invalid_argument("mesh_port: x == y");
+}
+
+void Scenario::build_ecds() {
+  time::PhcModel nic_phc;
+  nic_phc.oscillator.max_drift_ppm = cfg_.max_drift_ppm;
+  nic_phc.oscillator.wander_sigma_ppm = cfg_.wander_sigma_ppm;
+  nic_phc.timestamp_jitter_ns = cfg_.nic_ts_jitter_ns;
+
+  time::PhcModel tsc_model;
+  tsc_model.oscillator.max_drift_ppm = 30.0; // TSCs are worse than TCXOs
+  tsc_model.oscillator.wander_sigma_ppm = cfg_.wander_sigma_ppm;
+  tsc_model.timestamp_jitter_ns = 0.0;
+
+  util::RngStream phase_rng = sim_.make_rng("initial-phase");
+
+  for (std::size_t x = 0; x < cfg_.num_ecds; ++x) {
+    hv::EcdConfig ecfg;
+    ecfg.name = util::format("ecd%zu", x + 1);
+    ecfg.tsc = tsc_model;
+    ecds_.push_back(std::make_unique<hv::Ecd>(sim_, ecfg));
+
+    for (std::size_t i = 0; i < 2; ++i) {
+      hv::ClockSyncVmConfig vcfg;
+      vcfg.name = util::format("c%zu%zu", x + 1, i + 1);
+      vcfg.mac = net::MacAddress::from_u64(0x020000000000ULL | ((x + 1) << 8) | (i + 1));
+      vcfg.phc = nic_phc;
+      for (std::size_t d = 0; d < cfg_.num_ecds; ++d) {
+        vcfg.domains.push_back(static_cast<std::uint8_t>(d + 1));
+      }
+      if (i == 0) {
+        vcfg.gm_domain = static_cast<std::uint8_t>(x + 1);
+        vcfg.kernel_version = cfg_.gm_kernels[x];
+        vcfg.aggregate = cfg_.gm_mutual_sync; // baseline: GMs free-run
+      } else {
+        vcfg.kernel_version = redundant_kernel(x);
+        // Baseline clients have no startup phase to lean on.
+        vcfg.coordinator.skip_startup = !cfg_.gm_mutual_sync;
+      }
+      vcfg.coordinator.fta_f = cfg_.fta_f;
+      vcfg.coordinator.sync_interval_ns = cfg_.sync_interval_ns;
+      vcfg.coordinator.method = cfg_.aggregation;
+      vcfg.coordinator.initial_domain = 1;
+      vcfg.coordinator.startup_threshold_ns = cfg_.startup_threshold_ns;
+      vcfg.coordinator.startup_consecutive = cfg_.startup_consecutive;
+      vcfg.coordinator.validity.agreement_threshold_ns = cfg_.validity_threshold_ns;
+      vcfg.coordinator.validity.freshness_window_ns = 4 * cfg_.sync_interval_ns;
+      vcfg.instance.sync_interval_ns = cfg_.sync_interval_ns;
+      vcfg.synctime.period_ns = cfg_.synctime_period_ns;
+      vcfg.synctime.mode = cfg_.synctime_feed_forward ? hv::SyncTimeMode::kFeedForward
+                                                       : hv::SyncTimeMode::kPiFeedback;
+
+      auto& vm = ecds_.back()->add_clock_sync_vm(vcfg);
+      // Random initial phase: the paper assumes a fault-free initial
+      // synchronization; the startup phase has to earn it here.
+      vm.nic().phc().step(static_cast<std::int64_t>(
+          phase_rng.uniform(-cfg_.initial_phase_range_ns, cfg_.initial_phase_range_ns)));
+    }
+  }
+}
+
+void Scenario::build_network() {
+  net::SwitchConfig scfg;
+  scfg.port_count = 6;
+  scfg.residence_base_ns = cfg_.switch_residence_ns;
+  scfg.residence_jitter_ns = cfg_.switch_residence_jitter_ns;
+  scfg.drop_unknown_unicast = true; // the mesh has loops: no flooding
+  scfg.phc.oscillator.max_drift_ppm = cfg_.max_drift_ppm;
+  scfg.phc.oscillator.wander_sigma_ppm = cfg_.wander_sigma_ppm;
+  scfg.phc.timestamp_jitter_ns = cfg_.nic_ts_jitter_ns;
+
+  for (std::size_t x = 0; x < cfg_.num_ecds; ++x) {
+    switches_.push_back(std::make_unique<net::Switch>(sim_, scfg, util::format("sw%zu", x + 1)));
+  }
+
+  net::LinkConfig host_link;
+  host_link.a_to_b = {cfg_.host_link_delay_ns, cfg_.host_link_jitter_ns};
+  host_link.b_to_a = {cfg_.host_link_delay_ns, cfg_.host_link_jitter_ns};
+
+  // Host links: VM i of ECD x <-> sw_x port i.
+  for (std::size_t x = 0; x < cfg_.num_ecds; ++x) {
+    for (std::size_t i = 0; i < 2; ++i) {
+      links_.push_back(std::make_unique<net::Link>(
+          sim_, vm(x, i).nic().port(), switches_[x]->port(i), host_link,
+          util::format("c%zu%zu-sw%zu", x + 1, i + 1, x + 1)));
+    }
+  }
+
+  // Full mesh between switches (slight per-link base asymmetry emulates
+  // cable-length variation and feeds the reading error E).
+  util::RngStream asym_rng = sim_.make_rng("link-asymmetry");
+  for (std::size_t x = 0; x < cfg_.num_ecds; ++x) {
+    for (std::size_t y = x + 1; y < cfg_.num_ecds; ++y) {
+      net::LinkConfig mesh;
+      const auto base = cfg_.mesh_link_delay_ns;
+      mesh.a_to_b = {base + asym_rng.uniform_int(-100, 100), cfg_.mesh_link_jitter_ns};
+      mesh.b_to_a = {base + asym_rng.uniform_int(-100, 100), cfg_.mesh_link_jitter_ns};
+      links_.push_back(std::make_unique<net::Link>(
+          sim_, switches_[x]->port(mesh_port(x, y)), switches_[y]->port(mesh_port(y, x)), mesh,
+          util::format("sw%zu-sw%zu", x + 1, y + 1)));
+    }
+  }
+}
+
+void Scenario::build_bridges() {
+  for (std::size_t x = 0; x < cfg_.num_ecds; ++x) {
+    gptp::BridgeConfig bcfg;
+    for (std::size_t e = 0; e < cfg_.num_ecds; ++e) {
+      gptp::BridgeDomainConfig dom;
+      dom.domain = static_cast<std::uint8_t>(e + 1);
+      if (x == e) {
+        // This switch hosts the domain's GM on port 0.
+        dom.slave_port = 0;
+        dom.master_ports.insert(1);
+        for (std::size_t y = 0; y < cfg_.num_ecds; ++y) {
+          if (y != x) dom.master_ports.insert(mesh_port(x, y));
+        }
+      } else {
+        // Tree: directly toward the GM's switch; other mesh ports passive.
+        dom.slave_port = mesh_port(x, e);
+        dom.master_ports = {0, 1};
+      }
+      bcfg.domains.push_back(dom);
+    }
+    bridges_.push_back(std::make_unique<gptp::TimeAwareBridge>(sim_, *switches_[x], bcfg,
+                                                               util::format("br%zu", x + 1)));
+  }
+}
+
+void Scenario::configure_measurement_vlan() {
+  const std::size_t m = cfg_.measurement_ecd;
+  const net::MacAddress group = measure::measurement_group();
+  // Root: the measurement ECD's switch fans out over its mesh ports.
+  switches_[m]->add_vlan_member(kMeasurementVlan, 1); // sender's host port
+  for (std::size_t y = 0; y < cfg_.num_ecds; ++y) {
+    if (y == m) continue;
+    const std::size_t p = mesh_port(m, y);
+    switches_[m]->add_vlan_member(kMeasurementVlan, p);
+    switches_[m]->add_fdb_entry(kMeasurementVlan, group, p);
+    // Leaves: toward-root port plus both host ports.
+    switches_[y]->add_vlan_member(kMeasurementVlan, mesh_port(y, m));
+    switches_[y]->add_vlan_member(kMeasurementVlan, 0);
+    switches_[y]->add_vlan_member(kMeasurementVlan, 1);
+    switches_[y]->add_fdb_entry(kMeasurementVlan, group, 0);
+    switches_[y]->add_fdb_entry(kMeasurementVlan, group, 1);
+  }
+}
+
+void Scenario::configure_data_fdb() {
+  // Static unicast forwarding for every VM MAC on the default VLAN:
+  // direct mesh hop towards the destination ECD, host port locally.
+  for (std::size_t x = 0; x < cfg_.num_ecds; ++x) {
+    for (std::size_t y = 0; y < cfg_.num_ecds; ++y) {
+      for (std::size_t i = 0; i < 2; ++i) {
+        const net::MacAddress mac = vm(y, i).nic().mac();
+        const std::size_t port = (y == x) ? i : mesh_port(x, y);
+        switches_[x]->add_fdb_entry(0, mac, port);
+      }
+    }
+  }
+}
+
+void Scenario::build_probe() {
+  const std::size_t m = cfg_.measurement_ecd;
+  probe_ = std::make_unique<measure::PrecisionProbe>(sim_, measurement_vm().nic(), cfg_.probe,
+                                                     "probe");
+  for (std::size_t x = 0; x < cfg_.num_ecds; ++x) {
+    if (x == m) continue; // excludes c^m_1 (asymmetric path) and the sender
+    for (std::size_t i = 0; i < 2; ++i) {
+      probe_->add_receiver({vm(x, i).name(), &vm(x, i).nic(), &vm(x, i), ecds_[x].get()});
+    }
+  }
+
+  path_meter_ = std::make_unique<measure::PathDelayMeter>(sim_, 0, "path-meter");
+  for (std::size_t x = 0; x < cfg_.num_ecds; ++x) {
+    for (std::size_t i = 0; i < 2; ++i) {
+      path_meter_->add_node(vm(x, i).name(), &vm(x, i).nic());
+    }
+  }
+}
+
+std::vector<std::string> Scenario::probe_destinations() const {
+  std::vector<std::string> out;
+  for (std::size_t x = 0; x < cfg_.num_ecds; ++x) {
+    if (x == cfg_.measurement_ecd) continue;
+    for (std::size_t i = 0; i < 2; ++i) {
+      out.push_back(util::format("c%zu%zu", x + 1, i + 1));
+    }
+  }
+  return out;
+}
+
+std::string Scenario::measurement_vm_name() const {
+  return util::format("c%zu2", cfg_.measurement_ecd + 1);
+}
+
+std::vector<hv::Ecd*> Scenario::ecd_ptrs() {
+  std::vector<hv::Ecd*> out;
+  for (auto& e : ecds_) out.push_back(e.get());
+  return out;
+}
+
+void Scenario::start() {
+  for (auto& ecd : ecds_) ecd->start();
+  for (auto& bridge : bridges_) bridge->start();
+  if (!cfg_.gm_mutual_sync) {
+    // Baseline ("clients only"): the aggregating client VM, not the
+    // free-running GM, maintains each node's CLOCK_SYNCTIME.
+    for (auto& ecd : ecds_) {
+      ecd->st_shmem().set_active_vm(1);
+      ecd->vm(0).set_active(false);
+      ecd->vm(1).set_active(true);
+    }
+  }
+}
+
+bool Scenario::all_in_fta_phase() {
+  for (auto& ecd : ecds_) {
+    for (std::size_t i = 0; i < ecd->vm_count(); ++i) {
+      auto& v = ecd->vm(i);
+      if (!v.running()) continue;
+      if (v.coordinator() == nullptr) {
+        if (!cfg_.gm_mutual_sync) continue; // baseline GMs never aggregate
+        return false;
+      }
+      if (v.coordinator()->phase() != core::SyncPhase::kFta) return false;
+    }
+  }
+  return true;
+}
+
+double Scenario::gm_clock_disagreement_ns() {
+  std::vector<std::int64_t> readings;
+  for (auto& ecd : ecds_) {
+    if (ecd->vm(0).running()) readings.push_back(ecd->vm(0).nic().phc().read());
+  }
+  if (readings.size() < 2) return 0.0;
+  const auto [lo, hi] = std::minmax_element(readings.begin(), readings.end());
+  return static_cast<double>(*hi - *lo);
+}
+
+} // namespace tsn::experiments

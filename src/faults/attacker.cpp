@@ -1,0 +1,35 @@
+#include "faults/attacker.hpp"
+
+#include "util/log.hpp"
+
+namespace tsn::faults {
+
+void Attacker::start() {
+  for (const auto& step : steps_) {
+    sim_.at(sim::SimTime(step.at_ns), [this, step] { execute(step); });
+  }
+}
+
+void Attacker::execute(const AttackStep& step) {
+  AttackResult result{step, false};
+  if (step.target->running() && db_.vulnerable(step.target->kernel_version(), step.cve)) {
+    // Root obtained: swap in the malicious ptp4l.
+    step.target->compromise(step.malicious_pot_offset_ns);
+    result.success = true;
+    TSN_LOG_INFO("attack", "exploit %s on %s (kernel %s): SUCCESS", step.cve.c_str(),
+                 step.target->name().c_str(), step.target->kernel_version().c_str());
+  } else {
+    TSN_LOG_INFO("attack", "exploit %s on %s (kernel %s): failed", step.cve.c_str(),
+                 step.target->name().c_str(), step.target->kernel_version().c_str());
+  }
+  results_.push_back(result);
+  if (on_attempt) on_attempt(result);
+}
+
+std::size_t Attacker::successful_exploits() const {
+  std::size_t n = 0;
+  for (const auto& r : results_) n += r.success ? 1 : 0;
+  return n;
+}
+
+} // namespace tsn::faults

@@ -1,0 +1,57 @@
+// The cyber-attack model of paper section III-B.
+//
+// The attacker holds restricted user credentials on a set of virtual GMs
+// and attempts a local privilege escalation at scheduled times. On a
+// vulnerable kernel the exploit succeeds, the attacker gains root and
+// replaces the benign ptp4l with a malicious instance distributing
+// preciseOriginTimestamps shifted by a constant (-24 us in the paper).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "faults/kernel_vuln.hpp"
+#include "hv/clock_sync_vm.hpp"
+#include "sim/simulation.hpp"
+
+namespace tsn::faults {
+
+struct AttackStep {
+  std::int64_t at_ns = 0;
+  hv::ClockSyncVm* target = nullptr;
+  std::string cve = kCve2018_18955;
+  std::int64_t malicious_pot_offset_ns = -24'000; // the paper's -24 us
+};
+
+struct AttackResult {
+  AttackStep step;
+  bool success = false;
+};
+
+class Attacker {
+ public:
+  Attacker(sim::Simulation& sim, KernelVulnDb db) : sim_(sim), db_(std::move(db)) {}
+
+  void add_step(const AttackStep& step) { steps_.push_back(step); }
+
+  /// Schedule all exploit attempts.
+  void start();
+
+  const std::vector<AttackResult>& results() const { return results_; }
+  std::size_t successful_exploits() const;
+
+  /// Fired after each attempt.
+  std::function<void(const AttackResult&)> on_attempt;
+
+ private:
+  void execute(const AttackStep& step);
+
+  sim::Simulation& sim_;
+  KernelVulnDb db_;
+  std::vector<AttackStep> steps_;
+  std::vector<AttackResult> results_;
+};
+
+} // namespace tsn::faults

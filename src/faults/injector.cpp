@@ -1,0 +1,90 @@
+#include "faults/injector.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace tsn::faults {
+
+FaultInjector::FaultInjector(sim::Simulation& sim, std::vector<hv::Ecd*> ecds,
+                             const InjectorConfig& cfg)
+    : sim_(sim), ecds_(std::move(ecds)), cfg_(cfg), rng_(sim.make_rng("fault-injector")) {}
+
+bool FaultInjector::peer_running(std::size_t ecd_idx, std::size_t vm_idx) const {
+  hv::Ecd& ecd = *ecds_[ecd_idx];
+  for (std::size_t j = 0; j < ecd.vm_count(); ++j) {
+    if (j != vm_idx && ecd.vm(j).running()) return true;
+  }
+  return false;
+}
+
+void FaultInjector::kill(std::size_t ecd_idx, std::size_t vm_idx, bool gm_schedule,
+                         std::int64_t downtime_ns) {
+  hv::ClockSyncVm& vm = ecds_[ecd_idx]->vm(vm_idx);
+  if (spared_.count(&vm) > 0) return;
+  if (!vm.running()) return;
+  if (!peer_running(ecd_idx, vm_idx)) {
+    // Both VMs of a node failing simultaneously would violate the
+    // fail-silent fault hypothesis; the paper's tool avoided it too.
+    ++stats_.skipped_fault_hypothesis;
+    return;
+  }
+  const bool was_gm = vm.is_gm();
+  vm.shutdown();
+  ++stats_.total_kills;
+  if (gm_schedule || was_gm) {
+    ++stats_.gm_kills;
+  } else {
+    ++stats_.standby_kills;
+  }
+  InjectionEvent ev{sim_.now().ns(), vm.name(), was_gm, false};
+  events_.push_back(ev);
+  if (on_event) on_event(ev);
+
+  sim_.after(downtime_ns, [this, ecd_idx, vm_idx] {
+    hv::ClockSyncVm& target = ecds_[ecd_idx]->vm(vm_idx);
+    target.boot(/*first_boot=*/false);
+    InjectionEvent reboot{sim_.now().ns(), target.name(), target.is_gm(), true};
+    events_.push_back(reboot);
+    if (on_event) on_event(reboot);
+  });
+}
+
+void FaultInjector::schedule_gm_round(std::uint64_t round) {
+  const std::int64_t at = static_cast<std::int64_t>(round + 1) * cfg_.gm_kill_period_ns;
+  sim_.at(sim::SimTime(at), [this, round] {
+    const std::size_t ecd_idx = round % ecds_.size();
+    // The GM duty sits on VM 0 of each ECD (static configuration).
+    for (std::size_t vm_idx = 0; vm_idx < ecds_[ecd_idx]->vm_count(); ++vm_idx) {
+      if (ecds_[ecd_idx]->vm(vm_idx).is_gm()) {
+        kill(ecd_idx, vm_idx, /*gm_schedule=*/true, cfg_.gm_downtime_ns);
+        break;
+      }
+    }
+    schedule_gm_round(round + 1);
+  });
+}
+
+void FaultInjector::schedule_standby(std::size_t ecd_idx) {
+  // Exponential inter-arrival, floored at the configured minimum gap.
+  const double mean_gap_ns = 3.6e12 / std::max(cfg_.standby_kills_per_hour, 1e-9);
+  const std::int64_t gap = std::max<std::int64_t>(
+      static_cast<std::int64_t>(rng_.exponential(mean_gap_ns)), cfg_.standby_min_gap_ns);
+  sim_.after(gap, [this, ecd_idx] {
+    // Kill a non-GM VM of this node.
+    for (std::size_t vm_idx = 0; vm_idx < ecds_[ecd_idx]->vm_count(); ++vm_idx) {
+      if (!ecds_[ecd_idx]->vm(vm_idx).is_gm()) {
+        kill(ecd_idx, vm_idx, /*gm_schedule=*/false, cfg_.standby_downtime_ns);
+        break;
+      }
+    }
+    schedule_standby(ecd_idx);
+  });
+}
+
+void FaultInjector::start() {
+  schedule_gm_round(0);
+  for (std::size_t i = 0; i < ecds_.size(); ++i) schedule_standby(i);
+}
+
+} // namespace tsn::faults

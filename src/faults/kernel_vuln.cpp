@@ -1,0 +1,23 @@
+#include "faults/kernel_vuln.hpp"
+
+namespace tsn::faults {
+
+KernelVulnDb KernelVulnDb::with_defaults() {
+  KernelVulnDb db;
+  // CVE-2018-18955: map_write() in kernel/user_namespace.c, 4.15..4.19.1.
+  for (const char* v : {"4.15.0", "4.16.0", "4.17.0", "4.18.0", "4.19.0", "4.19.1"}) {
+    db.add(kCve2018_18955, v);
+  }
+  return db;
+}
+
+void KernelVulnDb::add(const std::string& cve, const std::string& kernel_version) {
+  affected_[cve].insert(kernel_version);
+}
+
+bool KernelVulnDb::vulnerable(const std::string& kernel_version, const std::string& cve) const {
+  auto it = affected_.find(cve);
+  return it != affected_.end() && it->second.count(kernel_version) > 0;
+}
+
+} // namespace tsn::faults

@@ -1,0 +1,31 @@
+// Kernel vulnerability model for the OS-diversification experiments.
+//
+// The paper's attacker uses exploit 47164 for CVE-2018-18955 to gain root
+// on VMs running Linux 4.19.1. Whether an exploit succeeds depends only on
+// the target's kernel version being in the CVE's affected set -- which is
+// precisely the property OS diversification breaks.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace tsn::faults {
+
+class KernelVulnDb {
+ public:
+  /// Pre-seeded with CVE-2018-18955 (affects 4.15 <= kernel < 4.19.2).
+  static KernelVulnDb with_defaults();
+
+  void add(const std::string& cve, const std::string& kernel_version);
+  bool vulnerable(const std::string& kernel_version, const std::string& cve) const;
+  std::size_t cve_count() const { return affected_.size(); }
+
+ private:
+  std::map<std::string, std::set<std::string>> affected_;
+};
+
+/// The paper's exploit.
+inline constexpr const char* kCve2018_18955 = "CVE-2018-18955";
+
+} // namespace tsn::faults

@@ -1,0 +1,179 @@
+#include "gptp/bridge.hpp"
+
+#include "util/log.hpp"
+#include "util/str.hpp"
+
+namespace tsn::gptp {
+
+TimeAwareBridge::TimeAwareBridge(sim::Simulation& sim, net::Switch& sw, const BridgeConfig& cfg,
+                                 const std::string& name)
+    : sim_(sim),
+      sw_(sw),
+      cfg_(cfg),
+      name_(name),
+      identity_(ClockIdentity::from_u64(util::fnv1a64("bridge/" + name))) {
+  for (std::size_t i = 0; i < sw_.port_count(); ++i) {
+    link_delay_.push_back(std::make_unique<LinkDelayService>(
+        sim, port_identity(i),
+        [this, i](const Message& msg, std::function<void(std::optional<std::int64_t>)> on_tx) {
+          send_on_port(i, msg, std::move(on_tx));
+        },
+        cfg_.link_delay, util::format("%s/P%zu/pdelay", name.c_str(), i)));
+  }
+  for (const auto& dc : cfg_.domains) {
+    domains_[dc.domain] = DomainState{dc, std::nullopt};
+  }
+  sw_.set_ptp_sink([this](std::size_t idx, const net::EthernetFrame& frame,
+                          const net::RxMeta& meta) { on_ptp(idx, frame, meta); });
+}
+
+PortIdentity TimeAwareBridge::port_identity(std::size_t port_idx) const {
+  return PortIdentity{identity_, static_cast<std::uint16_t>(port_idx + 1)};
+}
+
+void TimeAwareBridge::send_on_port(std::size_t port_idx, const Message& msg,
+                                   std::function<void(std::optional<std::int64_t>)> on_tx) {
+  net::EthernetFrame frame;
+  frame.dst = net::MacAddress::gptp_multicast();
+  frame.src = net::MacAddress::from_u64(identity_.to_u64() & 0xFFFFFFFFFFFF);
+  frame.ethertype = net::kEtherTypePtp;
+  frame.payload = serialize(msg);
+  net::TxOptions opts;
+  if (on_tx) {
+    opts.on_complete = [on_tx = std::move(on_tx)](const net::TxReport& r) {
+      on_tx(r.status == net::TxReport::Status::kSent ? r.hw_tx_ts : std::nullopt);
+    };
+  }
+  sw_.send_from_port(port_idx, std::move(frame), std::move(opts));
+}
+
+void TimeAwareBridge::start() {
+  started_ = true;
+  for (auto& ld : link_delay_) {
+    ld->start();
+  }
+}
+
+void TimeAwareBridge::stop() {
+  started_ = false;
+  for (auto& ld : link_delay_) ld->stop();
+}
+
+void TimeAwareBridge::on_ptp(std::size_t port_idx, const net::EthernetFrame& frame,
+                             const net::RxMeta& meta) {
+  if (!started_) return;
+  const auto msg = parse(frame.payload);
+  if (!msg) {
+    ++counters_.malformed;
+    return;
+  }
+  const std::int64_t rx_ts = meta.hw_rx_ts.value_or(0);
+  const auto& header = header_of(*msg);
+
+  if (header.type == MessageType::kPdelayReq || header.type == MessageType::kPdelayResp ||
+      header.type == MessageType::kPdelayRespFollowUp) {
+    link_delay_[port_idx]->on_message(*msg, rx_ts);
+    return;
+  }
+
+  auto it = domains_.find(header.domain);
+  if (it == domains_.end()) return; // domain not configured here
+  DomainState& ds = it->second;
+
+  if (const auto* sync = std::get_if<SyncMessage>(&*msg)) {
+    if (!ds.cfg.dynamic && port_idx != ds.cfg.slave_port) {
+      ++counters_.syncs_on_non_slave_port; // passive port: ignore
+      return;
+    }
+    ds.pending = PendingSync{sync->header.sequence_id, rx_ts, sync->header.correction_scaled,
+                             sync->header.source_port, port_idx};
+    return;
+  }
+
+  if (const auto* fup = std::get_if<FollowUpMessage>(&*msg)) {
+    if (!ds.cfg.dynamic && port_idx != ds.cfg.slave_port) return;
+    if (!ds.pending || ds.pending->seq != fup->header.sequence_id ||
+        ds.pending->source != fup->header.source_port ||
+        ds.pending->ingress_port != port_idx) {
+      return;
+    }
+    relay_follow_up(ds, *fup);
+    return;
+  }
+
+  if (const auto* ann = std::get_if<AnnounceMessage>(&*msg)) {
+    if (ds.cfg.dynamic) relay_announce(ds, port_idx, *ann);
+    return; // with external port configuration announces are not relayed
+  }
+}
+
+void TimeAwareBridge::relay_announce(DomainState& ds, std::size_t ingress,
+                                     const AnnounceMessage& msg) {
+  // Loop prevention: never relay an announce that already traversed us.
+  for (const auto& hop : msg.path_trace) {
+    if (hop == identity_) return;
+  }
+  AnnounceMessage out = msg;
+  out.steps_removed = static_cast<std::uint16_t>(out.steps_removed + 1);
+  out.path_trace.push_back(identity_);
+  for (std::size_t p = 0; p < sw_.port_count(); ++p) {
+    if (p == ingress || !sw_.port(p).connected()) continue;
+    out.header.source_port = port_identity(p);
+    ++counters_.announces_relayed;
+    send_on_port(p, out, {});
+  }
+  (void)ds;
+}
+
+void TimeAwareBridge::relay_follow_up(DomainState& ds, const FollowUpMessage& fup) {
+  const PendingSync pending = *ds.pending;
+  ds.pending.reset();
+
+  LinkDelayService& ingress_ld = *link_delay_[pending.ingress_port];
+  if (!ingress_ld.valid()) return; // upstream link delay not yet measured
+
+  // Cumulative rate ratio from the GM to this bridge's clock.
+  const double rate_ratio = fup.rate_ratio() * ingress_ld.neighbor_rate_ratio();
+  const double upstream_delay_ns = ingress_ld.mean_link_delay_ns();
+
+  std::set<std::size_t> egress = ds.cfg.master_ports;
+  if (ds.cfg.dynamic) {
+    egress.clear();
+    for (std::size_t p = 0; p < sw_.port_count(); ++p) {
+      if (p != pending.ingress_port && sw_.port(p).connected()) egress.insert(p);
+    }
+  }
+  for (std::size_t out_port : egress) {
+    SyncMessage sync;
+    sync.header.type = MessageType::kSync;
+    sync.header.domain = ds.cfg.domain;
+    sync.header.two_step = true;
+    sync.header.source_port = port_identity(out_port);
+    sync.header.sequence_id = pending.seq;
+    sync.header.log_message_interval = fup.header.log_message_interval;
+
+    ++counters_.syncs_relayed;
+    send_on_port(out_port, sync,
+                 [this, out_port, pending, fup, rate_ratio, upstream_delay_ns,
+                  domain = ds.cfg.domain](std::optional<std::int64_t> tx_ts) {
+                   if (!tx_ts || !started_) return;
+                   // Residence time in the bridge's local clock, plus the
+                   // upstream link delay, both converted to GM time.
+                   const double residence_ns = static_cast<double>(*tx_ts - pending.rx_ts);
+                   const double added_ns = rate_ratio * (residence_ns + upstream_delay_ns);
+
+                   FollowUpMessage out = fup;
+                   out.header.domain = domain;
+                   out.header.source_port = port_identity(out_port);
+                   out.header.sequence_id = pending.seq;
+                   out.header.correction_scaled = pending.correction_scaled +
+                                                  fup.header.correction_scaled +
+                                                  scaled_ns::from_ns(added_ns);
+                   out.cumulative_scaled_rate_offset = rate_offset::from_ratio(rate_ratio);
+                   ++counters_.followups_relayed;
+                   send_on_port(out_port, out, {});
+                 });
+  }
+}
+
+} // namespace tsn::gptp

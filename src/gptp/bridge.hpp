@@ -1,0 +1,102 @@
+// IEEE 802.1AS time-aware bridge.
+//
+// Attached to a net::Switch, it terminates gPTP on every port: it runs the
+// peer-delay mechanism per port and, per domain, relays Sync/FollowUp from
+// the domain's slave port to its master ports, accumulating the residence
+// time and upstream link delay into the correction field (scaled by the
+// cumulative rate ratio) exactly as 802.1AS clause 11 prescribes. The
+// bridge's own PHC free-runs; it never syntonizes, it only measures.
+//
+// Port roles are statically assigned (external port configuration, as in
+// the paper's testbed: "no best master clock algorithm").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gptp/link_delay.hpp"
+#include "gptp/messages.hpp"
+#include "net/switch.hpp"
+#include "sim/simulation.hpp"
+
+namespace tsn::gptp {
+
+struct BridgeDomainConfig {
+  std::uint8_t domain = 0;
+  std::size_t slave_port = 0;
+  std::set<std::size_t> master_ports;
+  // Ports not listed are passive for this domain.
+
+  /// Dynamic mode (hot-standby grandmasters via BMCA): ignore the static
+  /// roles above; relay Announce messages to every other port (stepsRemoved
+  /// incremented, own identity appended to the path trace) and relay
+  /// Sync/FollowUp from whichever port they arrive on to all others.
+  /// Requires a physically loop-free topology for this domain.
+  bool dynamic = false;
+};
+
+struct BridgeConfig {
+  LinkDelayConfig link_delay;
+  std::vector<BridgeDomainConfig> domains;
+};
+
+struct BridgeCounters {
+  std::uint64_t syncs_relayed = 0;
+  std::uint64_t followups_relayed = 0;
+  std::uint64_t announces_relayed = 0;
+  std::uint64_t syncs_on_non_slave_port = 0;
+  std::uint64_t malformed = 0;
+};
+
+class TimeAwareBridge {
+ public:
+  TimeAwareBridge(sim::Simulation& sim, net::Switch& sw, const BridgeConfig& cfg,
+                  const std::string& name);
+
+  TimeAwareBridge(const TimeAwareBridge&) = delete;
+  TimeAwareBridge& operator=(const TimeAwareBridge&) = delete;
+
+  void start();
+  void stop();
+
+  LinkDelayService& port_link_delay(std::size_t port_idx) { return *link_delay_.at(port_idx); }
+  const BridgeCounters& counters() const { return counters_; }
+  net::Switch& bridge_switch() { return sw_; }
+
+ private:
+  struct PendingSync {
+    std::uint16_t seq = 0;
+    std::int64_t rx_ts = 0; // switch PHC at ingress
+    std::int64_t correction_scaled = 0;
+    PortIdentity source;
+    std::size_t ingress_port = 0;
+  };
+  struct DomainState {
+    BridgeDomainConfig cfg;
+    std::optional<PendingSync> pending;
+  };
+
+  void on_ptp(std::size_t port_idx, const net::EthernetFrame& frame, const net::RxMeta& meta);
+  void relay_follow_up(DomainState& ds, const FollowUpMessage& fup);
+  void relay_announce(DomainState& ds, std::size_t ingress, const AnnounceMessage& msg);
+  void send_on_port(std::size_t port_idx, const Message& msg,
+                    std::function<void(std::optional<std::int64_t>)> on_tx);
+  PortIdentity port_identity(std::size_t port_idx) const;
+
+  sim::Simulation& sim_;
+  net::Switch& sw_;
+  BridgeConfig cfg_;
+  std::string name_;
+  ClockIdentity identity_;
+  std::vector<std::unique_ptr<LinkDelayService>> link_delay_; // one per port
+  std::map<std::uint8_t, DomainState> domains_;
+  BridgeCounters counters_;
+  bool started_ = false;
+};
+
+} // namespace tsn::gptp

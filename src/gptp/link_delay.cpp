@@ -1,0 +1,126 @@
+#include "gptp/link_delay.hpp"
+
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace tsn::gptp {
+
+LinkDelayService::LinkDelayService(sim::Simulation& sim, PortIdentity identity, SendFn send,
+                                   const LinkDelayConfig& cfg, const std::string& name)
+    : sim_(sim), identity_(identity), send_(std::move(send)), cfg_(cfg), name_(name) {}
+
+void LinkDelayService::start() {
+  if (periodic_.active()) return;
+  periodic_ = sim_.every(sim_.now(), cfg_.pdelay_interval_ns,
+                         [this](sim::SimTime) { send_request(); });
+}
+
+void LinkDelayService::stop() {
+  periodic_.cancel();
+  exchange_open_ = false;
+}
+
+void LinkDelayService::send_request() {
+  if (exchange_open_) {
+    // Previous exchange never completed (lost frame or dead neighbor).
+    if (++consecutive_misses_ >= cfg_.lost_responses_allowed) {
+      valid_ = false;
+      nrr_history_.clear();
+    }
+  }
+  exchange_open_ = true;
+  t1_.reset();
+  t2_.reset();
+  t3_.reset();
+  t4_.reset();
+
+  PdelayReqMessage req;
+  req.header.type = MessageType::kPdelayReq;
+  req.header.source_port = identity_;
+  req.header.sequence_id = ++seq_;
+  req.header.log_message_interval = 0;
+  send_(req, [this, seq = seq_](std::optional<std::int64_t> tx_ts) {
+    if (tx_ts && seq == seq_) t1_ = *tx_ts;
+  });
+}
+
+void LinkDelayService::on_message(const Message& msg, std::int64_t rx_ts) {
+  if (const auto* req = std::get_if<PdelayReqMessage>(&msg)) {
+    // ---- Responder: reply with t2 then t3.
+    responder_t2_ = rx_ts;
+    PdelayRespMessage resp;
+    resp.header.type = MessageType::kPdelayResp;
+    resp.header.two_step = true;
+    resp.header.source_port = identity_;
+    resp.header.sequence_id = req->header.sequence_id;
+    resp.request_receipt = Timestamp::from_ns(rx_ts);
+    resp.requesting_port = req->header.source_port;
+    send_(resp, [this, hdr = resp.header, requesting = resp.requesting_port](
+                    std::optional<std::int64_t> tx_ts) {
+      if (!tx_ts) return;
+      PdelayRespFollowUpMessage fup;
+      fup.header = hdr;
+      fup.header.type = MessageType::kPdelayRespFollowUp;
+      fup.header.two_step = false;
+      fup.response_origin = Timestamp::from_ns(*tx_ts);
+      fup.requesting_port = requesting;
+      send_(fup, {});
+    });
+    return;
+  }
+
+  if (const auto* resp = std::get_if<PdelayRespMessage>(&msg)) {
+    if (!exchange_open_ || resp->requesting_port != identity_ ||
+        resp->header.sequence_id != seq_) {
+      return;
+    }
+    t4_ = rx_ts;
+    t2_ = resp->request_receipt.to_ns();
+    if (t1_ && t2_ && t3_ && t4_) complete_exchange();
+    return;
+  }
+
+  if (const auto* fup = std::get_if<PdelayRespFollowUpMessage>(&msg)) {
+    if (!exchange_open_ || fup->requesting_port != identity_ ||
+        fup->header.sequence_id != seq_) {
+      return;
+    }
+    t3_ = fup->response_origin.to_ns();
+    if (t1_ && t2_ && t3_ && t4_) complete_exchange();
+    return;
+  }
+}
+
+void LinkDelayService::complete_exchange() {
+  exchange_open_ = false;
+  consecutive_misses_ = 0;
+
+  // Neighbor rate ratio across the sample window: remote elapsed / local
+  // elapsed between the oldest retained exchange and this one.
+  nrr_history_.emplace_back(*t3_, *t4_);
+  while (nrr_history_.size() > cfg_.nrr_window) nrr_history_.pop_front();
+  if (nrr_history_.size() >= 2) {
+    const auto& [t3_old, t4_old] = nrr_history_.front();
+    const double remote_elapsed = static_cast<double>(*t3_ - t3_old);
+    const double local_elapsed = static_cast<double>(*t4_ - t4_old);
+    if (local_elapsed > 0) neighbor_rate_ratio_ = remote_elapsed / local_elapsed;
+  }
+
+  // meanLinkDelay = ((t4-t1) - (t3-t2)/nrr) / 2, in the local timebase.
+  const double turnaround = static_cast<double>(*t4_ - *t1_);
+  const double remote_residence = static_cast<double>(*t3_ - *t2_) / neighbor_rate_ratio_;
+  raw_link_delay_ns_ = (turnaround - remote_residence) / 2.0;
+
+  if (!valid_) {
+    mean_link_delay_ns_ = raw_link_delay_ns_;
+  } else {
+    mean_link_delay_ns_ += cfg_.delay_smoothing * (raw_link_delay_ns_ - mean_link_delay_ns_);
+  }
+  valid_ = true;
+  ++completed_;
+  TSN_LOG_TRACE("pdelay", "%s: D=%.1fns nrr=%.9f", name_.c_str(), mean_link_delay_ns_,
+                neighbor_rate_ratio_);
+}
+
+} // namespace tsn::gptp

@@ -1,0 +1,88 @@
+// Peer-to-peer delay mechanism (802.1AS MDPdelayReq/Resp state machines).
+//
+// One service instance runs per physical port and is shared by all gPTP
+// domains on that port, mirroring 802.1AS-2020's CMLDS. It measures:
+//   * meanLinkDelay: one-way propagation delay in the local timebase
+//   * neighborRateRatio: d(neighbor clock)/d(local clock)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "gptp/messages.hpp"
+#include "sim/simulation.hpp"
+
+namespace tsn::gptp {
+
+struct LinkDelayConfig {
+  std::int64_t pdelay_interval_ns = 1'000'000'000;
+  /// Number of (t3, t4) samples spanned by the rate-ratio estimate.
+  std::size_t nrr_window = 8;
+  /// EWMA weight for new meanLinkDelay samples.
+  double delay_smoothing = 0.25;
+  /// Exchanges missed before the measurement is declared invalid.
+  int lost_responses_allowed = 3;
+};
+
+class LinkDelayService {
+ public:
+  /// `send` transmits a serialized gPTP message out of the port and reports
+  /// the egress HW timestamp (or nullopt on failure) once it left.
+  using SendFn = std::function<void(const Message&, std::function<void(std::optional<std::int64_t>)>)>;
+
+  LinkDelayService(sim::Simulation& sim, PortIdentity identity, SendFn send,
+                   const LinkDelayConfig& cfg, const std::string& name);
+
+  /// Start periodic PdelayReq transmission (initiator role). The responder
+  /// role is always active.
+  void start();
+  void stop();
+
+  /// Feed any received Pdelay* message with its HW rx timestamp.
+  void on_message(const Message& msg, std::int64_t rx_ts);
+
+  bool valid() const { return valid_; }
+  double mean_link_delay_ns() const { return mean_link_delay_ns_; }
+  /// Most recent raw (unsmoothed) delay sample.
+  double raw_link_delay_ns() const { return raw_link_delay_ns_; }
+  double neighbor_rate_ratio() const { return neighbor_rate_ratio_; }
+  std::uint64_t completed_exchanges() const { return completed_; }
+  const PortIdentity& identity() const { return identity_; }
+
+ private:
+  void send_request();
+  void complete_exchange();
+
+  sim::Simulation& sim_;
+  PortIdentity identity_;
+  SendFn send_;
+  LinkDelayConfig cfg_;
+  std::string name_;
+  sim::Simulation::PeriodicHandle periodic_;
+
+  // Initiator state for the in-flight exchange.
+  std::uint16_t seq_ = 0;
+  std::optional<std::int64_t> t1_; // our PdelayReq egress
+  std::optional<std::int64_t> t2_; // neighbor's receipt (remote timebase)
+  std::optional<std::int64_t> t3_; // neighbor's response egress (remote)
+  std::optional<std::int64_t> t4_; // our PdelayResp ingress
+  bool exchange_open_ = false;
+  int consecutive_misses_ = 0;
+
+  // Rate ratio estimation history: (t3, t4) of completed exchanges.
+  std::deque<std::pair<std::int64_t, std::int64_t>> nrr_history_;
+
+  // Responder state.
+  std::optional<std::int64_t> responder_t2_;
+
+  bool valid_ = false;
+  double mean_link_delay_ns_ = 0.0;
+  double raw_link_delay_ns_ = 0.0;
+  double neighbor_rate_ratio_ = 1.0;
+  std::uint64_t completed_ = 0;
+};
+
+} // namespace tsn::gptp

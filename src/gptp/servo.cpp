@@ -1,0 +1,74 @@
+#include "gptp/servo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace tsn::gptp {
+
+PiServo::PiServo(const PiServoConfig& cfg) : cfg_(cfg) {}
+
+double PiServo::clamp_freq(double ppb) const {
+  return std::clamp(ppb, -cfg_.max_frequency_ppb, cfg_.max_frequency_ppb);
+}
+
+void PiServo::reset() {
+  state_ = State::kUnlocked;
+  sample_count_ = 0;
+  // The integral (learned frequency error) survives a reset on purpose:
+  // losing it after a reference switch would re-learn the oscillator's
+  // static drift from scratch. Call set_integral_ppb(0) for a cold reset.
+}
+
+PiServo::Result PiServo::sample(std::int64_t offset_ns, std::int64_t local_ts_ns) {
+  Result res;
+
+  if (state_ == State::kLocked && cfg_.step_threshold_ns > 0 &&
+      std::llabs(offset_ns) > cfg_.step_threshold_ns) {
+    // Runaway offset: fall back to acquisition.
+    state_ = State::kUnlocked;
+    sample_count_ = 0;
+  }
+
+  switch (state_) {
+    case State::kUnlocked: {
+      if (sample_count_ == 0) {
+        first_offset_ = offset_ns;
+        first_ts_ = local_ts_ns;
+        ++sample_count_;
+        res.state = State::kUnlocked;
+        res.freq_ppb = clamp_freq(-integral_ppb_);
+        return res;
+      }
+      // Second sample: estimate the frequency error between the two
+      // offsets, then decide whether to step the phase.
+      const double dt = static_cast<double>(local_ts_ns - first_ts_);
+      if (dt > 0) {
+        const double drift_ppb = static_cast<double>(offset_ns - first_offset_) / dt * 1e9;
+        integral_ppb_ = clamp_freq(integral_ppb_ + drift_ppb);
+      }
+      sample_count_ = 0;
+      if (cfg_.first_step_threshold_ns > 0 &&
+          std::llabs(offset_ns) > cfg_.first_step_threshold_ns) {
+        state_ = State::kLocked;
+        res.state = State::kJump;
+        res.freq_ppb = clamp_freq(-integral_ppb_);
+        return res;
+      }
+      state_ = State::kLocked;
+      [[fallthrough]];
+    }
+    case State::kJump:
+    case State::kLocked: {
+      integral_ppb_ = clamp_freq(integral_ppb_ + cfg_.ki * static_cast<double>(offset_ns));
+      const double out = clamp_freq(-(cfg_.kp * static_cast<double>(offset_ns) + integral_ppb_));
+      state_ = State::kLocked;
+      res.state = State::kLocked;
+      res.freq_ppb = out;
+      return res;
+    }
+  }
+  return res;
+}
+
+} // namespace tsn::gptp

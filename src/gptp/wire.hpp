@@ -1,0 +1,66 @@
+// Big-endian (network order) byte stream primitives for PTP wire formats.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gptp/types.hpp"
+
+namespace tsn::gptp {
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u48(std::uint64_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void bytes(const std::uint8_t* data, std::size_t n);
+  void zeros(std::size_t n);
+  void timestamp(const Timestamp& ts); // 10 bytes: 48-bit s + 32-bit ns
+  void clock_identity(const ClockIdentity& id);
+  void port_identity(const PortIdentity& id);
+
+  std::size_t size() const { return out_.size(); }
+  /// Patch a previously written big-endian u16 at `offset`.
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& buf) : data_(buf.data()), size_(buf.size()) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u48();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  void skip(std::size_t n);
+  Timestamp timestamp();
+  ClockIdentity clock_identity();
+  PortIdentity port_identity();
+
+ private:
+  bool take(std::size_t n);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+} // namespace tsn::gptp

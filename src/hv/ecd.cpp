@@ -1,0 +1,26 @@
+#include "hv/ecd.hpp"
+
+namespace tsn::hv {
+
+Ecd::Ecd(sim::Simulation& sim, const EcdConfig& cfg)
+    : sim_(sim),
+      cfg_(cfg),
+      tsc_(sim, cfg.tsc, cfg.name + "/tsc"),
+      monitor_(sim, st_shmem_, tsc_, cfg.monitor, cfg.name + "/monitor") {}
+
+ClockSyncVm& Ecd::add_clock_sync_vm(const ClockSyncVmConfig& cfg) {
+  vms_.push_back(std::make_unique<ClockSyncVm>(sim_, st_shmem_, tsc_, cfg, vms_.size()));
+  monitor_.add_vm(vms_.back().get());
+  return *vms_.back();
+}
+
+void Ecd::start() {
+  for (auto& vm : vms_) vm->boot(/*first_boot=*/true);
+  if (!vms_.empty()) {
+    st_shmem_.set_active_vm(0);
+    vms_[0]->set_active(true);
+  }
+  monitor_.start();
+}
+
+} // namespace tsn::hv

@@ -1,0 +1,60 @@
+// An edge computing device (ECD): the ACRN-virtualized node of the paper's
+// testbed. Hosts the hypervisor state (TSC, STSHMEM, monitor) and the
+// clock synchronization VMs. The integrated TSN switch is modelled
+// separately (net::Switch + gptp::TimeAwareBridge) and wired up by the
+// experiment scenario builder.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hv/clock_sync_vm.hpp"
+#include "hv/monitor.hpp"
+#include "hv/st_shmem.hpp"
+#include "sim/simulation.hpp"
+#include "tsn_time/phc_clock.hpp"
+
+namespace tsn::hv {
+
+struct EcdConfig {
+  std::string name;
+  /// The platform TSC: free-running, never servo-adjusted.
+  time::PhcModel tsc;
+  MonitorConfig monitor;
+};
+
+class Ecd {
+ public:
+  Ecd(sim::Simulation& sim, const EcdConfig& cfg);
+
+  Ecd(const Ecd&) = delete;
+  Ecd& operator=(const Ecd&) = delete;
+
+  /// Add a clock synchronization VM; the first added VM is initially active.
+  ClockSyncVm& add_clock_sync_vm(const ClockSyncVmConfig& cfg);
+
+  /// Boot all VMs (cold) and start the monitor. VM 0 starts publishing.
+  void start();
+
+  const std::string& name() const { return cfg_.name; }
+  time::PhcClock& tsc() { return tsc_; }
+  StShmem& st_shmem() { return st_shmem_; }
+  HvMonitor& monitor() { return monitor_; }
+  std::size_t vm_count() const { return vms_.size(); }
+  ClockSyncVm& vm(std::size_t idx) { return *vms_.at(idx); }
+
+  /// CLOCK_SYNCTIME as a co-located application VM would read it.
+  std::optional<std::int64_t> read_synctime() { return hv::read_synctime(st_shmem_, tsc_.read()); }
+
+ private:
+  sim::Simulation& sim_;
+  EcdConfig cfg_;
+  time::PhcClock tsc_;
+  StShmem st_shmem_;
+  HvMonitor monitor_;
+  std::vector<std::unique_ptr<ClockSyncVm>> vms_;
+};
+
+} // namespace tsn::hv

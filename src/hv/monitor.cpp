@@ -1,0 +1,108 @@
+#include "hv/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace tsn::hv {
+
+HvMonitor::HvMonitor(sim::Simulation& sim, StShmem& shmem, time::PhcClock& tsc,
+                     const MonitorConfig& cfg, const std::string& name)
+    : sim_(sim), shmem_(shmem), tsc_(tsc), cfg_(cfg), name_(name) {}
+
+void HvMonitor::start() {
+  failed_.assign(vms_.size(), false);
+  voted_out_.assign(vms_.size(), false);
+  periodic_ = sim_.every(sim_.now() + cfg_.period_ns, cfg_.period_ns,
+                         [this](sim::SimTime) { check(); });
+}
+
+void HvMonitor::stop() { periodic_.cancel(); }
+
+void HvMonitor::check() {
+  ++stats_.checks;
+  const std::int64_t tsc_now = tsc_.read();
+
+  for (std::size_t i = 0; i < vms_.size(); ++i) {
+    const bool alive = shmem_.heartbeat_age(i, tsc_now) <= cfg_.heartbeat_timeout_ns;
+    if (!alive && !failed_[i]) {
+      failed_[i] = true;
+      ++stats_.failures_detected;
+      TSN_LOG_INFO("hv-mon", "%s: VM %zu (%s) fail-silent", name_.c_str(), i,
+                   vms_[i]->name().c_str());
+      if (on_vm_failure) on_vm_failure(i);
+    } else if (alive && failed_[i]) {
+      failed_[i] = false;
+      ++stats_.recoveries;
+      if (on_vm_recovery) on_vm_recovery(i);
+    }
+  }
+
+  // Parameter sanity check on the active publisher (cheap voting-lite; the
+  // full 2f+1 vote needs more redundant VMs than the testbed could host).
+  const std::size_t active = shmem_.active_vm();
+  if (cfg_.max_rate_error > 0.0 && active < failed_.size() && !failed_[active]) {
+    const SyncTimeParams p = shmem_.read_params();
+    if (p.valid && std::abs(p.rate - 1.0) > cfg_.max_rate_error) {
+      ++stats_.param_sanity_failures;
+      failed_[active] = true;
+      ++stats_.failures_detected;
+      if (on_vm_failure) on_vm_failure(active);
+    }
+  }
+
+  majority_vote(tsc_now);
+
+  // Fail-over: the active VM is down or voted out; promote the
+  // lowest-index healthy VM.
+  if (active < failed_.size() && (failed_[active] || voted_out_[active])) {
+    for (std::size_t j = 0; j < vms_.size(); ++j) {
+      if (failed_[j] || voted_out_[j] || j == active) continue;
+      shmem_.set_active_vm(j);
+      shmem_.bump_generation();
+      vms_[active]->set_active(false);
+      vms_[j]->takeover_irq();
+      ++stats_.takeovers;
+      TSN_LOG_INFO("hv-mon", "%s: takeover VM %zu -> VM %zu", name_.c_str(), active, j);
+      if (on_takeover) on_takeover(j);
+      break;
+    }
+  }
+}
+
+void HvMonitor::majority_vote(std::int64_t tsc_now) {
+  if (cfg_.vote_threshold_ns <= 0.0) return;
+  // Collect the candidate CLOCK_SYNCTIME of every heartbeat-healthy VM.
+  std::vector<std::pair<std::size_t, double>> views;
+  for (std::size_t i = 0; i < vms_.size(); ++i) {
+    if (failed_[i]) continue;
+    const SyncTimeParams p = shmem_.read_candidate(i);
+    if (!p.valid) continue;
+    const double v = static_cast<double>(p.base_sync) +
+                     static_cast<double>(tsc_now - p.base_tsc) * p.rate;
+    views.emplace_back(i, v);
+  }
+  if (views.size() < 3) return; // 2f+1 needs at least three opinions
+
+  std::vector<double> sorted;
+  for (const auto& [idx, v] : views) sorted.push_back(v);
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2, sorted.end());
+  const double med = sorted[sorted.size() / 2];
+
+  for (const auto& [idx, v] : views) {
+    const double dev = std::abs(v - med);
+    if (!voted_out_[idx] && dev > cfg_.vote_threshold_ns) {
+      voted_out_[idx] = true;
+      ++stats_.vote_exclusions;
+      TSN_LOG_INFO("hv-mon", "%s: VM %zu (%s) voted out (dev %.0f ns)", name_.c_str(), idx,
+                   vms_[idx]->name().c_str(), dev);
+      if (on_vote_exclusion) on_vote_exclusion(idx);
+    } else if (voted_out_[idx] && dev <= cfg_.vote_threshold_ns / 2) {
+      voted_out_[idx] = false; // rejoined the majority (hysteresis)
+    }
+  }
+}
+
+} // namespace tsn::hv

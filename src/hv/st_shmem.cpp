@@ -1,0 +1,15 @@
+#include "hv/st_shmem.hpp"
+
+#include <cmath>
+#include <optional>
+
+namespace tsn::hv {
+
+std::optional<std::int64_t> read_synctime(const StShmem& shmem, std::int64_t tsc_now) {
+  const SyncTimeParams p = shmem.read_params();
+  if (!p.valid) return std::nullopt;
+  const double elapsed = static_cast<double>(tsc_now - p.base_tsc);
+  return p.base_sync + static_cast<std::int64_t>(std::llround(elapsed * p.rate));
+}
+
+} // namespace tsn::hv

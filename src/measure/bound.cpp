@@ -1,0 +1,17 @@
+#include "measure/bound.hpp"
+
+#include "core/fta.hpp"
+
+namespace tsn::measure {
+
+PrecisionBound compute_bound(const BoundInputs& in) {
+  PrecisionBound out;
+  out.reading_error_ns = in.dmax_ns - in.dmin_ns;
+  out.drift_offset_ns =
+      2.0 * in.rmax_ppm * 1e-6 * static_cast<double>(in.sync_interval_ns);
+  out.multiplier = core::fta_precision_multiplier(in.n, in.f);
+  out.pi_ns = out.multiplier * (out.reading_error_ns + out.drift_offset_ns);
+  return out;
+}
+
+} // namespace tsn::measure

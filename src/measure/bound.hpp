@@ -1,0 +1,30 @@
+// The upper bound on clock synchronization precision (paper section
+// III-A3): the convergence function of Kopetz & Ochsenreiter,
+//     Pi(N, f, E, Gamma) = u(N, f) * (E + Gamma)
+// with u(4, 1) = 2, Gamma = 2 * rmax * S, and reading error E = dmax - dmin
+// from measured node-to-node latencies.
+#pragma once
+
+#include <cstdint>
+
+namespace tsn::measure {
+
+struct BoundInputs {
+  int n = 4;     ///< number of GM clocks / domains
+  int f = 1;     ///< tolerated faults
+  double dmin_ns = 0.0;
+  double dmax_ns = 0.0;
+  double rmax_ppm = 5.0;                 ///< max drift rate (literature value)
+  std::int64_t sync_interval_ns = 125'000'000;
+};
+
+struct PrecisionBound {
+  double reading_error_ns = 0.0; ///< E = dmax - dmin
+  double drift_offset_ns = 0.0;  ///< Gamma = 2 * rmax * S
+  double multiplier = 2.0;       ///< u(N, f)
+  double pi_ns = 0.0;            ///< Pi = u * (E + Gamma)
+};
+
+PrecisionBound compute_bound(const BoundInputs& in);
+
+} // namespace tsn::measure

@@ -1,0 +1,88 @@
+#include "measure/path_delay.hpp"
+
+#include <limits>
+
+#include "gptp/wire.hpp"
+
+namespace tsn::measure {
+
+PathDelayMeter::PathDelayMeter(sim::Simulation& sim, std::uint16_t vlan_id,
+                               const std::string& name)
+    : sim_(sim), vlan_id_(vlan_id), name_(name) {}
+
+void PathDelayMeter::add_node(const std::string& node_name, net::Nic* nic) {
+  nodes_.push_back({node_name, nic});
+  nic->set_rx_handler(kEtherTypePathProbe,
+                      [this, node_name](const net::EthernetFrame& frame, const net::RxMeta& meta) {
+                        on_probe(node_name, frame, meta);
+                      });
+}
+
+void PathDelayMeter::on_probe(const std::string& dst, const net::EthernetFrame& frame,
+                              const net::RxMeta& meta) {
+  gptp::ByteReader r(frame.payload);
+  const std::uint32_t src_idx = r.u32();
+  const std::int64_t tx_true_ns = r.i64();
+  if (!r.ok() || src_idx >= nodes_.size()) return;
+  const double delay = static_cast<double>(meta.true_rx_time.ns() - tx_true_ns);
+  pairs_[{nodes_[src_idx].name, dst}].delay_ns.add(delay);
+  ++probes_received_;
+}
+
+void PathDelayMeter::sweep() {
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    for (const Node& dst : nodes_) {
+      if (dst.nic == nodes_[i].nic) continue;
+      net::EthernetFrame frame;
+      frame.dst = dst.nic->mac();
+      frame.ethertype = kEtherTypePathProbe;
+      if (vlan_id_ != 0) frame.vlan = net::VlanTag{vlan_id_, 0};
+      gptp::ByteWriter w(frame.payload);
+      w.u32(i);
+      w.i64(sim_.now().ns());
+      w.zeros(34); // pad to a plausible probe size
+      nodes_[i].nic->send(std::move(frame));
+    }
+  }
+  if (--rounds_left_ > 0) {
+    sim_.after(spacing_ns_, [this] { sweep(); });
+  } else if (on_done_) {
+    // Give in-flight probes time to land before reporting.
+    sim_.after(spacing_ns_, [this] { on_done_(); });
+  }
+}
+
+void PathDelayMeter::run(int rounds, std::int64_t spacing_ns, std::function<void()> on_done) {
+  rounds_left_ = rounds;
+  spacing_ns_ = spacing_ns;
+  on_done_ = std::move(on_done);
+  sim_.after(0, [this] { sweep(); });
+}
+
+double PathDelayMeter::dmin_ns() const {
+  double lo = std::numeric_limits<double>::infinity();
+  for (const auto& [key, st] : pairs_) lo = std::min(lo, st.delay_ns.min());
+  return lo;
+}
+
+double PathDelayMeter::dmax_ns() const {
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& [key, st] : pairs_) hi = std::max(hi, st.delay_ns.max());
+  return hi;
+}
+
+double PathDelayMeter::gamma_ns(const std::string& measurement_node,
+                                const std::vector<std::string>& destinations) const {
+  double path_max = -std::numeric_limits<double>::infinity();
+  double path_min = std::numeric_limits<double>::infinity();
+  for (const auto& dst : destinations) {
+    auto it = pairs_.find({measurement_node, dst});
+    if (it == pairs_.end()) continue;
+    path_max = std::max(path_max, it->second.delay_ns.max());
+    path_min = std::min(path_min, it->second.delay_ns.min());
+  }
+  if (path_min > path_max) return 0.0;
+  return path_max - path_min;
+}
+
+} // namespace tsn::measure

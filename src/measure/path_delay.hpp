@@ -1,0 +1,80 @@
+// Path delay metering: the offline calibration step of paper section
+// III-A3. The authors measured the network latency between all node pairs
+// (via ptp4l data) to derive the reading error E = dmax - dmin and the
+// measurement error gamma from the measurement VM's paths.
+//
+// We reproduce it with instrumented probe frames that carry their true
+// transmission time: the receiver side computes the true one-way transit
+// time. This is measurement infrastructure (run before/alongside the
+// experiment), not part of the synchronized system itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/nic.hpp"
+#include "sim/simulation.hpp"
+#include "util/stats.hpp"
+
+namespace tsn::measure {
+
+inline constexpr std::uint16_t kEtherTypePathProbe = 0x88B6;
+
+class PathDelayMeter {
+ public:
+  PathDelayMeter(sim::Simulation& sim, std::uint16_t vlan_id, const std::string& name);
+
+  /// Register a node endpoint. All pairwise one-way delays between
+  /// registered nodes are measured.
+  void add_node(const std::string& name, net::Nic* nic);
+
+  /// Launch `rounds` probe sweeps spaced `spacing_ns` apart, starting now.
+  /// `on_done` fires after the last sweep's results are in.
+  void run(int rounds, std::int64_t spacing_ns, std::function<void()> on_done = {});
+
+  struct PairStats {
+    util::RunningStats delay_ns;
+  };
+
+  /// Per ordered pair (src, dst) one-way delay statistics.
+  const std::map<std::pair<std::string, std::string>, PairStats>& pairs() const {
+    return pairs_;
+  }
+
+  /// Minimum / maximum observed latency over all node pairs -> E.
+  double dmin_ns() const;
+  double dmax_ns() const;
+  double reading_error_ns() const { return dmax_ns() - dmin_ns(); }
+
+  /// Measurement error gamma (paper eq. 3.2) for the path set from
+  /// `measurement_node` to `destinations`: max over those paths of the
+  /// maximum delay minus min over those paths of the minimum delay.
+  double gamma_ns(const std::string& measurement_node,
+                  const std::vector<std::string>& destinations) const;
+
+  std::uint64_t probes_received() const { return probes_received_; }
+
+ private:
+  void sweep();
+  void on_probe(const std::string& dst, const net::EthernetFrame& frame,
+                const net::RxMeta& meta);
+
+  sim::Simulation& sim_;
+  std::uint16_t vlan_id_;
+  std::string name_;
+  struct Node {
+    std::string name;
+    net::Nic* nic;
+  };
+  std::vector<Node> nodes_;
+  std::map<std::pair<std::string, std::string>, PairStats> pairs_;
+  std::uint64_t probes_received_ = 0;
+  int rounds_left_ = 0;
+  std::int64_t spacing_ns_ = 0;
+  std::function<void()> on_done_;
+};
+
+} // namespace tsn::measure

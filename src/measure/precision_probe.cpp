@@ -1,0 +1,85 @@
+#include "measure/precision_probe.hpp"
+
+#include <cmath>
+
+#include "gptp/wire.hpp"
+#include "util/log.hpp"
+
+namespace tsn::measure {
+
+net::MacAddress measurement_group() {
+  return net::MacAddress({0x01, 0x00, 0x5E, 0x4D, 0x45, 0x41}); // "MEA"
+}
+
+PrecisionProbe::PrecisionProbe(sim::Simulation& sim, net::Nic& sender, const ProbeConfig& cfg,
+                               const std::string& name)
+    : sim_(sim),
+      sender_(sender),
+      cfg_(cfg),
+      name_(name),
+      ts_jitter_rng_(sim.make_rng("probe-swts/" + name)) {}
+
+void PrecisionProbe::add_receiver(const Receiver& r) {
+  receivers_.push_back(r);
+  r.nic->join_multicast(measurement_group());
+  net::Nic* nic = r.nic;
+  hv::ClockSyncVm* vm = r.vm;
+  hv::Ecd* ecd = r.ecd;
+  nic->set_rx_handler(
+      kEtherTypePrecisionProbe,
+      [this, vm, ecd](const net::EthernetFrame& frame, const net::RxMeta&) {
+        if (!vm->running()) return; // dead VMs do not serve measurements
+        gptp::ByteReader rd(frame.payload);
+        const std::uint32_t seq = rd.u32();
+        if (!rd.ok()) return;
+        const auto synctime = ecd->read_synctime();
+        if (!synctime) return; // CLOCK_SYNCTIME not yet published
+        double jitter = ts_jitter_rng_.normal(0.0, cfg_.sw_timestamp_jitter_ns);
+        if (cfg_.sw_ts_tail_prob > 0 && ts_jitter_rng_.chance(cfg_.sw_ts_tail_prob)) {
+          jitter += ts_jitter_rng_.exponential(cfg_.sw_ts_tail_mean_ns);
+        }
+        pending_[seq].push_back(static_cast<double>(*synctime) + jitter);
+      });
+}
+
+void PrecisionProbe::start() {
+  if (periodic_.active()) return;
+  periodic_ = sim_.every(sim_.now() + cfg_.period_ns, cfg_.period_ns,
+                         [this](sim::SimTime) { send_probe(); });
+}
+
+void PrecisionProbe::stop() { periodic_.cancel(); }
+
+void PrecisionProbe::send_probe() {
+  const std::uint32_t seq = ++seq_;
+  net::EthernetFrame frame;
+  frame.dst = measurement_group();
+  frame.ethertype = kEtherTypePrecisionProbe;
+  frame.vlan = net::VlanTag{cfg_.vlan_id, 6};
+  gptp::ByteWriter w(frame.payload);
+  w.u32(seq);
+  w.zeros(42);
+  sender_.send(std::move(frame));
+  sim_.after(cfg_.collect_delay_ns, [this, seq] { evaluate(seq); });
+}
+
+void PrecisionProbe::evaluate(std::uint32_t seq) {
+  auto it = pending_.find(seq);
+  const std::vector<double> stamps = (it == pending_.end()) ? std::vector<double>{} : it->second;
+  if (it != pending_.end()) pending_.erase(it);
+  if (stamps.size() < 2) {
+    ++skipped_;
+    return;
+  }
+  double lo = stamps[0], hi = stamps[0];
+  for (double s : stamps) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  const double precision = hi - lo; // max pairwise |difference|
+  series_.add(sim_.now().ns(), precision);
+  ++measured_;
+  if (on_sample) on_sample(sim_.now().ns(), precision);
+}
+
+} // namespace tsn::measure

@@ -1,0 +1,93 @@
+// Clock synchronization precision measurement (paper section III-A2).
+//
+// A dedicated measurement VM multicasts a packet p_s once per second on a
+// measurement VLAN with known, symmetric paths. Every receiving clock
+// synchronization VM timestamps the reception with CLOCK_SYNCTIME (the
+// dependent clock of its node) and the measured precision is
+//     Pi*_s = max over receiver pairs |t_c(rx) - t_c'(rx)|     (eq. 3.1)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hv/ecd.hpp"
+#include "net/nic.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+#include "util/series.hpp"
+
+namespace tsn::measure {
+
+inline constexpr std::uint16_t kEtherTypePrecisionProbe = 0x88B5;
+
+/// The well-known measurement multicast group.
+net::MacAddress measurement_group();
+
+struct ProbeConfig {
+  std::int64_t period_ns = 1'000'000'000; // 1 Hz, as in the paper
+  std::uint16_t vlan_id = 100;
+  /// Software timestamping jitter when a VM stamps the arrival with
+  /// CLOCK_SYNCTIME (interrupt + syscall latency variation).
+  double sw_timestamp_jitter_ns = 35.0;
+  /// Heavy-tail component: with this probability the stamping is delayed
+  /// by an exponential extra latency (softirq/scheduling outliers, the
+  /// source of the paper's sporadic multi-us precision spikes).
+  double sw_ts_tail_prob = 0.002;
+  double sw_ts_tail_mean_ns = 1'500.0;
+  /// Wait this long after sending before evaluating an interval's
+  /// timestamps (all paths are far shorter).
+  std::int64_t collect_delay_ns = 100'000'000;
+};
+
+class PrecisionProbe {
+ public:
+  struct Receiver {
+    std::string name;
+    net::Nic* nic;        ///< the clock sync VM's NIC (rx path)
+    hv::ClockSyncVm* vm;  ///< for liveness: dead VMs do not stamp
+    hv::Ecd* ecd;         ///< CLOCK_SYNCTIME source (STSHMEM + TSC)
+  };
+
+  PrecisionProbe(sim::Simulation& sim, net::Nic& sender, const ProbeConfig& cfg,
+                 const std::string& name);
+
+  /// Register a receiving clock synchronization VM. Per the paper, the
+  /// co-located VM c^m_1 is *not* registered (asymmetric path).
+  void add_receiver(const Receiver& r);
+
+  void start();
+  void stop();
+
+  /// The measured precision series Pi*_s (one point per interval with >= 2
+  /// responding receivers).
+  const util::TimeSeries& series() const { return series_; }
+
+  /// Fired for each computed interval: (sim time, precision ns).
+  std::function<void(std::int64_t, double)> on_sample;
+
+  std::uint64_t intervals_sent() const { return seq_; }
+  std::uint64_t intervals_measured() const { return measured_; }
+  std::uint64_t intervals_skipped() const { return skipped_; }
+
+ private:
+  void send_probe();
+  void evaluate(std::uint32_t seq);
+
+  sim::Simulation& sim_;
+  net::Nic& sender_;
+  ProbeConfig cfg_;
+  std::string name_;
+  std::vector<Receiver> receivers_;
+  util::RngStream ts_jitter_rng_;
+  sim::Simulation::PeriodicHandle periodic_;
+  std::uint32_t seq_ = 0;
+  std::map<std::uint32_t, std::vector<double>> pending_; // seq -> rx timestamps
+  util::TimeSeries series_;
+  std::uint64_t measured_ = 0;
+  std::uint64_t skipped_ = 0;
+};
+
+} // namespace tsn::measure

@@ -1,0 +1,13 @@
+#include "net/frame.hpp"
+
+#include <algorithm>
+
+namespace tsn::net {
+
+std::size_t EthernetFrame::wire_size() const {
+  // 6 dst + 6 src + 2 ethertype + payload + 4 FCS, plus 4 for a VLAN tag.
+  std::size_t size = 18 + payload.size() + (vlan ? 4 : 0);
+  return std::max<std::size_t>(size, 64);
+}
+
+} // namespace tsn::net

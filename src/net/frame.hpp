@@ -1,0 +1,35 @@
+// Ethernet frames with optional 802.1Q VLAN tag.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/mac.hpp"
+
+namespace tsn::net {
+
+/// EtherTypes used in the reproduction.
+inline constexpr std::uint16_t kEtherTypePtp = 0x88F7;
+inline constexpr std::uint16_t kEtherTypeMeasurement = 0x88B5; // IEEE local experimental
+
+struct VlanTag {
+  std::uint16_t vid = 0; // 12-bit VLAN id
+  std::uint8_t pcp = 0;  // 3-bit priority code point
+
+  friend bool operator==(const VlanTag&, const VlanTag&) = default;
+};
+
+struct EthernetFrame {
+  MacAddress dst;
+  MacAddress src;
+  std::optional<VlanTag> vlan;
+  std::uint16_t ethertype = 0;
+  std::vector<std::uint8_t> payload;
+
+  /// On-wire size in bytes incl. header, FCS, and minimum-frame padding
+  /// (preamble/IFG accounted for separately in the serialization model).
+  std::size_t wire_size() const;
+};
+
+} // namespace tsn::net

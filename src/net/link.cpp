@@ -1,0 +1,44 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "net/port.hpp"
+
+namespace tsn::net {
+
+Link::Link(sim::Simulation& sim, Port& end_a, Port& end_b, const LinkConfig& cfg,
+           const std::string& name)
+    : sim_(sim), a_(end_a), b_(end_b), cfg_(cfg), name_(name), rng_(sim.make_rng("link/" + name)) {
+  a_.attach_link(this);
+  b_.attach_link(this);
+}
+
+Port& Link::peer_of(Port& end) const {
+  assert(&end == &a_ || &end == &b_);
+  return (&end == &a_) ? b_ : a_;
+}
+
+std::int64_t Link::serialization_ns(const EthernetFrame& frame) const {
+  // +20 bytes preamble/SFD/IFG overhead on the wire.
+  const double bits = static_cast<double>(frame.wire_size() + 20) * 8.0;
+  return static_cast<std::int64_t>(std::llround(bits / cfg_.rate_bps * 1e9));
+}
+
+std::int64_t Link::draw_delay(bool from_a) {
+  const DelayModel& m = from_a ? cfg_.a_to_b : cfg_.b_to_a;
+  const double jitter = rng_.normal(0.0, m.jitter_sigma_ns);
+  const std::int64_t d = m.base_ns + static_cast<std::int64_t>(std::llround(jitter));
+  return std::max(d, m.base_ns / 2);
+}
+
+void Link::transmit_from(Port& from, const EthernetFrame& frame) {
+  Port& to = peer_of(from);
+  const bool from_a = (&from == &a_);
+  const std::int64_t ser = serialization_ns(frame);
+  const std::int64_t delay = ser + draw_delay(from_a);
+  sim_.after(delay, [&to, frame, ser] { to.deliver(frame, ser); });
+}
+
+} // namespace tsn::net

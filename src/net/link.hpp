@@ -1,0 +1,67 @@
+// Point-to-point full-duplex link with per-direction delay models.
+//
+// Per-direction asymmetry is what produces the paper's reading error
+// E = dmax - dmin and measurement error gamma; the jitter term models PHY
+// and cable-length variation.
+#pragma once
+
+#include <cstdint>
+
+#include "net/frame.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace tsn::net {
+
+class Port;
+
+struct DelayModel {
+  /// Fixed propagation + PHY latency, ns.
+  std::int64_t base_ns = 500;
+  /// Gaussian jitter stddev, ns (truncated so delay stays >= base/2).
+  double jitter_sigma_ns = 10.0;
+};
+
+struct LinkConfig {
+  /// Delay for frames travelling from end A to end B and vice versa; the
+  /// two directions may be configured asymmetrically.
+  DelayModel a_to_b;
+  DelayModel b_to_a;
+  /// Line rate for serialization delay.
+  double rate_bps = 1e9;
+};
+
+class Link {
+ public:
+  Link(sim::Simulation& sim, Port& end_a, Port& end_b, const LinkConfig& cfg,
+       const std::string& name);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Called by a Port: propagate `frame` to the opposite end. `from` must be
+  /// one of the two endpoints.
+  void transmit_from(Port& from, const EthernetFrame& frame);
+
+  Port& peer_of(Port& end) const;
+
+  /// Serialization time of `frame` at the line rate, ns.
+  std::int64_t serialization_ns(const EthernetFrame& frame) const;
+
+  /// One random end-to-end delay draw (serialization excluded) for the given
+  /// direction; used both for delivery and by tests.
+  std::int64_t draw_delay(bool from_a);
+
+  const LinkConfig& config() const { return cfg_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  sim::Simulation& sim_;
+  Port& a_;
+  Port& b_;
+  LinkConfig cfg_;
+  std::string name_;
+  util::RngStream rng_;
+};
+
+} // namespace tsn::net

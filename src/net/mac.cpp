@@ -1,0 +1,42 @@
+#include "net/mac.hpp"
+
+#include "util/str.hpp"
+
+namespace tsn::net {
+
+MacAddress MacAddress::from_u64(std::uint64_t v) {
+  std::array<std::uint8_t, 6> b{};
+  for (int i = 5; i >= 0; --i) {
+    b[i] = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+  return MacAddress(b);
+}
+
+std::uint64_t MacAddress::to_u64() const {
+  std::uint64_t v = 0;
+  for (auto byte : bytes_) v = (v << 8) | byte;
+  return v;
+}
+
+bool MacAddress::is_broadcast() const {
+  for (auto b : bytes_) {
+    if (b != 0xff) return false;
+  }
+  return true;
+}
+
+std::string MacAddress::to_string() const {
+  return util::format("%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0], bytes_[1], bytes_[2], bytes_[3],
+                      bytes_[4], bytes_[5]);
+}
+
+MacAddress MacAddress::gptp_multicast() {
+  return MacAddress({0x01, 0x80, 0xC2, 0x00, 0x00, 0x0E});
+}
+
+MacAddress MacAddress::broadcast() {
+  return MacAddress({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+}
+
+} // namespace tsn::net

@@ -1,0 +1,38 @@
+// Ethernet MAC addresses.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace tsn::net {
+
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::array<std::uint8_t, 6> bytes) : bytes_(bytes) {}
+
+  /// Convenience constructor from the low 6 bytes of a 64-bit value, useful
+  /// for assigning sequential addresses in tests and topology builders.
+  static MacAddress from_u64(std::uint64_t v);
+
+  constexpr const std::array<std::uint8_t, 6>& bytes() const { return bytes_; }
+  std::uint64_t to_u64() const;
+
+  bool is_multicast() const { return (bytes_[0] & 0x01) != 0; }
+  bool is_broadcast() const;
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const MacAddress&, const MacAddress&) = default;
+
+  /// IEEE 802.1AS link-local destination address 01-80-C2-00-00-0E.
+  static MacAddress gptp_multicast();
+  static MacAddress broadcast();
+
+ private:
+  std::array<std::uint8_t, 6> bytes_{};
+};
+
+} // namespace tsn::net

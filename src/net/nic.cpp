@@ -1,0 +1,46 @@
+#include "net/nic.hpp"
+
+namespace tsn::net {
+
+Nic::Nic(sim::Simulation& sim, const time::PhcModel& phc_model, MacAddress mac,
+         const std::string& name)
+    : sim_(sim),
+      name_(name),
+      mac_(mac),
+      phc_(sim, phc_model, name + "/phc"),
+      port_(sim, name + "/port", &phc_) {
+  port_.set_sink(this);
+  // gPTP peer-delay & sync messages are always accepted.
+  multicast_groups_[MacAddress::gptp_multicast().to_u64()] = true;
+}
+
+void Nic::set_rx_handler(std::uint16_t ethertype, RxHandler handler) {
+  rx_handlers_[ethertype] = std::move(handler);
+}
+
+void Nic::send(EthernetFrame frame, TxOptions opts) {
+  if (!up_) {
+    if (opts.on_complete) opts.on_complete(TxReport{TxReport::Status::kPortDown, std::nullopt});
+    return;
+  }
+  frame.src = mac_;
+  port_.transmit(std::move(frame), std::move(opts));
+}
+
+bool Nic::accepts(const EthernetFrame& frame) const {
+  if (frame.dst == mac_) return true;
+  if (frame.dst.is_broadcast()) return true;
+  if (frame.dst.is_multicast()) {
+    auto it = multicast_groups_.find(frame.dst.to_u64());
+    return it != multicast_groups_.end() && it->second;
+  }
+  return false;
+}
+
+void Nic::handle_frame(Port& /*ingress*/, const EthernetFrame& frame, const RxMeta& meta) {
+  if (!up_ || !accepts(frame)) return;
+  auto it = rx_handlers_.find(frame.ethertype);
+  if (it != rx_handlers_.end()) it->second(frame, meta);
+}
+
+} // namespace tsn::net

@@ -1,0 +1,72 @@
+#include "net/pcap.hpp"
+
+#include <stdexcept>
+
+namespace tsn::net {
+
+std::vector<std::uint8_t> frame_to_wire_bytes(const EthernetFrame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(frame.wire_size());
+  auto push_mac = [&out](const MacAddress& mac) {
+    for (auto b : mac.bytes()) out.push_back(b);
+  };
+  auto push_u16 = [&out](std::uint16_t v) {
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v));
+  };
+  push_mac(frame.dst);
+  push_mac(frame.src);
+  if (frame.vlan) {
+    push_u16(0x8100); // 802.1Q TPID
+    push_u16(static_cast<std::uint16_t>((frame.vlan->pcp << 13) | (frame.vlan->vid & 0x0FFF)));
+  }
+  push_u16(frame.ethertype);
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  while (out.size() < 60) out.push_back(0); // minimum frame padding (no FCS)
+  return out;
+}
+
+void PcapTracer::write_u32(std::uint32_t v) {
+  // pcap headers are host-endian; we write little-endian explicitly.
+  const std::uint8_t b[4] = {static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+                             static_cast<std::uint8_t>(v >> 16),
+                             static_cast<std::uint8_t>(v >> 24)};
+  out_.write(reinterpret_cast<const char*>(b), 4);
+}
+
+void PcapTracer::write_u16(std::uint16_t v) {
+  const std::uint8_t b[2] = {static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8)};
+  out_.write(reinterpret_cast<const char*>(b), 2);
+}
+
+PcapTracer::PcapTracer(sim::Simulation& sim, const std::string& path)
+    : sim_(sim), out_(path, std::ios::binary) {
+  if (!out_) throw std::runtime_error("PcapTracer: cannot open " + path);
+  write_u32(0xa1b23c4d); // nanosecond-resolution pcap
+  write_u16(2);          // version major
+  write_u16(4);          // version minor
+  write_u32(0);          // thiszone
+  write_u32(0);          // sigfigs
+  write_u32(65535);      // snaplen
+  write_u32(1);          // LINKTYPE_ETHERNET
+}
+
+void PcapTracer::attach(Port& port, bool capture_tx, bool capture_rx) {
+  port.set_tap([this, capture_tx, capture_rx](const EthernetFrame& frame, bool is_tx) {
+    if ((is_tx && capture_tx) || (!is_tx && capture_rx)) record(frame);
+  });
+}
+
+void PcapTracer::record(const EthernetFrame& frame) {
+  const auto bytes = frame_to_wire_bytes(frame);
+  const std::int64_t now = sim_.now().ns();
+  write_u32(static_cast<std::uint32_t>(now / 1'000'000'000));
+  write_u32(static_cast<std::uint32_t>(now % 1'000'000'000)); // nanoseconds
+  write_u32(static_cast<std::uint32_t>(bytes.size()));
+  write_u32(static_cast<std::uint32_t>(bytes.size()));
+  out_.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  ++frames_written_;
+}
+
+} // namespace tsn::net

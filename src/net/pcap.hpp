@@ -1,0 +1,48 @@
+// Pcap capture of simulated traffic.
+//
+// Writes standard nanosecond-resolution pcap files (magic 0xa1b23c4d,
+// LINKTYPE_ETHERNET) that open directly in Wireshark/tshark -- including
+// the gPTP frames, whose dissector Wireshark ships. Attach a tracer to any
+// Port via the tap hook.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "net/frame.hpp"
+#include "net/port.hpp"
+#include "sim/simulation.hpp"
+
+namespace tsn::net {
+
+/// Serialize a frame to its on-the-wire byte layout (without FCS).
+std::vector<std::uint8_t> frame_to_wire_bytes(const EthernetFrame& frame);
+
+class PcapTracer {
+ public:
+  /// Opens `path` and writes the pcap global header. Throws on failure.
+  PcapTracer(sim::Simulation& sim, const std::string& path);
+
+  PcapTracer(const PcapTracer&) = delete;
+  PcapTracer& operator=(const PcapTracer&) = delete;
+
+  /// Capture every frame this port transmits and/or receives.
+  void attach(Port& port, bool capture_tx = true, bool capture_rx = true);
+
+  /// Record one frame at the current simulation time.
+  void record(const EthernetFrame& frame);
+
+  std::uint64_t frames_written() const { return frames_written_; }
+  void flush() { out_.flush(); }
+
+ private:
+  void write_u32(std::uint32_t v);
+  void write_u16(std::uint16_t v);
+
+  sim::Simulation& sim_;
+  std::ofstream out_;
+  std::uint64_t frames_written_ = 0;
+};
+
+} // namespace tsn::net

@@ -1,0 +1,77 @@
+#include "net/port.hpp"
+
+#include <utility>
+
+#include "net/link.hpp"
+#include "util/log.hpp"
+
+namespace tsn::net {
+
+Port::Port(sim::Simulation& sim, std::string name, time::PhcClock* phc)
+    : sim_(sim), name_(std::move(name)), phc_(phc) {}
+
+void Port::launch_now(const EthernetFrame& frame, const TxCallback& cb) {
+  if (!up_ || link_ == nullptr) {
+    if (cb) cb(TxReport{TxReport::Status::kPortDown, std::nullopt});
+    return;
+  }
+  link_->transmit_from(*this, frame);
+  if (tap_) tap_(frame, /*is_tx=*/true);
+  TxReport report{TxReport::Status::kSent, std::nullopt};
+  if (phc_ != nullptr) report.hw_tx_ts = phc_->hw_timestamp();
+  if (cb) cb(report);
+}
+
+void Port::schedule_launch(EthernetFrame frame, std::int64_t launch_time, TxCallback cb) {
+  // The hardware launches when its own counter reaches launch_time, so
+  // convert the remaining PHC nanoseconds to true time with the counter's
+  // current rate and re-check on wake (the rate may wander in between).
+  const std::int64_t now_phc = phc_->read();
+  const std::int64_t remaining_phc = launch_time - now_phc;
+  if (remaining_phc <= 0) {
+    launch_now(frame, cb);
+    return;
+  }
+  const double rate = phc_->effective_rate();
+  const auto remaining_true = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(remaining_phc) / rate));
+  sim_.after(std::max<std::int64_t>(remaining_true, 1),
+             [this, frame = std::move(frame), launch_time, cb = std::move(cb)]() mutable {
+               schedule_launch(std::move(frame), launch_time, std::move(cb));
+             });
+}
+
+void Port::transmit(EthernetFrame frame, TxOptions opts) {
+  if (!opts.launch_time || phc_ == nullptr) {
+    launch_now(frame, opts.on_complete);
+    return;
+  }
+  const std::int64_t now_phc = phc_->read();
+  const std::int64_t lt = *opts.launch_time;
+  if (lt < now_phc - etf_.past_tolerance_ns) {
+    TSN_LOG_DEBUG("net", "%s: ETF deadline miss (lt=%lld phc=%lld)", name_.c_str(),
+                  static_cast<long long>(lt), static_cast<long long>(now_phc));
+    if (opts.on_complete) opts.on_complete(TxReport{TxReport::Status::kDeadlineMissed, std::nullopt});
+    return;
+  }
+  if (lt > now_phc + etf_.horizon_ns) {
+    if (opts.on_complete) opts.on_complete(TxReport{TxReport::Status::kInvalidLaunch, std::nullopt});
+    return;
+  }
+  schedule_launch(std::move(frame), lt, std::move(opts.on_complete));
+}
+
+void Port::deliver(const EthernetFrame& frame, std::int64_t serialization_ns) {
+  if (!up_ || sink_ == nullptr) return; // silently dropped, like a downed NIC
+  if (tap_) tap_(frame, /*is_tx=*/false);
+  RxMeta meta;
+  meta.true_rx_time = sim_.now();
+  if (phc_ != nullptr) {
+    // The PHY latched the timestamp when the SFD arrived, one serialization
+    // time before the frame completed (drift over <1 us is sub-ns).
+    meta.hw_rx_ts = phc_->hw_timestamp() - serialization_ns;
+  }
+  sink_->handle_frame(*this, frame, meta);
+}
+
+} // namespace tsn::net

@@ -1,0 +1,123 @@
+// Network ports and the frame-delivery interface.
+//
+// A Port is one end of a Link. It belongs to a device (NIC or switch) that
+// receives frames through the FrameSink interface. Egress supports either
+// immediate transmission or an ETF ("earliest txtime first") launch-time
+// queue driven by the port's PHC, modelling the Linux ETF qdisc + the Intel
+// i210 LaunchTime feature the paper uses for synchronous Sync transmission.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "net/frame.hpp"
+#include "sim/simulation.hpp"
+#include "tsn_time/phc_clock.hpp"
+
+namespace tsn::net {
+
+class Port;
+class Link;
+
+/// Receive-side metadata handed to the device with each frame.
+struct RxMeta {
+  /// Hardware receive timestamp in the ingress port's PHC timebase, or
+  /// nullopt when the port has no PHC. PTP hardware latches the timestamp
+  /// at the start-of-frame delimiter, so it excludes serialization time.
+  std::optional<std::int64_t> hw_rx_ts;
+  /// True (simulation) time the frame was fully received; instrumentation
+  /// only, never visible to protocol logic.
+  sim::SimTime true_rx_time;
+};
+
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  virtual void handle_frame(Port& ingress, const EthernetFrame& frame, const RxMeta& meta) = 0;
+};
+
+/// Outcome reported to the transmitter once the frame leaves the port (or
+/// fails to). Mirrors SO_TIMESTAMPING + ETF error semantics in Linux.
+struct TxReport {
+  enum class Status {
+    kSent,             ///< transmitted; hw_tx_ts valid if the port has a PHC
+    kDeadlineMissed,   ///< ETF: launch time already passed -> dropped
+    kInvalidLaunch,    ///< ETF: launch time out of acceptable window -> dropped
+    kPortDown,         ///< link/port not operational
+  };
+  Status status = Status::kSent;
+  std::optional<std::int64_t> hw_tx_ts;
+};
+
+using TxCallback = std::function<void(const TxReport&)>;
+
+struct TxOptions {
+  /// ETF launch time in the port's PHC timebase; nullopt = send immediately.
+  std::optional<std::int64_t> launch_time;
+  /// Completion callback (tx timestamp delivery). May be empty.
+  TxCallback on_complete;
+};
+
+struct EtfConfig {
+  /// Launch times later than now + horizon are rejected as invalid
+  /// (mirrors the qdisc's delta/horizon sanity checking).
+  std::int64_t horizon_ns = 1'000'000'000;
+  /// Launch times earlier than now - past_tolerance are deadline misses.
+  std::int64_t past_tolerance_ns = 0;
+};
+
+class Port {
+ public:
+  /// `phc` may be null (e.g. a port of a switch modelled without per-port
+  /// clocks shares the switch PHC passed here for each port).
+  Port(sim::Simulation& sim, std::string name, time::PhcClock* phc);
+
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  const std::string& name() const { return name_; }
+  time::PhcClock* phc() const { return phc_; }
+
+  void set_sink(FrameSink* sink) { sink_ = sink; }
+  void attach_link(Link* link) { link_ = link; }
+  Link* link() const { return link_; }
+  bool connected() const { return link_ != nullptr; }
+
+  void set_up(bool up) { up_ = up; }
+  bool is_up() const { return up_; }
+
+  void set_etf_config(const EtfConfig& cfg) { etf_ = cfg; }
+
+  /// Queue a frame for transmission. With a launch time, the frame leaves
+  /// when the port PHC reaches it (ETF); otherwise it leaves immediately.
+  void transmit(EthernetFrame frame, TxOptions opts = {});
+
+  /// Optional traffic tap (e.g. a pcap tracer): called for every frame the
+  /// port actually puts on the wire (direction=true) or fully receives
+  /// (direction=false).
+  using Tap = std::function<void(const EthernetFrame&, bool is_tx)>;
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+  /// Called by the Link when a frame fully arrives at this port.
+  /// `serialization_ns` is the frame's time on the wire, used to back-date
+  /// the HW rx timestamp to the start-of-frame delimiter.
+  void deliver(const EthernetFrame& frame, std::int64_t serialization_ns = 0);
+
+ private:
+  void launch_now(const EthernetFrame& frame, const TxCallback& cb);
+  void schedule_launch(EthernetFrame frame, std::int64_t launch_time, TxCallback cb);
+
+  sim::Simulation& sim_;
+  std::string name_;
+  time::PhcClock* phc_;
+  FrameSink* sink_ = nullptr;
+  Link* link_ = nullptr;
+  EtfConfig etf_;
+  Tap tap_;
+  bool up_ = true;
+};
+
+} // namespace tsn::net

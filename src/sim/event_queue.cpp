@@ -1,0 +1,41 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace tsn::sim {
+
+EventHandle EventQueue::schedule(SimTime at, EventFn fn) {
+  auto alive = std::make_shared<bool>(true);
+  heap_.push(Entry{at, next_seq_++, std::move(fn), alive});
+  return EventHandle(std::move(alive));
+}
+
+void EventQueue::drop_dead() {
+  while (!heap_.empty() && !*heap_.top().alive) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() {
+  drop_dead();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() {
+  drop_dead();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+std::optional<EventQueue::Popped> EventQueue::try_pop() {
+  drop_dead();
+  if (heap_.empty()) return std::nullopt;
+  // std::priority_queue::top() returns const&; moving the function object out
+  // requires a const_cast, which is safe because we pop immediately after.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Popped out{top.time, std::move(top.fn)};
+  heap_.pop();
+  return out;
+}
+
+} // namespace tsn::sim

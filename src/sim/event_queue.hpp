@@ -1,0 +1,78 @@
+// Deterministic discrete-event queue.
+//
+// Ties at the same timestamp are broken by insertion sequence number, so a
+// given schedule of calls always executes in the same order regardless of
+// std::priority_queue internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "sim/sim_time.hpp"
+
+namespace tsn::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle for cancelling a scheduled event. Cheap to copy; cancelling an
+/// already-fired or already-cancelled event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  void cancel() { if (alive_) *alive_ = false; }
+  bool pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `at`.
+  EventHandle schedule(SimTime at, EventFn fn);
+
+  /// True when no live (non-cancelled) events remain. Purges cancelled
+  /// entries from the top of the heap as a side effect.
+  bool empty();
+
+  /// Earliest live event time. Precondition: !empty().
+  SimTime next_time();
+
+  struct Popped {
+    SimTime time;
+    EventFn fn;
+  };
+  /// Pop the earliest live event, or nullopt if none remain.
+  std::optional<Popped> try_pop();
+
+  /// Total entries in the heap including not-yet-purged cancelled ones;
+  /// an upper bound on the number of live events.
+  std::size_t size_upper_bound() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+} // namespace tsn::sim

@@ -1,0 +1,45 @@
+// Simulated true time.
+//
+// SimTime is the simulator's notion of *true* (perfect) time in integer
+// nanoseconds since experiment start. Every physical clock in the system is
+// a function of SimTime; no component other than the clock models may ever
+// treat SimTime as observable.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace tsn::sim {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  constexpr SimTime operator+(std::int64_t dt_ns) const { return SimTime(ns_ + dt_ns); }
+  constexpr SimTime operator-(std::int64_t dt_ns) const { return SimTime(ns_ - dt_ns); }
+  constexpr std::int64_t operator-(SimTime other) const { return ns_ - other.ns_; }
+  SimTime& operator+=(std::int64_t dt_ns) { ns_ += dt_ns; return *this; }
+
+  static constexpr SimTime zero() { return SimTime(0); }
+  static constexpr SimTime max() { return SimTime(INT64_MAX); }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+namespace literals {
+constexpr std::int64_t operator""_ns(unsigned long long v) { return static_cast<std::int64_t>(v); }
+constexpr std::int64_t operator""_us(unsigned long long v) { return static_cast<std::int64_t>(v) * 1'000; }
+constexpr std::int64_t operator""_ms(unsigned long long v) { return static_cast<std::int64_t>(v) * 1'000'000; }
+constexpr std::int64_t operator""_s(unsigned long long v) { return static_cast<std::int64_t>(v) * 1'000'000'000; }
+constexpr std::int64_t operator""_min(unsigned long long v) { return static_cast<std::int64_t>(v) * 60'000'000'000; }
+constexpr std::int64_t operator""_h(unsigned long long v) { return static_cast<std::int64_t>(v) * 3'600'000'000'000; }
+} // namespace literals
+
+} // namespace tsn::sim

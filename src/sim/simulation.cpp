@@ -1,0 +1,69 @@
+#include "sim/simulation.hpp"
+
+#include <cassert>
+
+namespace tsn::sim {
+
+EventHandle Simulation::at(SimTime when, EventFn fn) {
+  if (when < now_) when = now_;
+  return queue_.schedule(when, std::move(fn));
+}
+
+EventHandle Simulation::after(std::int64_t delay_ns, EventFn fn) {
+  assert(delay_ns >= 0);
+  return queue_.schedule(now_ + delay_ns, std::move(fn));
+}
+
+void Simulation::schedule_periodic(SimTime when, std::int64_t period_ns,
+                                   std::shared_ptr<bool> alive,
+                                   std::shared_ptr<std::function<void(SimTime)>> fn) {
+  queue_.schedule(when, [this, when, period_ns, alive, fn]() {
+    if (!*alive) return;
+    (*fn)(when);
+    if (*alive) schedule_periodic(when + period_ns, period_ns, alive, fn);
+  });
+}
+
+Simulation::PeriodicHandle Simulation::every(SimTime first, std::int64_t period_ns,
+                                             std::function<void(SimTime)> fn) {
+  assert(period_ns > 0);
+  PeriodicHandle handle;
+  handle.alive_ = std::make_shared<bool>(true);
+  schedule_periodic(first, period_ns, handle.alive_,
+                    std::make_shared<std::function<void(SimTime)>>(std::move(fn)));
+  return handle;
+}
+
+std::uint64_t Simulation::run_until(SimTime limit) {
+  std::uint64_t n = 0;
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > limit) break;
+    auto popped = queue_.try_pop();
+    if (!popped) break;
+    assert(popped->time >= now_);
+    now_ = popped->time;
+    popped->fn();
+    ++n;
+    ++events_executed_;
+  }
+  if (now_ < limit) now_ = limit;
+  return n;
+}
+
+std::uint64_t Simulation::run_events(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  stop_requested_ = false;
+  while (n < max_events && !stop_requested_) {
+    auto popped = queue_.try_pop();
+    if (!popped) break;
+    assert(popped->time >= now_);
+    now_ = popped->time;
+    popped->fn();
+    ++n;
+    ++events_executed_;
+  }
+  return n;
+}
+
+} // namespace tsn::sim

@@ -1,0 +1,73 @@
+// Simulation executive: owns true time, the event queue and the master RNG
+// seed. All model components schedule themselves through this object.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "sim/event_queue.hpp"
+#include "sim/sim_time.hpp"
+#include "util/rng.hpp"
+
+namespace tsn::sim {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t master_seed = 1) : master_seed_(master_seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+  std::uint64_t master_seed() const { return master_seed_; }
+
+  /// Derive a named deterministic RNG stream for a component.
+  util::RngStream make_rng(std::string_view stream_name) const {
+    return util::RngStream(master_seed_, stream_name);
+  }
+
+  /// Schedule at an absolute time; times in the past are clamped to now
+  /// (fire "immediately", after currently pending same-time events).
+  EventHandle at(SimTime when, EventFn fn);
+  /// Schedule after a relative delay in ns (>= 0).
+  EventHandle after(std::int64_t delay_ns, EventFn fn);
+
+  /// Schedule `fn` every `period_ns`, first firing at `first`. The callback
+  /// may call EventHandle::cancel() on the returned handle to stop; the
+  /// handle stays valid for the lifetime of the periodic task.
+  class PeriodicHandle {
+   public:
+    void cancel() { if (alive_) *alive_ = false; }
+    bool active() const { return alive_ && *alive_; }
+
+   private:
+    friend class Simulation;
+    std::shared_ptr<bool> alive_;
+  };
+  PeriodicHandle every(SimTime first, std::int64_t period_ns, std::function<void(SimTime)> fn);
+
+  /// Run until the queue drains or `limit` is passed. Events exactly at
+  /// `limit` still execute. Returns the number of events executed.
+  std::uint64_t run_until(SimTime limit);
+  /// Run the next `max_events` events regardless of time.
+  std::uint64_t run_events(std::uint64_t max_events);
+  /// Stop the current run_until() loop after the current event returns.
+  void stop() { stop_requested_ = true; }
+
+  std::uint64_t events_executed() const { return events_executed_; }
+  EventQueue& queue() { return queue_; }
+
+ private:
+  void schedule_periodic(SimTime when, std::int64_t period_ns,
+                         std::shared_ptr<bool> alive,
+                         std::shared_ptr<std::function<void(SimTime)>> fn);
+
+  SimTime now_ = SimTime::zero();
+  EventQueue queue_;
+  std::uint64_t master_seed_;
+  std::uint64_t events_executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+} // namespace tsn::sim

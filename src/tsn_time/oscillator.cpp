@@ -1,0 +1,52 @@
+#include "tsn_time/oscillator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tsn::time {
+namespace {
+
+double initial_drift(const OscillatorModel& model, util::RngStream& rng) {
+  if (std::isnan(model.initial_drift_ppm)) {
+    return rng.uniform(-model.max_drift_ppm, model.max_drift_ppm);
+  }
+  return model.initial_drift_ppm;
+}
+
+} // namespace
+
+Oscillator::Oscillator(const OscillatorModel& model, util::RngStream rng)
+    : model_(model),
+      rng_(std::move(rng)),
+      drift_(0.0, model.wander_sigma_ppm, model.max_drift_ppm),
+      next_wander_at_ns_(model.wander_step_ns) {
+  drift_ = util::BoundedRandomWalk(initial_drift(model_, rng_), model_.wander_sigma_ppm,
+                                   model_.max_drift_ppm);
+}
+
+long double Oscillator::integrate_segment(std::int64_t dt_ns) const {
+  const long double rate = 1.0L + static_cast<long double>(drift_.value()) * 1e-6L;
+  return static_cast<long double>(dt_ns) * rate;
+}
+
+void Oscillator::wander_step() { drift_.step(rng_); }
+
+long double Oscillator::advance(sim::SimTime to) {
+  assert(to >= last_);
+  long double elapsed_local = 0.0L;
+  std::int64_t t = last_.ns();
+  const std::int64_t target = to.ns();
+  while (t < target) {
+    const std::int64_t seg_end = std::min(target, next_wander_at_ns_);
+    elapsed_local += integrate_segment(seg_end - t);
+    t = seg_end;
+    if (t == next_wander_at_ns_) {
+      wander_step();
+      next_wander_at_ns_ += model_.wander_step_ns;
+    }
+  }
+  last_ = to;
+  return elapsed_local;
+}
+
+} // namespace tsn::time

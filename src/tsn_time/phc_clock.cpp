@@ -1,0 +1,44 @@
+#include "tsn_time/phc_clock.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsn::time {
+
+PhcClock::PhcClock(sim::Simulation& sim, const PhcModel& model, const std::string& name)
+    : sim_(sim),
+      model_(model),
+      name_(name),
+      osc_(model.oscillator, sim.make_rng("osc/" + name)),
+      ts_rng_(sim.make_rng("phc-ts/" + name)) {}
+
+void PhcClock::advance_to_now() {
+  const long double local_elapsed = osc_.advance(sim_.now());
+  value_ns_ += local_elapsed * (1.0L + static_cast<long double>(freq_adj_ppb_) * 1e-9L);
+}
+
+std::int64_t PhcClock::read() {
+  advance_to_now();
+  return static_cast<std::int64_t>(std::llroundl(value_ns_));
+}
+
+std::int64_t PhcClock::hw_timestamp() {
+  const double jitter = ts_rng_.normal(0.0, model_.timestamp_jitter_ns);
+  return read() + static_cast<std::int64_t>(std::llround(jitter));
+}
+
+void PhcClock::adj_frequency(double ppb) {
+  advance_to_now();
+  freq_adj_ppb_ = std::clamp(ppb, -model_.max_freq_adj_ppb, model_.max_freq_adj_ppb);
+}
+
+void PhcClock::step(std::int64_t delta_ns) {
+  advance_to_now();
+  value_ns_ += static_cast<long double>(delta_ns);
+}
+
+double PhcClock::effective_rate() const {
+  return (1.0 + osc_.drift_ppm() * 1e-6) * (1.0 + freq_adj_ppb_ * 1e-9);
+}
+
+} // namespace tsn::time

@@ -1,0 +1,68 @@
+// PTP hardware clock (PHC) model, e.g. the Intel i210's SYSTIM.
+//
+// The PHC counts oscillator ticks scaled by a servo-programmable frequency
+// adjustment (the i210's TIMINCA addend). It supports the same operations
+// LinuxPTP uses through the PHC char device: clock_gettime, clock_adjtime
+// with ADJ_FREQUENCY, and offset steps. Hardware rx/tx timestamps are PHC
+// reads with a small timestamping jitter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/simulation.hpp"
+#include "tsn_time/oscillator.hpp"
+
+namespace tsn::time {
+
+struct PhcModel {
+  OscillatorModel oscillator;
+  /// Stddev of HW timestamp error, ns (PHY latching + quantization).
+  double timestamp_jitter_ns = 8.0;
+  /// Max frequency adjustment the servo may program, ppb (linuxptp default
+  /// queries the driver; igb reports 62499999 ppb, we model a sane bound).
+  double max_freq_adj_ppb = 62'499'999.0;
+};
+
+class PhcClock {
+ public:
+  PhcClock(sim::Simulation& sim, const PhcModel& model, const std::string& name);
+
+  PhcClock(const PhcClock&) = delete;
+  PhcClock& operator=(const PhcClock&) = delete;
+
+  /// clock_gettime(PHC) at the current simulation time.
+  std::int64_t read();
+
+  /// A hardware rx/tx timestamp: PHC read plus timestamping jitter.
+  std::int64_t hw_timestamp();
+
+  /// ADJ_FREQUENCY: set the servo's frequency adjustment (ppb, clamped).
+  void adj_frequency(double ppb);
+  double freq_adj_ppb() const { return freq_adj_ppb_; }
+
+  /// Step the clock by delta_ns (linuxptp "clockadj_step").
+  void step(std::int64_t delta_ns);
+
+  /// Current oscillator frequency error (hidden from the protocol stack;
+  /// exposed for experiment instrumentation only).
+  double true_drift_ppm() const { return osc_.drift_ppm(); }
+
+  /// Effective rate d(PHC)/d(true time) right now (instrumentation only).
+  double effective_rate() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  void advance_to_now();
+
+  sim::Simulation& sim_;
+  PhcModel model_;
+  std::string name_;
+  Oscillator osc_;
+  util::RngStream ts_rng_;
+  long double value_ns_ = 0.0L;
+  double freq_adj_ppb_ = 0.0;
+};
+
+} // namespace tsn::time

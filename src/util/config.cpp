@@ -1,0 +1,48 @@
+#include "util/config.hpp"
+
+#include <stdexcept>
+
+#include "util/str.hpp"
+
+namespace tsn::util {
+
+Config Config::from_args(int argc, const char* const* argv, int first) {
+  Config cfg;
+  for (int i = first; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw std::invalid_argument("Config: expected key=value, got '" + std::string(arg) + "'");
+    }
+    cfg.set(std::string(trim(arg.substr(0, eq))), std::string(trim(arg.substr(eq + 1))));
+  }
+  return cfg;
+}
+
+std::string Config::get_string(const std::string& key, std::string def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return std::stoll(it->second);
+}
+
+double Config::get_double(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return std::stod(it->second);
+}
+
+bool Config::get_bool(const std::string& key, bool def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("Config: bad bool for '" + key + "': " + v);
+}
+
+} // namespace tsn::util

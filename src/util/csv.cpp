@@ -1,0 +1,33 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+#include "util/str.hpp"
+
+namespace tsn::util {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& columns)
+    : path_(path), out_(path), column_count_(columns.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    out_ << columns[i] << (i + 1 < columns.size() ? "," : "\n");
+  }
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != column_count_) {
+    throw std::invalid_argument("CsvWriter: row width mismatch in " + path_);
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out_ << cells[i] << (i + 1 < cells.size() ? "," : "\n");
+  }
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& cells) {
+  std::vector<std::string> s;
+  s.reserve(cells.size());
+  for (double c : cells) s.push_back(format("%.6g", c));
+  row(s);
+}
+
+} // namespace tsn::util

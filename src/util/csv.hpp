@@ -1,0 +1,30 @@
+// CSV emission for experiment series (consumed by external plotting).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace tsn::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  /// Append one row; the number of cells must match the header.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience for numeric rows.
+  void row_numeric(const std::vector<double>& cells);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t column_count_;
+};
+
+} // namespace tsn::util

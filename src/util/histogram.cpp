@@ -1,0 +1,46 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/str.hpp"
+
+namespace tsn::util {
+
+Histogram::Histogram(double lo, double hi, double bin_width) : lo_(lo), bin_width_(bin_width) {
+  const double span = std::max(hi - lo, bin_width);
+  bins_.assign(static_cast<std::size_t>(std::ceil(span / bin_width)), 0);
+}
+
+void Histogram::add(double x) {
+  stats_.add(x);
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const std::size_t idx = static_cast<std::size_t>((x - lo_) / bin_width_);
+  if (idx >= bins_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++bins_[idx];
+}
+
+double Histogram::bin_lo(std::size_t i) const { return lo_ + static_cast<double>(i) * bin_width_; }
+
+std::string Histogram::ascii(int width) const {
+  std::uint64_t peak = 1;
+  for (auto b : bins_) peak = std::max(peak, b);
+  std::string out;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const int len = static_cast<int>(static_cast<double>(bins_[i]) / static_cast<double>(peak) *
+                                     width);
+    out += format("%10.0f..%-10.0f |%-*s| %llu\n", bin_lo(i), bin_lo(i) + bin_width_, width,
+                  std::string(static_cast<std::size_t>(len), '#').c_str(),
+                  static_cast<unsigned long long>(bins_[i]));
+  }
+  if (overflow_ > 0) out += format("%23s |%llu above range\n", ">", static_cast<unsigned long long>(overflow_));
+  return out;
+}
+
+} // namespace tsn::util

@@ -1,0 +1,39 @@
+// Fixed-width histogram used to reproduce the paper's Fig. 4b.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace tsn::util {
+
+class Histogram {
+ public:
+  /// Buckets of `bin_width` covering [lo, hi); values outside are counted in
+  /// underflow/overflow but still contribute to the running stats.
+  Histogram(double lo, double hi, double bin_width);
+
+  void add(double x);
+
+  std::size_t bin_count() const { return bins_.size(); }
+  std::uint64_t bin(std::size_t i) const { return bins_[i]; }
+  double bin_lo(std::size_t i) const;
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  const RunningStats& stats() const { return stats_; }
+
+  /// Render as an ASCII bar chart, `width` characters for the largest bin.
+  std::string ascii(int width = 50) const;
+
+ private:
+  double lo_;
+  double bin_width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  RunningStats stats_;
+};
+
+} // namespace tsn::util

@@ -1,0 +1,60 @@
+// Deterministic random-number streams.
+//
+// Every stochastic component of the simulation draws from its own named
+// RngStream derived from (master seed, stream name). This makes runs
+// reproducible and, crucially, makes a component's random sequence
+// independent of the global event interleaving: adding a new component does
+// not perturb the draws of existing ones.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace tsn::util {
+
+/// 64-bit FNV-1a hash, used to derive per-stream seeds from names.
+std::uint64_t fnv1a64(std::string_view s);
+
+class RngStream {
+ public:
+  RngStream() : RngStream(0, "default") {}
+  RngStream(std::uint64_t master_seed, std::string_view stream_name);
+
+  /// Uniform in [0, 1).
+  double uniform01();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev);
+  /// Exponential with the given mean (mean = 1/lambda).
+  double exponential(double mean);
+  /// Bernoulli with probability p.
+  bool chance(double p);
+
+  /// Underlying engine, for std distributions not wrapped above.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// A random walk clamped to [-bound, +bound]; used for oscillator wander.
+class BoundedRandomWalk {
+ public:
+  BoundedRandomWalk(double initial, double step_sigma, double bound)
+      : value_(initial), step_sigma_(step_sigma), bound_(bound) {}
+
+  /// Advance one step; reflects at the bounds.
+  double step(RngStream& rng);
+  double value() const { return value_; }
+
+ private:
+  double value_;
+  double step_sigma_;
+  double bound_;
+};
+
+} // namespace tsn::util

@@ -1,0 +1,34 @@
+#include "util/series.hpp"
+
+#include <map>
+
+namespace tsn::util {
+
+std::vector<AggregatedPoint> TimeSeries::aggregate(std::int64_t bucket_ns) const {
+  std::map<std::int64_t, RunningStats> buckets;
+  for (const auto& p : points_) {
+    buckets[p.t_ns / bucket_ns].add(p.value);
+  }
+  std::vector<AggregatedPoint> out;
+  out.reserve(buckets.size());
+  for (const auto& [idx, st] : buckets) {
+    out.push_back({idx * bucket_ns, st.mean(), st.min(), st.max(), st.count()});
+  }
+  return out;
+}
+
+RunningStats TimeSeries::stats() const {
+  RunningStats st;
+  for (const auto& p : points_) st.add(p.value);
+  return st;
+}
+
+std::vector<SeriesPoint> TimeSeries::window(std::int64_t t_lo, std::int64_t t_hi) const {
+  std::vector<SeriesPoint> out;
+  for (const auto& p : points_) {
+    if (p.t_ns >= t_lo && p.t_ns < t_hi) out.push_back(p);
+  }
+  return out;
+}
+
+} // namespace tsn::util

@@ -1,0 +1,51 @@
+// Streaming statistics (Welford) and sample collections.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace tsn::util {
+
+/// Numerically stable streaming count/mean/variance/min/max.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance / stddev (matches how the paper reports avg +/- std).
+  double variance() const { return count_ ? m2_ / static_cast<double>(count_) : 0.0; }
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores all samples; supports exact quantiles. Suitable for <=O(1e7) samples.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const std::vector<double>& samples() const { return samples_; }
+
+  double quantile(double q);           ///< q in [0,1]; linear interpolation.
+  double median() { return quantile(0.5); }
+  RunningStats stats() const;
+
+ private:
+  void ensure_sorted();
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+} // namespace tsn::util

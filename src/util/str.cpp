@@ -1,0 +1,65 @@
+#include "util/str.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace tsn::util {
+
+std::string vformat(const char* fmt, std::va_list ap) {
+  std::va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap2);
+  va_end(ap2);
+  if (n <= 0) return {};
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, ap);
+  return out;
+}
+
+std::string format(const char* fmt, ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::string out = vformat(fmt, ap);
+  va_end(ap);
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) pos = s.size();
+    out.emplace_back(trim(s.substr(start, pos - start)));
+    start = pos + 1;
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string human_ns(std::int64_t ns) {
+  const double a = std::abs(static_cast<double>(ns));
+  if (a < 1e3) return format("%lldns", static_cast<long long>(ns));
+  if (a < 1e6) return format("%.2fus", static_cast<double>(ns) / 1e3);
+  if (a < 1e9) return format("%.2fms", static_cast<double>(ns) / 1e6);
+  return format("%.3fs", static_cast<double>(ns) / 1e9);
+}
+
+std::string hms(std::int64_t ns) {
+  const std::int64_t total_s = ns / 1'000'000'000;
+  return format("%02lld:%02lld:%02lld", static_cast<long long>(total_s / 3600),
+                static_cast<long long>((total_s / 60) % 60),
+                static_cast<long long>(total_s % 60));
+}
+
+} // namespace tsn::util

@@ -1,0 +1,33 @@
+// String formatting helpers (libstdc++ 12 lacks <format>).
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsn::util {
+
+/// printf-style formatting into a std::string.
+[[gnu::format(printf, 1, 2)]] std::string format(const char* fmt, ...);
+
+/// Vararg backend for format().
+std::string vformat(const char* fmt, std::va_list ap);
+
+/// Split `s` on `sep`, trimming ASCII whitespace from each piece.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Render nanoseconds as a human-readable duration ("1.25us", "12.6ms").
+std::string human_ns(std::int64_t ns);
+
+/// Render nanoseconds since experiment start as "hh:mm:ss".
+std::string hms(std::int64_t ns);
+
+} // namespace tsn::util

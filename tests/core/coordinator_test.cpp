@@ -1,0 +1,280 @@
+#include "core/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsn::core {
+namespace {
+
+using tsn::sim::SimTime;
+using tsn::sim::Simulation;
+using namespace tsn::sim::literals;
+
+time::PhcModel quiet_phc(double drift_ppm = 0.0) {
+  time::PhcModel m;
+  m.oscillator.initial_drift_ppm = drift_ppm;
+  m.oscillator.wander_sigma_ppm = 0.0;
+  m.timestamp_jitter_ns = 0.0;
+  return m;
+}
+
+CoordinatorConfig default_cfg() {
+  CoordinatorConfig cfg;
+  cfg.domains = {1, 2, 3, 4};
+  cfg.initial_domain = 1;
+  cfg.startup_consecutive = 3;
+  cfg.startup_threshold_ns = 2000.0;
+  return cfg;
+}
+
+gptp::MasterOffsetSample sample(std::uint8_t domain, double offset, std::int64_t rx_ts) {
+  gptp::MasterOffsetSample s;
+  s.domain = domain;
+  s.offset_ns = offset;
+  s.local_rx_ts = rx_ts;
+  s.rate_ratio = 1.0;
+  return s;
+}
+
+struct Fixture {
+  Simulation sim{5};
+  time::PhcClock phc;
+  FtShmem shmem;
+  MultiDomainCoordinator coord;
+
+  explicit Fixture(CoordinatorConfig cfg = default_cfg())
+      : phc(sim, quiet_phc(), "phc"), shmem(cfg.domains.size()), coord(sim, phc, shmem, cfg, "c") {}
+
+  /// Feed one interval's worth of samples at sim time `t`. Domains are
+  /// staggered by 2 ms like real Sync arrivals (all-simultaneous delivery
+  /// would make a gate miss waste the whole interval).
+  void feed_all(std::int64_t t, std::vector<double> offsets) {
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+      sim.at(SimTime(t + static_cast<std::int64_t>(i) * 2'000'000),
+             [this, i, v = offsets[i]] {
+               coord.on_offset(sample(static_cast<std::uint8_t>(i + 1), v, phc.read()));
+             });
+    }
+  }
+};
+
+TEST(CoordinatorTest, RejectsBadConfigs) {
+  Simulation sim;
+  time::PhcClock phc(sim, quiet_phc(), "phc");
+  FtShmem shmem(4);
+  CoordinatorConfig cfg = default_cfg();
+  cfg.domains = {1, 2};
+  EXPECT_THROW(MultiDomainCoordinator(sim, phc, shmem, cfg, "x"), std::invalid_argument);
+  cfg = default_cfg();
+  cfg.domains = {1, 1, 2, 3};
+  EXPECT_THROW(MultiDomainCoordinator(sim, phc, shmem, cfg, "x"), std::invalid_argument);
+  cfg = default_cfg();
+  cfg.initial_domain = 9;
+  EXPECT_THROW(MultiDomainCoordinator(sim, phc, shmem, cfg, "x"), std::invalid_argument);
+}
+
+TEST(CoordinatorTest, StartsInStartupPhaseAndTransitions) {
+  Fixture f;
+  EXPECT_EQ(f.coord.phase(), SyncPhase::kStartup);
+  int phase_changes = 0;
+  f.coord.on_phase_change = [&](SyncPhase p) {
+    EXPECT_EQ(p, SyncPhase::kFta);
+    ++phase_changes;
+  };
+  for (int i = 1; i <= 5; ++i) {
+    f.feed_all(i * 125_ms, {10.0, 20.0, -15.0, 5.0});
+  }
+  f.sim.run_until(SimTime(2_s));
+  EXPECT_EQ(f.coord.phase(), SyncPhase::kFta);
+  EXPECT_EQ(phase_changes, 1);
+  EXPECT_GE(f.coord.stats().startup_adjustments, 3u);
+}
+
+TEST(CoordinatorTest, NoTransitionWhileOffsetsLarge) {
+  Fixture f;
+  for (int i = 1; i <= 10; ++i) {
+    f.feed_all(i * 125_ms, {10.0, 50'000.0, -15.0, 5.0}); // domain 2 far off
+  }
+  f.sim.run_until(SimTime(3_s));
+  EXPECT_EQ(f.coord.phase(), SyncPhase::kStartup);
+}
+
+TEST(CoordinatorTest, StartupStreakResetsOnBadSample) {
+  CoordinatorConfig cfg = default_cfg();
+  cfg.startup_consecutive = 4;
+  Fixture f(cfg);
+  f.feed_all(1 * 125_ms, {0, 0, 0, 0});
+  f.feed_all(2 * 125_ms, {0, 0, 0, 0});
+  f.feed_all(3 * 125_ms, {0, 90'000.0, 0, 0}); // streak broken
+  f.feed_all(4 * 125_ms, {0, 0, 0, 0});
+  f.feed_all(5 * 125_ms, {0, 0, 0, 0});
+  f.feed_all(6 * 125_ms, {0, 0, 0, 0});
+  f.sim.run_until(SimTime(900_ms));
+  EXPECT_EQ(f.coord.phase(), SyncPhase::kStartup);
+  // The bad value stays visible one extra interval (it is judged when the
+  // *next* initial-domain sample arrives), so two more good rounds needed.
+  f.feed_all(7 * 125_ms, {0, 0, 0, 0});
+  f.feed_all(8 * 125_ms, {0, 0, 0, 0});
+  f.sim.run_until(SimTime(2_s));
+  EXPECT_EQ(f.coord.phase(), SyncPhase::kFta);
+}
+
+TEST(CoordinatorTest, SkipStartupGoesStraightToFta) {
+  CoordinatorConfig cfg = default_cfg();
+  cfg.skip_startup = true;
+  Fixture f(cfg);
+  EXPECT_EQ(f.coord.phase(), SyncPhase::kFta);
+}
+
+TEST(CoordinatorTest, OnlyOneAggregationPerInterval) {
+  CoordinatorConfig cfg = default_cfg();
+  cfg.skip_startup = true;
+  cfg.validity.freshness_window_ns = 2_s; // feeds below are 1 s apart
+  Fixture f(cfg);
+  // Warm-up: the very first gate winner sees only its own slot filled.
+  f.feed_all(500_ms, {1.0, 2.0, 3.0, 4.0});
+  f.feed_all(1_s, {1.0, 2.0, 3.0, 4.0});
+  f.sim.run_until(SimTime(2_s));
+  EXPECT_EQ(f.coord.stats().aggregations, 1u);
+  // Next interval: exactly one more aggregation despite four deliveries.
+  f.feed_all(2_s, {1.0, 2.0, 3.0, 4.0});
+  f.sim.run_until(SimTime(3_s));
+  EXPECT_EQ(f.coord.stats().aggregations, 2u);
+}
+
+TEST(CoordinatorTest, AggregateIsFtaOfUsableOffsets) {
+  CoordinatorConfig cfg = default_cfg();
+  cfg.skip_startup = true;
+  Fixture f(cfg);
+  double aggregated = 0.0;
+  int used = 0;
+  f.coord.on_aggregate = [&](double off, int n) {
+    aggregated = off;
+    used = n;
+  };
+  f.feed_all(500_ms, {10.0, -5.0, 1000.0, 20.0});
+  f.feed_all(1_s, {10.0, -5.0, 1000.0, 20.0});
+  f.sim.run_until(SimTime(2_s));
+  EXPECT_EQ(used, 4);
+  EXPECT_DOUBLE_EQ(aggregated, 15.0); // (10+20)/2, extremes trimmed
+}
+
+TEST(CoordinatorTest, ByzantineOffsetMaskedInAggregate) {
+  CoordinatorConfig cfg = default_cfg();
+  cfg.skip_startup = true;
+  Fixture f(cfg);
+  double aggregated = 1e18;
+  f.coord.on_aggregate = [&](double off, int) { aggregated = off; };
+  f.feed_all(500_ms, {-24'000.0, 3.0, 5.0, 7.0}); // the paper's attacker
+  f.feed_all(1_s, {-24'000.0, 3.0, 5.0, 7.0});
+  f.sim.run_until(SimTime(2_s));
+  EXPECT_GE(aggregated, 3.0);
+  EXPECT_LE(aggregated, 7.0);
+}
+
+TEST(CoordinatorTest, StaleDomainExcludedAndFlagged) {
+  CoordinatorConfig cfg = default_cfg();
+  cfg.skip_startup = true;
+  cfg.validity.freshness_window_ns = 400_ms;
+  Fixture f(cfg);
+  std::vector<std::pair<std::size_t, bool>> validity_events;
+  f.coord.on_validity_change = [&](std::size_t slot, bool valid) {
+    validity_events.emplace_back(slot, valid);
+  };
+  // Domain 1 (slot 0) delivers once, then goes silent (fail-silent GM).
+  f.feed_all(1_s, {1.0, 2.0, 3.0, 4.0});
+  for (int i = 1; i <= 20; ++i) {
+    f.sim.at(SimTime(1_s + i * 125_ms), [&f] {
+      const std::int64_t rx = f.phc.read();
+      for (std::uint8_t d = 2; d <= 4; ++d) f.coord.on_offset(sample(d, 2.0, rx));
+    });
+  }
+  f.sim.run_until(SimTime(5_s));
+  EXPECT_GT(f.coord.stats().gms_excluded_stale, 0u);
+  EXPECT_FALSE(f.shmem.gm_valid(0));
+  // Slot 0 must have been flagged invalid at some point (warm-up produces
+  // transient invalid flags for the not-yet-filled slots first).
+  const bool slot0_invalidated =
+      std::any_of(validity_events.begin(), validity_events.end(),
+                  [](const auto& e) { return e.first == 0 && !e.second; });
+  EXPECT_TRUE(slot0_invalidated);
+  // Three remaining clocks still aggregate (f=1 needs >= 3).
+  EXPECT_GT(f.coord.stats().aggregations, 10u);
+}
+
+TEST(CoordinatorTest, NoQuorumHoldsFrequency) {
+  CoordinatorConfig cfg = default_cfg();
+  cfg.skip_startup = true;
+  cfg.validity.freshness_window_ns = 400_ms;
+  Fixture f(cfg);
+  // Only two domains alive: FTA with f=1 needs 3 -> skip, free-run.
+  for (int i = 1; i <= 10; ++i) {
+    f.sim.at(SimTime(i * 125_ms), [&f] {
+      const std::int64_t rx = f.phc.read();
+      f.coord.on_offset(sample(1, 1.0, rx));
+      f.coord.on_offset(sample(2, 2.0, rx));
+    });
+  }
+  f.sim.run_until(SimTime(3_s));
+  EXPECT_EQ(f.coord.stats().aggregations, 0u);
+  EXPECT_GT(f.coord.stats().aggregation_skipped_no_quorum, 5u);
+  EXPECT_DOUBLE_EQ(f.phc.freq_adj_ppb(), 0.0);
+}
+
+TEST(CoordinatorTest, ServoDisciplinesPhcTowardAggregate) {
+  CoordinatorConfig cfg = default_cfg();
+  cfg.skip_startup = true;
+  Fixture f(cfg);
+  // Constant positive offset: the servo must slow the clock (negative adj).
+  for (int i = 1; i <= 40; ++i) {
+    f.feed_all(i * 125_ms, {800.0, 800.0, 800.0, 800.0});
+  }
+  f.sim.run_until(SimTime(6_s));
+  EXPECT_GT(f.coord.stats().aggregations, 30u);
+  EXPECT_LT(f.phc.freq_adj_ppb(), -100.0);
+}
+
+TEST(CoordinatorTest, ServoIntegralMirroredToShmem) {
+  CoordinatorConfig cfg = default_cfg();
+  cfg.skip_startup = true;
+  Fixture f(cfg);
+  for (int i = 1; i <= 10; ++i) {
+    f.feed_all(i * 125_ms, {500.0, 500.0, 500.0, 500.0});
+  }
+  f.sim.run_until(SimTime(2_s));
+  EXPECT_NE(f.shmem.servo_integral(), 0.0);
+}
+
+TEST(CoordinatorTest, WarmStandbyInheritsServoState) {
+  Simulation sim{9};
+  time::PhcClock phc(sim, quiet_phc(), "phc");
+  FtShmem shmem(4);
+  shmem.store_servo_integral(-4242.0);
+  CoordinatorConfig cfg = default_cfg();
+  cfg.skip_startup = true;
+  MultiDomainCoordinator coord(sim, phc, shmem, cfg, "standby");
+  // With zero offsets, the programmed frequency converges to minus the
+  // inherited integral (the learned oscillator drift), not to zero.
+  for (int i = 1; i <= 4; ++i) {
+    sim.at(SimTime(i * 125_ms), [&] {
+      const std::int64_t rx = phc.read();
+      for (std::uint8_t d = 1; d <= 4; ++d) coord.on_offset(sample(d, 0.0, rx));
+    });
+  }
+  sim.run_until(SimTime(2_s));
+  EXPECT_NEAR(phc.freq_adj_ppb(), 4242.0, 1.0);
+}
+
+TEST(CoordinatorTest, IgnoresUnknownDomains) {
+  CoordinatorConfig cfg = default_cfg();
+  cfg.skip_startup = true;
+  Fixture f(cfg);
+  f.sim.at(SimTime(1_s), [&f] { f.coord.on_offset(sample(99, 1.0, f.phc.read())); });
+  f.sim.run_until(SimTime(2_s));
+  EXPECT_EQ(f.coord.stats().samples_stored, 0u);
+}
+
+} // namespace
+} // namespace tsn::core

@@ -1,0 +1,150 @@
+#include "core/fta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace tsn::core {
+namespace {
+
+TEST(FtaTest, FourValuesDropMinMaxAverageMiddle) {
+  // The paper's configuration: N = 4, f = 1.
+  const auto r = fault_tolerant_average({5.0, -3.0, 100.0, 7.0}, 1);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(*r, 6.0); // (5 + 7) / 2
+}
+
+TEST(FtaTest, FZeroIsPlainMean) {
+  const auto r = fault_tolerant_average({1.0, 2.0, 3.0}, 0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(*r, 2.0);
+}
+
+TEST(FtaTest, TooFewValuesReturnsNullopt) {
+  EXPECT_FALSE(fault_tolerant_average({1.0, 2.0}, 1).has_value());
+  EXPECT_FALSE(fault_tolerant_average({}, 0).has_value());
+  EXPECT_FALSE(fault_tolerant_average({1.0}, 1).has_value());
+}
+
+TEST(FtaTest, ExactlyTwoFPlusOneIsMedian) {
+  const auto r = fault_tolerant_average({10.0, -100.0, 3.0}, 1);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(*r, 3.0);
+}
+
+TEST(FtaTest, NegativeFThrows) {
+  EXPECT_THROW(fault_tolerant_average({1.0, 2.0, 3.0}, -1), std::invalid_argument);
+}
+
+TEST(FtaTest, ByzantineValueMaskedRegardlessOfMagnitude) {
+  for (double evil : {1e18, -1e18, 1e6, -42.0}) {
+    const auto r = fault_tolerant_average({1.0, 2.0, 3.0, evil}, 1);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_GE(*r, 1.0);
+    EXPECT_LE(*r, 3.0);
+  }
+}
+
+TEST(MedianTest, OddAndEven) {
+  EXPECT_DOUBLE_EQ(*median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(*median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_FALSE(median({}).has_value());
+}
+
+TEST(MeanTest, Basic) {
+  EXPECT_DOUBLE_EQ(*mean({1.0, 2.0, 6.0}), 3.0);
+  EXPECT_FALSE(mean({}).has_value());
+}
+
+TEST(AggregateTest, DispatchesMethods) {
+  std::vector<double> v{1.0, 2.0, 3.0, 1000.0};
+  EXPECT_DOUBLE_EQ(*aggregate(v, AggregationMethod::kFta, 1), 2.5);
+  EXPECT_DOUBLE_EQ(*aggregate(v, AggregationMethod::kMedian, 1), 2.5);
+  EXPECT_DOUBLE_EQ(*aggregate(v, AggregationMethod::kMean, 1), 251.5);
+}
+
+TEST(FtaBoundTest, PaperMultiplier) {
+  EXPECT_DOUBLE_EQ(fta_precision_multiplier(4, 1), 2.0); // the paper's u(N,f)
+  EXPECT_DOUBLE_EQ(fta_precision_multiplier(7, 2), 3.0);
+  EXPECT_DOUBLE_EQ(fta_precision_multiplier(4, 0), 1.0);
+  EXPECT_THROW(fta_precision_multiplier(3, 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Property-based checks over random inputs.
+
+class FtaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FtaProperty, ResultWithinRangeOfSurvivors) {
+  const int f = GetParam();
+  util::RngStream rng(99 + f, "fta-prop");
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(2 * f + 1, 12));
+    std::vector<double> v;
+    for (int i = 0; i < n; ++i) v.push_back(rng.uniform(-1e6, 1e6));
+    auto sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    const auto r = fault_tolerant_average(v, f);
+    ASSERT_TRUE(r.has_value());
+    // The FTA lies within the range of the surviving (trimmed) values.
+    EXPECT_GE(*r, sorted[f] - 1e-9);
+    EXPECT_LE(*r, sorted[n - 1 - f] + 1e-9);
+  }
+}
+
+TEST_P(FtaProperty, TranslationInvariance) {
+  const int f = GetParam();
+  util::RngStream rng(7 + f, "fta-shift");
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(2 * f + 1, 10));
+    std::vector<double> v, shifted;
+    const double shift = rng.uniform(-1e5, 1e5);
+    for (int i = 0; i < n; ++i) {
+      const double x = rng.uniform(-1e4, 1e4);
+      v.push_back(x);
+      shifted.push_back(x + shift);
+    }
+    EXPECT_NEAR(*fault_tolerant_average(shifted, f), *fault_tolerant_average(v, f) + shift, 1e-6);
+  }
+}
+
+TEST_P(FtaProperty, PermutationInvariance) {
+  const int f = GetParam();
+  util::RngStream rng(13 + f, "fta-perm");
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(2 * f + 1, 10));
+    std::vector<double> v;
+    for (int i = 0; i < n; ++i) v.push_back(rng.uniform(-1e6, 1e6));
+    auto shuffled = v;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng.engine());
+    EXPECT_DOUBLE_EQ(*fault_tolerant_average(v, f), *fault_tolerant_average(shuffled, f));
+  }
+}
+
+TEST_P(FtaProperty, ByzantineMaskingWithEnoughClocks) {
+  // With n >= 3f+1 and f adversarial values, the result stays within the
+  // range of the honest values.
+  const int f = GetParam();
+  if (f == 0) return;
+  util::RngStream rng(23 + f, "fta-byz");
+  for (int trial = 0; trial < 200; ++trial) {
+    const int honest_n = static_cast<int>(rng.uniform_int(2 * f + 1, 10));
+    std::vector<double> honest;
+    for (int i = 0; i < honest_n; ++i) honest.push_back(rng.uniform(-1000.0, 1000.0));
+    std::vector<double> all = honest;
+    for (int i = 0; i < f; ++i) all.push_back(rng.uniform(-1e18, 1e18));
+    const auto r = fault_tolerant_average(all, f);
+    ASSERT_TRUE(r.has_value());
+    const double lo = *std::min_element(honest.begin(), honest.end());
+    const double hi = *std::max_element(honest.begin(), honest.end());
+    EXPECT_GE(*r, lo - 1e-9);
+    EXPECT_LE(*r, hi + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultCounts, FtaProperty, ::testing::Values(0, 1, 2, 3));
+
+} // namespace
+} // namespace tsn::core

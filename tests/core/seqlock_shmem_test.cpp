@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/ft_shmem.hpp"
+#include "core/seqlock.hpp"
+
+namespace tsn::core {
+namespace {
+
+struct Pair {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+TEST(SeqLockTest, StoresAndLoads) {
+  SeqLock<Pair> lock;
+  lock.store({1, 2});
+  const Pair p = lock.load();
+  EXPECT_EQ(p.a, 1u);
+  EXPECT_EQ(p.b, 2u);
+  EXPECT_EQ(lock.version(), 1u);
+}
+
+TEST(SeqLockTest, DefaultConstructedReadsZero) {
+  SeqLock<Pair> lock;
+  const Pair p = lock.load();
+  EXPECT_EQ(p.a, 0u);
+  EXPECT_EQ(lock.version(), 0u);
+}
+
+TEST(SeqLockTest, NoTornReadsUnderConcurrency) {
+  // Writer stores pairs with b == 2*a; any reader observing b != 2*a saw a
+  // torn record.
+  SeqLock<Pair> lock(Pair{0, 0});
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Pair p = lock.load();
+        if (p.b != 2 * p.a) torn.fetch_add(1);
+      }
+    });
+  }
+  for (std::uint64_t i = 1; i <= 200'000; ++i) {
+    lock.store({i, 2 * i});
+  }
+  stop.store(true);
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(lock.version(), 200'000u);
+}
+
+TEST(FtShmemTest, RejectsBadDomainCounts) {
+  EXPECT_THROW(FtShmem(0), std::invalid_argument);
+  EXPECT_THROW(FtShmem(kMaxDomains + 1), std::invalid_argument);
+}
+
+TEST(FtShmemTest, OffsetsStartEmpty) {
+  FtShmem shm(4);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FALSE(shm.load_offset(i).has_value());
+  EXPECT_THROW(shm.load_offset(4), std::out_of_range);
+}
+
+TEST(FtShmemTest, StoreBumpsSampleCount) {
+  FtShmem shm(4);
+  GmOffsetRecord r;
+  r.offset_ns = 5.0;
+  shm.store_offset(2, r);
+  shm.store_offset(2, r);
+  const auto loaded = shm.load_offset(2);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->sample_count, 2u);
+  EXPECT_DOUBLE_EQ(loaded->offset_ns, 5.0);
+}
+
+TEST(FtShmemTest, GateFirstCallerWins) {
+  FtShmem shm(4);
+  // Unset gate: first arrival wins.
+  EXPECT_TRUE(shm.try_acquire_gate(1000, 125));
+  EXPECT_EQ(shm.adjust_last(), 1000);
+  // Within the same interval: everyone else loses.
+  EXPECT_FALSE(shm.try_acquire_gate(1050, 125));
+  EXPECT_FALSE(shm.try_acquire_gate(1124, 125));
+  // Next interval boundary: gate opens again.
+  EXPECT_TRUE(shm.try_acquire_gate(1125, 125));
+  EXPECT_EQ(shm.adjust_last(), 1125);
+}
+
+TEST(FtShmemTest, GateExactBoundaryIsInclusive) {
+  FtShmem shm(4);
+  shm.set_adjust_last(0);
+  EXPECT_FALSE(shm.try_acquire_gate(124, 125));
+  EXPECT_TRUE(shm.try_acquire_gate(125, 125)); // adjust_last + S <= now
+}
+
+TEST(FtShmemTest, GateUnderThreadContentionAdmitsExactlyOnePerInterval) {
+  FtShmem shm(4);
+  shm.set_adjust_last(0);
+  constexpr int kThreads = 4;
+  constexpr std::int64_t kIntervals = 2000;
+  std::atomic<std::int64_t> wins{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::int64_t i = 1; i <= kIntervals; ++i) {
+        if (shm.try_acquire_gate(i * 125, 125)) wins.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Every interval admits exactly one winner; threads race over the same
+  // series of gate times.
+  EXPECT_EQ(wins.load(), kIntervals);
+}
+
+TEST(FtShmemTest, ValidityFlags) {
+  FtShmem shm(3);
+  EXPECT_TRUE(shm.gm_valid(0));
+  shm.set_gm_valid(0, false);
+  EXPECT_FALSE(shm.gm_valid(0));
+  EXPECT_TRUE(shm.gm_valid(1));
+  EXPECT_THROW(shm.set_gm_valid(3, true), std::out_of_range);
+}
+
+TEST(FtShmemTest, ServoStateSharedAndPhase) {
+  FtShmem shm(4);
+  EXPECT_DOUBLE_EQ(shm.servo_integral(), 0.0);
+  shm.store_servo_integral(-123.5);
+  EXPECT_DOUBLE_EQ(shm.servo_integral(), -123.5);
+  EXPECT_EQ(shm.phase(), SyncPhase::kStartup);
+  shm.set_phase(SyncPhase::kFta);
+  EXPECT_EQ(shm.phase(), SyncPhase::kFta);
+}
+
+TEST(FtShmemTest, ConcurrentSlotWritersDoNotInterfere) {
+  FtShmem shm(4);
+  std::vector<std::thread> writers;
+  for (std::size_t slot = 0; slot < 4; ++slot) {
+    writers.emplace_back([&shm, slot] {
+      for (int i = 1; i <= 50'000; ++i) {
+        GmOffsetRecord r;
+        r.offset_ns = static_cast<double>(slot) * 1000.0 + 1.0;
+        r.local_rx_ts = i;
+        shm.store_offset(slot, r);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  for (std::size_t slot = 0; slot < 4; ++slot) {
+    const auto r = shm.load_offset(slot);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_DOUBLE_EQ(r->offset_ns, static_cast<double>(slot) * 1000.0 + 1.0);
+    EXPECT_EQ(r->sample_count, 50'000u);
+    EXPECT_EQ(r->local_rx_ts, 50'000);
+  }
+}
+
+} // namespace
+} // namespace tsn::core

@@ -1,0 +1,114 @@
+// Property sweeps over the full testbed: the reproduction's key invariants
+// must hold across random seeds, sync intervals and fault schedules, not
+// just for the cherry-picked defaults.
+#include <gtest/gtest.h>
+
+#include "experiments/harness.hpp"
+#include "experiments/report.hpp"
+#include "faults/injector.hpp"
+
+namespace tsn::experiments {
+namespace {
+
+using namespace tsn::sim::literals;
+
+// ---------------------------------------------------------------------------
+// Invariant 1: fault-free, the measured precision obeys eq. (3.3) and the
+// system converges -- for any seed.
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, FaultFreeBoundHolds) {
+  ScenarioConfig cfg;
+  cfg.seed = GetParam();
+  Scenario scenario(cfg);
+  ExperimentHarness harness(scenario);
+  harness.bring_up();
+  const auto cal = harness.calibrate();
+  harness.run_measured(90_s);
+  ASSERT_GT(scenario.probe().series().points().size(), 60u);
+  EXPECT_DOUBLE_EQ(
+      bound_holding_fraction(scenario.probe().series(), cal.bound.pi_ns, cal.gamma_ns), 1.0)
+      << "seed " << GetParam();
+  EXPECT_LT(scenario.gm_clock_disagreement_ns(), 2'000.0);
+}
+
+TEST_P(SeedSweep, FaultInjectionBoundHolds) {
+  ScenarioConfig cfg;
+  cfg.seed = GetParam() * 7919;
+  Scenario scenario(cfg);
+  ExperimentHarness harness(scenario);
+  harness.bring_up();
+  const auto cal = harness.calibrate();
+  faults::InjectorConfig icfg;
+  icfg.gm_kill_period_ns = 45_s; // aggressive schedule
+  icfg.gm_downtime_ns = 30_s;
+  icfg.standby_kills_per_hour = 60.0;
+  icfg.standby_min_gap_ns = 20_s;
+  icfg.standby_downtime_ns = 30_s;
+  faults::FaultInjector injector(scenario.sim(), scenario.ecd_ptrs(), icfg);
+  injector.spare(&scenario.measurement_vm());
+  injector.start();
+  harness.run_measured(4_min);
+  EXPECT_GT(injector.stats().total_kills, 3u);
+  EXPECT_DOUBLE_EQ(
+      bound_holding_fraction(scenario.probe().series(), cal.bound.pi_ns, cal.gamma_ns), 1.0)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(101, 202, 303, 404));
+
+// ---------------------------------------------------------------------------
+// Invariant 2: a single Byzantine GM is masked regardless of which GM it
+// is and which direction it lies.
+
+class ByzantineSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::int64_t>> {};
+
+TEST_P(ByzantineSweep, SingleAttackerAlwaysMasked) {
+  const auto [victim, shift] = GetParam();
+  ScenarioConfig cfg;
+  cfg.seed = 17;
+  Scenario scenario(cfg);
+  ExperimentHarness harness(scenario);
+  harness.bring_up();
+  const auto cal = harness.calibrate();
+  scenario.gm_vm(victim).compromise(shift);
+  harness.run_measured(2_min);
+  EXPECT_DOUBLE_EQ(
+      bound_holding_fraction(scenario.probe().series(), cal.bound.pi_ns, cal.gamma_ns), 1.0)
+      << "victim " << victim << " shift " << shift;
+}
+
+INSTANTIATE_TEST_SUITE_P(VictimsAndShifts, ByzantineSweep,
+                         ::testing::Combine(::testing::Values(0u, 1u, 2u, 3u),
+                                            ::testing::Values(-24'000, 24'000, -500'000)));
+
+// ---------------------------------------------------------------------------
+// Invariant 3: the sync interval scales the drift term but the system
+// stays synchronized across a realistic S range.
+
+class IntervalSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(IntervalSweep, ConvergesAndStaysBounded) {
+  ScenarioConfig cfg;
+  cfg.seed = 31;
+  cfg.sync_interval_ns = GetParam();
+  Scenario scenario(cfg);
+  ExperimentHarness harness(scenario);
+  harness.bring_up(240'000'000'000LL);
+  const auto cal = harness.calibrate();
+  harness.run_measured(90_s);
+  EXPECT_DOUBLE_EQ(
+      bound_holding_fraction(scenario.probe().series(), cal.bound.pi_ns, cal.gamma_ns), 1.0)
+      << "S = " << GetParam();
+  // Gamma scales exactly linearly with S.
+  EXPECT_DOUBLE_EQ(cal.bound.drift_offset_ns,
+                   2.0 * 5.0 * 1e-6 * static_cast<double>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(SyncIntervals, IntervalSweep,
+                         ::testing::Values(31'250'000, 62'500'000, 125'000'000, 250'000'000));
+
+} // namespace
+} // namespace tsn::experiments

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "gptp/bmca.hpp"
+
+namespace tsn::gptp {
+namespace {
+
+PriorityVector vec(std::uint8_t p1, std::uint8_t clock_class, std::uint64_t id,
+                   std::uint16_t steps = 0) {
+  PriorityVector v;
+  v.priority1 = p1;
+  v.quality.clock_class = clock_class;
+  v.identity = ClockIdentity::from_u64(id);
+  v.steps_removed = steps;
+  return v;
+}
+
+AnnounceMessage announce_from(const PriorityVector& v, std::uint64_t sender_id) {
+  AnnounceMessage m;
+  m.header.type = MessageType::kAnnounce;
+  m.header.source_port = {ClockIdentity::from_u64(sender_id), 1};
+  m.grandmaster_priority1 = v.priority1;
+  m.grandmaster_quality = v.quality;
+  m.grandmaster_priority2 = v.priority2;
+  m.grandmaster_identity = v.identity;
+  m.steps_removed = v.steps_removed;
+  return m;
+}
+
+TEST(BmcaCompareTest, Priority1Dominates) {
+  EXPECT_LT(compare_priority(vec(10, 248, 5), vec(20, 6, 1)), 0);
+}
+
+TEST(BmcaCompareTest, ClockClassBreaksTie) {
+  EXPECT_LT(compare_priority(vec(10, 6, 5), vec(10, 248, 1)), 0);
+}
+
+TEST(BmcaCompareTest, IdentityIsFinalTiebreaker) {
+  EXPECT_LT(compare_priority(vec(10, 6, 1), vec(10, 6, 2)), 0);
+  EXPECT_GT(compare_priority(vec(10, 6, 2), vec(10, 6, 1)), 0);
+}
+
+TEST(BmcaCompareTest, EqualVectorsCompareEqual) {
+  EXPECT_EQ(compare_priority(vec(10, 6, 1), vec(10, 6, 1)), 0);
+}
+
+TEST(BmcaCompareTest, StepsRemovedBreaksTieForSameGm) {
+  EXPECT_LT(compare_priority(vec(10, 6, 1, 1), vec(10, 6, 1, 2)), 0);
+}
+
+TEST(BmcaEngineTest, AloneMeansMaster) {
+  BmcaEngine engine({vec(100, 248, 42), 3'000'000'000});
+  const auto d = engine.evaluate(0);
+  EXPECT_EQ(d.role, PortRole::kMaster);
+  EXPECT_EQ(d.grandmaster.to_u64(), 42u);
+}
+
+TEST(BmcaEngineTest, BetterForeignMasterWins) {
+  BmcaEngine engine({vec(100, 248, 42), 3'000'000'000});
+  engine.on_announce(announce_from(vec(50, 6, 7), 7), 0);
+  const auto d = engine.evaluate(1);
+  EXPECT_EQ(d.role, PortRole::kSlave);
+  EXPECT_EQ(d.grandmaster.to_u64(), 7u);
+  ASSERT_TRUE(d.parent_port.has_value());
+  EXPECT_EQ(d.parent_port->clock.to_u64(), 7u);
+}
+
+TEST(BmcaEngineTest, WorseForeignMasterLoses) {
+  BmcaEngine engine({vec(50, 6, 42), 3'000'000'000});
+  engine.on_announce(announce_from(vec(100, 248, 7), 7), 0);
+  EXPECT_EQ(engine.evaluate(1).role, PortRole::kMaster);
+}
+
+TEST(BmcaEngineTest, BestOfSeveralForeignMasters) {
+  BmcaEngine engine({vec(200, 248, 42), 3'000'000'000});
+  engine.on_announce(announce_from(vec(100, 248, 7), 7), 0);
+  engine.on_announce(announce_from(vec(50, 248, 9), 9), 0);
+  engine.on_announce(announce_from(vec(80, 248, 11), 11), 0);
+  const auto d = engine.evaluate(1);
+  EXPECT_EQ(d.role, PortRole::kSlave);
+  EXPECT_EQ(d.grandmaster.to_u64(), 9u);
+}
+
+TEST(BmcaEngineTest, ForeignMasterExpires) {
+  BmcaEngine engine({vec(100, 248, 42), 1'000});
+  engine.on_announce(announce_from(vec(50, 6, 7), 7), 0);
+  EXPECT_EQ(engine.evaluate(500).role, PortRole::kSlave);
+  EXPECT_EQ(engine.evaluate(2'000).role, PortRole::kMaster);
+  EXPECT_EQ(engine.foreign_master_count(), 0u);
+}
+
+TEST(BmcaEngineTest, RefreshedAnnounceKeepsMasterAlive) {
+  BmcaEngine engine({vec(100, 248, 42), 1'000});
+  engine.on_announce(announce_from(vec(50, 6, 7), 7), 0);
+  engine.on_announce(announce_from(vec(50, 6, 7), 7), 900);
+  EXPECT_EQ(engine.evaluate(1'500).role, PortRole::kSlave);
+}
+
+TEST(BmcaEngineTest, IgnoresOwnReflectedAnnounce) {
+  BmcaEngine engine({vec(100, 248, 42), 3'000'000'000});
+  engine.on_announce(announce_from(vec(10, 6, 42), 42), 0); // claims our GM id
+  EXPECT_EQ(engine.evaluate(1).role, PortRole::kMaster);
+}
+
+TEST(BmcaEngineTest, PathTraceLoopPrevention) {
+  BmcaEngine engine({vec(100, 248, 42), 3'000'000'000});
+  auto ann = announce_from(vec(10, 6, 7), 7);
+  ann.path_trace = {ClockIdentity::from_u64(7), ClockIdentity::from_u64(42)};
+  engine.on_announce(ann, 0);
+  EXPECT_EQ(engine.evaluate(1).role, PortRole::kMaster);
+  EXPECT_EQ(engine.foreign_master_count(), 0u);
+}
+
+TEST(BmcaEngineTest, StepsRemovedIncrementedOnReceipt) {
+  BmcaEngine engine({vec(200, 248, 42), 3'000'000'000});
+  auto ann = announce_from(vec(100, 248, 7, 2), 7);
+  engine.on_announce(ann, 0);
+  // The same GM via a longer path (more steps) must not replace a shorter
+  // one from a different sender.
+  BmcaEngine engine2({vec(200, 248, 42), 3'000'000'000});
+  engine2.on_announce(announce_from(vec(100, 248, 7, 1), 8), 0);
+  engine2.on_announce(announce_from(vec(100, 248, 7, 5), 9), 0);
+  const auto d = engine2.evaluate(1);
+  ASSERT_TRUE(d.parent_port.has_value());
+  EXPECT_EQ(d.parent_port->clock.to_u64(), 8u);
+}
+
+} // namespace
+} // namespace tsn::gptp

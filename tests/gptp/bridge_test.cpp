@@ -1,0 +1,255 @@
+// Time-aware bridge tests: Sync relaying with correction-field accumulation
+// through one and two bridges, residence-time compensation, and multi-domain
+// separation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "gptp/bridge.hpp"
+#include "gptp/stack.hpp"
+#include "net/link.hpp"
+#include "net/nic.hpp"
+#include "net/switch.hpp"
+#include "sim/simulation.hpp"
+#include "util/stats.hpp"
+
+namespace tsn::gptp {
+namespace {
+
+using tsn::sim::SimTime;
+using tsn::sim::Simulation;
+using namespace tsn::sim::literals;
+
+time::PhcModel phc(double drift_ppm, double jitter = 0.0) {
+  time::PhcModel m;
+  m.oscillator.initial_drift_ppm = drift_ppm;
+  m.oscillator.wander_sigma_ppm = 0.0;
+  m.timestamp_jitter_ns = jitter;
+  return m;
+}
+
+net::LinkConfig link_cfg(std::int64_t d) {
+  net::LinkConfig cfg;
+  cfg.a_to_b = {d, 0.0};
+  cfg.b_to_a = {d, 0.0};
+  return cfg;
+}
+
+net::SwitchConfig switch_cfg(double drift_ppm, double residence_jitter = 0.0) {
+  net::SwitchConfig cfg;
+  cfg.port_count = 4;
+  cfg.residence_base_ns = 2'000;
+  cfg.residence_jitter_ns = residence_jitter;
+  cfg.phc = phc(drift_ppm);
+  return cfg;
+}
+
+InstanceConfig gm_cfg(std::uint8_t domain = 0) {
+  InstanceConfig c;
+  c.domain = domain;
+  c.role = PortRole::kMaster;
+  return c;
+}
+
+InstanceConfig slave_cfg(std::uint8_t domain = 0) {
+  InstanceConfig c;
+  c.domain = domain;
+  c.role = PortRole::kSlave;
+  return c;
+}
+
+/// GM -- sw -- slave chain with one bridge.
+struct OneBridge {
+  Simulation sim{21};
+  net::Nic gm_nic;
+  net::Nic slave_nic;
+  net::Switch sw;
+  net::Link l_gm;
+  net::Link l_slave;
+  PtpStack gm_stack;
+  PtpStack slave_stack;
+  TimeAwareBridge bridge;
+
+  OneBridge(double gm_drift, double sw_drift, double slave_drift,
+            double residence_jitter = 0.0, double ts_jitter = 0.0)
+      : gm_nic(sim, phc(gm_drift, ts_jitter), net::MacAddress::from_u64(0xA), "gm"),
+        slave_nic(sim, phc(slave_drift, ts_jitter), net::MacAddress::from_u64(0xB), "slave"),
+        sw(sim, switch_cfg(sw_drift, residence_jitter), "sw"),
+        l_gm(sim, gm_nic.port(), sw.port(0), link_cfg(600), "gm-sw"),
+        l_slave(sim, slave_nic.port(), sw.port(1), link_cfg(900), "sw-slave"),
+        gm_stack(sim, gm_nic, {}, "gm"),
+        slave_stack(sim, slave_nic, {}, "slave"),
+        bridge(sim, sw, bridge_config(), "br") {}
+
+  static BridgeConfig bridge_config() {
+    BridgeConfig cfg;
+    BridgeDomainConfig d;
+    d.domain = 0;
+    d.slave_port = 0;
+    d.master_ports = {1};
+    cfg.domains = {d};
+    return cfg;
+  }
+
+  void start() {
+    gm_stack.start();
+    slave_stack.start();
+    bridge.start();
+  }
+};
+
+TEST(BridgeTest, RelaysSyncToSlave) {
+  OneBridge t(0.0, 0.0, 0.0);
+  t.gm_stack.add_instance(gm_cfg());
+  auto& slave = t.slave_stack.add_instance(slave_cfg());
+  t.start();
+  t.sim.run_until(SimTime(10_s));
+  EXPECT_GT(slave.counters().offsets_computed, 40u);
+  EXPECT_GT(t.bridge.counters().syncs_relayed, 40u);
+  EXPECT_GT(t.bridge.counters().followups_relayed, 40u);
+}
+
+TEST(BridgeTest, CorrectionCompensatesResidenceAndUpstreamDelay) {
+  // All clocks perfect, no jitter: the computed slave offset must be ~0
+  // even though the frame spends ~2 us inside the bridge.
+  OneBridge t(0.0, 0.0, 0.0);
+  t.gm_stack.add_instance(gm_cfg());
+  auto& slave = t.slave_stack.add_instance(slave_cfg());
+  util::RunningStats st;
+  slave.set_offset_callback([&](const MasterOffsetSample& s) { st.add(s.offset_ns); });
+  t.start();
+  t.sim.run_until(SimTime(20_s));
+  ASSERT_GT(st.count(), 50u);
+  EXPECT_LT(std::abs(st.mean()), 5.0);
+  EXPECT_LT(st.max() - st.min(), 10.0);
+}
+
+TEST(BridgeTest, ResidenceJitterIsCompensated) {
+  // Large residence jitter must NOT leak into the offset: the bridge
+  // timestamps ingress/egress and writes the difference into the
+  // correction field.
+  OneBridge t(0.0, 0.0, 0.0, /*residence_jitter=*/500.0);
+  t.gm_stack.add_instance(gm_cfg());
+  auto& slave = t.slave_stack.add_instance(slave_cfg());
+  util::RunningStats st;
+  slave.set_offset_callback([&](const MasterOffsetSample& s) { st.add(s.offset_ns); });
+  t.start();
+  t.sim.run_until(SimTime(20_s));
+  ASSERT_GT(st.count(), 50u);
+  EXPECT_LT(st.stddev(), 20.0); // vs. 500 ns residence jitter uncompensated
+}
+
+TEST(BridgeTest, DriftingBridgeClockDoesNotBreakSync) {
+  // The bridge's free-running clock drifts +5 ppm; rate-ratio conversion in
+  // the correction math keeps the slave accurate.
+  OneBridge t(0.0, 5.0, -3.0);
+  t.gm_stack.add_instance(gm_cfg());
+  auto& slave = t.slave_stack.add_instance(slave_cfg());
+  slave.enable_local_servo({});
+  t.start();
+  t.sim.run_until(SimTime(60_s));
+  const double disagreement =
+      std::abs(static_cast<double>(t.gm_nic.phc().read() - t.slave_nic.phc().read()));
+  EXPECT_LT(disagreement, 100.0);
+}
+
+TEST(BridgeTest, SyncOnPassivePortIgnored) {
+  OneBridge t(0.0, 0.0, 0.0);
+  // Configure the *slave NIC* as a master in the same domain: its Syncs
+  // arrive on bridge port 1, which is a master (non-slave) port.
+  t.gm_stack.add_instance(gm_cfg());
+  t.slave_stack.add_instance(gm_cfg());
+  t.start();
+  t.sim.run_until(SimTime(5_s));
+  EXPECT_GT(t.bridge.counters().syncs_on_non_slave_port, 10u);
+}
+
+TEST(BridgeTest, UnconfiguredDomainNotRelayed) {
+  OneBridge t(0.0, 0.0, 0.0);
+  t.gm_stack.add_instance(gm_cfg(/*domain=*/7)); // bridge only knows domain 0
+  auto& slave = t.slave_stack.add_instance(slave_cfg(7));
+  t.start();
+  t.sim.run_until(SimTime(5_s));
+  EXPECT_EQ(slave.counters().syncs_received, 0u);
+}
+
+/// GM -- sw1 -- sw2 -- slave chain (two bridges).
+struct TwoBridges {
+  Simulation sim{31};
+  net::Nic gm_nic;
+  net::Nic slave_nic;
+  net::Switch sw1;
+  net::Switch sw2;
+  net::Link l_gm;
+  net::Link l_mid;
+  net::Link l_slave;
+  PtpStack gm_stack;
+  PtpStack slave_stack;
+  TimeAwareBridge br1;
+  TimeAwareBridge br2;
+
+  TwoBridges(double sw1_drift, double sw2_drift, double gm_drift = 2.0,
+             double slave_drift = -2.0, double ts_jitter = 4.0)
+      : gm_nic(sim, phc(gm_drift, ts_jitter), net::MacAddress::from_u64(0xA), "gm"),
+        slave_nic(sim, phc(slave_drift, ts_jitter), net::MacAddress::from_u64(0xB), "slave"),
+        sw1(sim, switch_cfg(sw1_drift, 200.0), "sw1"),
+        sw2(sim, switch_cfg(sw2_drift, 200.0), "sw2"),
+        l_gm(sim, gm_nic.port(), sw1.port(0), link_cfg(600), "gm-sw1"),
+        l_mid(sim, sw1.port(1), sw2.port(0), link_cfg(800), "sw1-sw2"),
+        l_slave(sim, slave_nic.port(), sw2.port(1), link_cfg(700), "sw2-slave"),
+        gm_stack(sim, gm_nic, {}, "gm"),
+        slave_stack(sim, slave_nic, {}, "slave"),
+        br1(sim, sw1, cfg_br1(), "br1"),
+        br2(sim, sw2, cfg_br2(), "br2") {}
+
+  static BridgeConfig cfg_br1() {
+    BridgeConfig cfg;
+    cfg.domains = {{0, 0, {1}}};
+    return cfg;
+  }
+  static BridgeConfig cfg_br2() {
+    BridgeConfig cfg;
+    cfg.domains = {{0, 0, {1}}};
+    return cfg;
+  }
+
+  void start() {
+    gm_stack.start();
+    slave_stack.start();
+    br1.start();
+    br2.start();
+  }
+};
+
+TEST(BridgeTest, TwoHopChainConverges) {
+  TwoBridges t(4.0, -4.0);
+  t.gm_stack.add_instance(gm_cfg());
+  auto& slave = t.slave_stack.add_instance(slave_cfg());
+  slave.enable_local_servo({});
+  t.start();
+  t.sim.run_until(SimTime(60_s));
+  const double disagreement =
+      std::abs(static_cast<double>(t.gm_nic.phc().read() - t.slave_nic.phc().read()));
+  EXPECT_LT(disagreement, 150.0);
+  EXPECT_GT(slave.counters().offsets_computed, 100u);
+}
+
+TEST(BridgeTest, CorrectionFieldGrowsAlongChain) {
+  // All clocks ideal and no servo: any residual offset would be path delay
+  // the correction field failed to carry.
+  TwoBridges t(0.0, 0.0, /*gm_drift=*/0.0, /*slave_drift=*/0.0, /*ts_jitter=*/0.0);
+  t.gm_stack.add_instance(gm_cfg());
+  auto& slave = t.slave_stack.add_instance(slave_cfg());
+  // Offsets near zero prove the correction field carried the full path
+  // delay (~2 residences + 2 upstream link delays ~ 6+ us).
+  util::RunningStats st;
+  slave.set_offset_callback([&](const MasterOffsetSample& s) { st.add(s.offset_ns); });
+  t.start();
+  t.sim.run_until(SimTime(30_s));
+  ASSERT_GT(st.count(), 20u);
+  EXPECT_LT(std::abs(st.mean()), 30.0);
+}
+
+} // namespace
+} // namespace tsn::gptp

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gptp_test_util.hpp"
+
+namespace tsn::gptp {
+namespace {
+
+using testutil::StackPair;
+using testutil::symmetric_link;
+using tsn::sim::SimTime;
+using namespace tsn::sim::literals;
+
+TEST(LinkDelayTest, MeasuresSymmetricDelay) {
+  StackPair p(0.0, 0.0, symmetric_link(1500));
+  p.stack_a.start();
+  p.stack_b.start();
+  p.sim.run_until(SimTime(10_s));
+  ASSERT_TRUE(p.stack_a.link_delay().valid());
+  // HW timestamps latch at the SFD, so the measured delay is propagation
+  // only, independent of the pdelay frame's serialization time.
+  const double expected = 1500.0;
+  EXPECT_NEAR(p.stack_a.link_delay().mean_link_delay_ns(), expected, 10.0);
+  EXPECT_NEAR(p.stack_b.link_delay().mean_link_delay_ns(), expected, 10.0);
+}
+
+TEST(LinkDelayTest, NeighborRateRatioTracksDrift) {
+  // B runs +4 ppm relative to A.
+  StackPair p(0.0, 4.0, symmetric_link(1000));
+  p.stack_a.start();
+  p.stack_b.start();
+  p.sim.run_until(SimTime(30_s));
+  ASSERT_TRUE(p.stack_a.link_delay().valid());
+  EXPECT_NEAR(p.stack_a.link_delay().neighbor_rate_ratio(), 1.000004, 2e-7);
+  EXPECT_NEAR(p.stack_b.link_delay().neighbor_rate_ratio(), 0.999996, 2e-7);
+}
+
+TEST(LinkDelayTest, DriftDoesNotBiasDelay) {
+  StackPair p(-5.0, 5.0, symmetric_link(2000));
+  p.stack_a.start();
+  p.stack_b.start();
+  p.sim.run_until(SimTime(30_s));
+  const double expected = 2000.0;
+  EXPECT_NEAR(p.stack_a.link_delay().mean_link_delay_ns(), expected, 15.0);
+}
+
+TEST(LinkDelayTest, JitterAveragesOut) {
+  StackPair p(0.0, 0.0, symmetric_link(1000, 50.0), /*ts_jitter=*/8.0, /*seed=*/3);
+  p.stack_a.start();
+  p.stack_b.start();
+  p.sim.run_until(SimTime(60_s));
+  ASSERT_TRUE(p.stack_a.link_delay().valid());
+  const double expected = 1000.0;
+  EXPECT_NEAR(p.stack_a.link_delay().mean_link_delay_ns(), expected, 60.0);
+}
+
+TEST(LinkDelayTest, InvalidatedWhenPeerDies) {
+  StackPair p(0.0, 0.0, symmetric_link(1000));
+  p.stack_a.start();
+  p.stack_b.start();
+  p.sim.run_until(SimTime(5_s));
+  ASSERT_TRUE(p.stack_a.link_delay().valid());
+  p.nic_b.set_up(false); // peer goes silent
+  p.sim.run_until(SimTime(15_s));
+  EXPECT_FALSE(p.stack_a.link_delay().valid());
+}
+
+TEST(LinkDelayTest, RecoversAfterPeerReturns) {
+  StackPair p(0.0, 0.0, symmetric_link(1000));
+  p.stack_a.start();
+  p.stack_b.start();
+  p.sim.run_until(SimTime(5_s));
+  p.nic_b.set_up(false);
+  p.sim.run_until(SimTime(15_s));
+  ASSERT_FALSE(p.stack_a.link_delay().valid());
+  p.nic_b.set_up(true);
+  p.sim.run_until(SimTime(25_s));
+  EXPECT_TRUE(p.stack_a.link_delay().valid());
+  EXPECT_NEAR(p.stack_a.link_delay().mean_link_delay_ns(), 1000.0, 10.0);
+}
+
+TEST(LinkDelayTest, ExchangeCountsAdvance) {
+  StackPair p(0.0, 0.0, symmetric_link(1000));
+  p.stack_a.start();
+  p.stack_b.start();
+  p.sim.run_until(SimTime(10_s));
+  // One exchange per second per initiator (both sides initiate).
+  EXPECT_GE(p.stack_a.link_delay().completed_exchanges(), 8u);
+  EXPECT_GE(p.stack_b.link_delay().completed_exchanges(), 8u);
+}
+
+} // namespace
+} // namespace tsn::gptp

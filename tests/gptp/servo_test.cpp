@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gptp/servo.hpp"
+
+namespace tsn::gptp {
+namespace {
+
+constexpr std::int64_t kSecond = 1'000'000'000;
+
+TEST(PiServoTest, FirstSampleIsUnlocked) {
+  PiServo servo;
+  const auto r = servo.sample(1000, 0);
+  EXPECT_EQ(r.state, PiServo::State::kUnlocked);
+}
+
+TEST(PiServoTest, LargeInitialOffsetRequestsJump) {
+  PiServo servo;
+  servo.sample(1'000'000, 0);
+  const auto r = servo.sample(1'000'000, kSecond);
+  EXPECT_EQ(r.state, PiServo::State::kJump);
+}
+
+TEST(PiServoTest, SmallInitialOffsetLocksWithoutJump) {
+  PiServo servo;
+  servo.sample(500, 0);
+  const auto r = servo.sample(500, kSecond);
+  EXPECT_EQ(r.state, PiServo::State::kLocked);
+}
+
+TEST(PiServoTest, DriftEstimatedFromFirstTwoSamples) {
+  PiServo servo;
+  // Offset grows 1000 ns per second -> +1000 ppb local frequency error.
+  servo.sample(0, 0);
+  const auto r = servo.sample(1000, kSecond);
+  EXPECT_EQ(r.state, PiServo::State::kLocked);
+  // integral ~ +1000 ppb (plus ki*offset), output ~ -(kp*1000 + integral).
+  EXPECT_LT(r.freq_ppb, -1000.0);
+}
+
+TEST(PiServoTest, PositiveOffsetYieldsNegativeCorrection) {
+  PiServo servo;
+  servo.sample(0, 0);
+  servo.sample(0, kSecond);
+  const auto r = servo.sample(800, 2 * kSecond);
+  EXPECT_EQ(r.state, PiServo::State::kLocked);
+  EXPECT_LT(r.freq_ppb, 0.0);
+}
+
+TEST(PiServoTest, NegativeOffsetYieldsPositiveCorrection) {
+  PiServo servo;
+  servo.sample(0, 0);
+  servo.sample(0, kSecond);
+  const auto r = servo.sample(-800, 2 * kSecond);
+  EXPECT_GT(r.freq_ppb, 0.0);
+}
+
+TEST(PiServoTest, FrequencyClamped) {
+  PiServoConfig cfg;
+  cfg.max_frequency_ppb = 100.0;
+  PiServo servo(cfg);
+  servo.sample(0, 0);
+  servo.sample(0, kSecond);
+  const auto r = servo.sample(1'000'000'0, 2 * kSecond);
+  EXPECT_GE(r.freq_ppb, -100.0);
+  EXPECT_LE(r.freq_ppb, 100.0);
+}
+
+TEST(PiServoTest, StepThresholdUnlocksWhenExceeded) {
+  PiServoConfig cfg;
+  cfg.step_threshold_ns = 10'000;
+  PiServo servo(cfg);
+  servo.sample(0, 0);
+  servo.sample(0, kSecond);
+  EXPECT_EQ(servo.sample(100, 2 * kSecond).state, PiServo::State::kLocked);
+  // A wild offset sends the servo back to acquisition.
+  EXPECT_EQ(servo.sample(50'000, 3 * kSecond).state, PiServo::State::kUnlocked);
+}
+
+TEST(PiServoTest, ResetKeepsIntegral) {
+  PiServo servo;
+  servo.sample(0, 0);
+  servo.sample(1000, kSecond); // learns ~1000 ppb
+  const double learned = servo.integral_ppb();
+  EXPECT_NE(learned, 0.0);
+  servo.reset();
+  EXPECT_EQ(servo.state(), PiServo::State::kUnlocked);
+  EXPECT_EQ(servo.integral_ppb(), learned);
+}
+
+TEST(PiServoTest, WarmStartIntegral) {
+  PiServo servo;
+  servo.set_integral_ppb(-2500.0);
+  const auto r = servo.sample(0, 0);
+  // Even the very first (unlocked) sample programs the inherited frequency.
+  EXPECT_DOUBLE_EQ(r.freq_ppb, 2500.0);
+}
+
+/// Closed-loop simulation: a simple discrete clock model disciplined by the
+/// servo must converge to the master from any drift within range.
+class ServoConvergence : public ::testing::TestWithParam<double> {};
+
+TEST_P(ServoConvergence, ConvergesForDrift) {
+  const double drift_ppm = GetParam();
+  PiServo servo;
+  const std::int64_t S = 125'000'000; // 125 ms
+  double slave_ns = 5'000.0;          // initial phase error
+  double freq_adj_ppb = 0.0;
+  double last_offset = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    const double rate = (1.0 + drift_ppm * 1e-6) * (1.0 + freq_adj_ppb * 1e-9);
+    slave_ns += static_cast<double>(S) * (rate - 1.0); // error growth per interval
+    last_offset = slave_ns;
+    const auto r = servo.sample(static_cast<std::int64_t>(slave_ns),
+                                static_cast<std::int64_t>(i) * S);
+    if (r.state == PiServo::State::kJump) {
+      slave_ns = 0.0;
+    }
+    freq_adj_ppb = r.freq_ppb;
+  }
+  EXPECT_LT(std::abs(last_offset), 50.0) << "drift " << drift_ppm << " ppm";
+}
+
+INSTANTIATE_TEST_SUITE_P(DriftSweep, ServoConvergence,
+                         ::testing::Values(-5.0, -2.5, -0.5, 0.0, 0.5, 2.5, 5.0));
+
+} // namespace
+} // namespace tsn::gptp

@@ -1,0 +1,131 @@
+// PtpStack demultiplexing and lifecycle edge cases.
+#include <gtest/gtest.h>
+
+#include "gptp_test_util.hpp"
+#include "util/stats.hpp"
+
+namespace tsn::gptp {
+namespace {
+
+using testutil::StackPair;
+using testutil::symmetric_link;
+using tsn::sim::SimTime;
+using namespace tsn::sim::literals;
+
+TEST(PtpStackTest, MalformedFramesCountedAndDropped) {
+  StackPair p(0.0, 0.0, symmetric_link(500));
+  p.stack_a.start();
+  p.stack_b.start();
+  // Inject garbage with the PTP ethertype.
+  net::EthernetFrame junk;
+  junk.dst = net::MacAddress::gptp_multicast();
+  junk.ethertype = net::kEtherTypePtp;
+  junk.payload = {0xDE, 0xAD, 0xBE, 0xEF};
+  p.nic_a.send(junk);
+  p.sim.run_until(SimTime(100_ms));
+  EXPECT_EQ(p.stack_b.malformed_frames(), 1u);
+}
+
+TEST(PtpStackTest, MessagesForUnknownDomainIgnored) {
+  StackPair p(0.0, 0.0, symmetric_link(500));
+  InstanceConfig gm;
+  gm.role = PortRole::kMaster;
+  gm.domain = 42;
+  p.stack_a.add_instance(gm);
+  InstanceConfig slave;
+  slave.role = PortRole::kSlave;
+  slave.domain = 7; // listens to a different domain
+  auto& inst = p.stack_b.add_instance(slave);
+  p.stack_a.start();
+  p.stack_b.start();
+  p.sim.run_until(SimTime(5_s));
+  EXPECT_EQ(inst.counters().syncs_received, 0u);
+}
+
+TEST(PtpStackTest, InstanceLookupByDomain) {
+  StackPair p(0.0, 0.0, symmetric_link(500));
+  InstanceConfig a;
+  a.domain = 1;
+  InstanceConfig b;
+  b.domain = 2;
+  p.stack_a.add_instance(a);
+  p.stack_a.add_instance(b);
+  EXPECT_NE(p.stack_a.instance_for_domain(1), nullptr);
+  EXPECT_NE(p.stack_a.instance_for_domain(2), nullptr);
+  EXPECT_EQ(p.stack_a.instance_for_domain(3), nullptr);
+  EXPECT_EQ(p.stack_a.instance_for_domain(1)->config().domain, 1);
+}
+
+TEST(PtpStackTest, StoppedStackIgnoresTraffic) {
+  StackPair p(0.0, 0.0, symmetric_link(500));
+  InstanceConfig gm;
+  gm.role = PortRole::kMaster;
+  p.stack_a.add_instance(gm);
+  auto& slave = p.stack_b.add_instance({});
+  p.stack_a.start();
+  p.stack_b.start();
+  p.sim.run_until(SimTime(5_s));
+  const auto received = slave.counters().syncs_received;
+  EXPECT_GT(received, 0u);
+  p.stack_b.stop();
+  p.sim.run_until(SimTime(10_s));
+  EXPECT_EQ(slave.counters().syncs_received, received);
+  // And it comes back after a restart.
+  p.stack_b.start();
+  p.sim.run_until(SimTime(15_s));
+  EXPECT_GT(slave.counters().syncs_received, received);
+}
+
+TEST(PtpStackTest, MultiDomainInstancesShareOnePdelayService) {
+  StackPair p(0.0, 3.0, symmetric_link(900));
+  for (std::uint8_t d = 1; d <= 4; ++d) {
+    InstanceConfig cfg;
+    cfg.domain = d;
+    cfg.role = PortRole::kSlave;
+    p.stack_a.add_instance(cfg);
+  }
+  p.stack_a.start();
+  p.stack_b.start();
+  p.sim.run_until(SimTime(10_s));
+  // One pdelay exchange per second regardless of 4 domains.
+  EXPECT_LE(p.stack_a.link_delay().completed_exchanges(), 11u);
+  EXPECT_GE(p.stack_a.link_delay().completed_exchanges(), 8u);
+  EXPECT_NEAR(p.stack_a.link_delay().mean_link_delay_ns(), 900.0, 10.0);
+}
+
+TEST(PtpStackTest, TwoDomainsSyncIndependently) {
+  // GM for domain 1 on A, GM for domain 2 on B; each side is also the
+  // other domain's slave -- the minimal mutual multi-domain setup.
+  StackPair p(2.0, -2.0, symmetric_link(700), 4.0, 9);
+  InstanceConfig gm1;
+  gm1.role = PortRole::kMaster;
+  gm1.domain = 1;
+  InstanceConfig slave2;
+  slave2.role = PortRole::kSlave;
+  slave2.domain = 2;
+  p.stack_a.add_instance(gm1);
+  auto& a_slave = p.stack_a.add_instance(slave2);
+  InstanceConfig gm2;
+  gm2.role = PortRole::kMaster;
+  gm2.domain = 2;
+  InstanceConfig slave1;
+  slave1.role = PortRole::kSlave;
+  slave1.domain = 1;
+  p.stack_b.add_instance(gm2);
+  auto& b_slave = p.stack_b.add_instance(slave1);
+
+  util::RunningStats a_off, b_off;
+  a_slave.set_offset_callback([&](const MasterOffsetSample& s) { a_off.add(s.offset_ns); });
+  b_slave.set_offset_callback([&](const MasterOffsetSample& s) { b_off.add(s.offset_ns); });
+  p.stack_a.start();
+  p.stack_b.start();
+  p.sim.run_until(SimTime(20_s));
+  EXPECT_GT(a_off.count(), 100u);
+  EXPECT_GT(b_off.count(), 100u);
+  // Offsets are consistent: A sees B's clock as B sees A's, mirrored
+  // (within drift accumulated over the window and noise).
+  EXPECT_NEAR(a_off.mean(), -b_off.mean(), 2'000.0);
+}
+
+} // namespace
+} // namespace tsn::gptp

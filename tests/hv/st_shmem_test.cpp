@@ -1,0 +1,61 @@
+#include "hv/st_shmem.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsn::hv {
+namespace {
+
+TEST(StShmemTest, ParamsRoundTrip) {
+  StShmem shm;
+  EXPECT_FALSE(shm.read_params().valid);
+  SyncTimeParams p;
+  p.base_tsc = 1000;
+  p.base_sync = 2000;
+  p.rate = 1.0000025;
+  p.valid = true;
+  shm.publish_params(p);
+  const auto q = shm.read_params();
+  EXPECT_TRUE(q.valid);
+  EXPECT_EQ(q.base_tsc, 1000);
+  EXPECT_EQ(q.base_sync, 2000);
+  EXPECT_DOUBLE_EQ(q.rate, 1.0000025);
+}
+
+TEST(StShmemTest, SynctimeDerivation) {
+  StShmem shm;
+  EXPECT_FALSE(read_synctime(shm, 123).has_value()); // no params yet
+  SyncTimeParams p;
+  p.base_tsc = 1'000'000;
+  p.base_sync = 5'000'000;
+  p.rate = 1.0;
+  p.valid = true;
+  shm.publish_params(p);
+  EXPECT_EQ(read_synctime(shm, 1'000'100).value(), 5'000'100);
+  // Rate scales the TSC delta.
+  p.rate = 2.0;
+  shm.publish_params(p);
+  EXPECT_EQ(read_synctime(shm, 1'000'100).value(), 5'000'200);
+  // Works backwards in TSC too.
+  EXPECT_EQ(read_synctime(shm, 999'900).value(), 4'999'800);
+}
+
+TEST(StShmemTest, HeartbeatAges) {
+  StShmem shm;
+  EXPECT_EQ(shm.heartbeat_age(0, 500), INT64_MAX); // never beaten
+  shm.heartbeat(0, 400);
+  EXPECT_EQ(shm.heartbeat_age(0, 500), 100);
+  EXPECT_EQ(shm.heartbeat_age(1, 500), INT64_MAX);
+}
+
+TEST(StShmemTest, ActiveVmAndGeneration) {
+  StShmem shm;
+  EXPECT_EQ(shm.active_vm(), 0u);
+  EXPECT_EQ(shm.generation(), 0u);
+  shm.set_active_vm(1);
+  EXPECT_EQ(shm.bump_generation(), 1u);
+  EXPECT_EQ(shm.active_vm(), 1u);
+  EXPECT_EQ(shm.generation(), 1u);
+}
+
+} // namespace
+} // namespace tsn::hv

@@ -1,0 +1,103 @@
+#include "hv/synctime_updater.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tsn::hv {
+namespace {
+
+using tsn::sim::SimTime;
+using tsn::sim::Simulation;
+using namespace tsn::sim::literals;
+
+time::PhcModel quiet(double drift_ppm) {
+  time::PhcModel m;
+  m.oscillator.initial_drift_ppm = drift_ppm;
+  m.oscillator.wander_sigma_ppm = 0.0;
+  m.timestamp_jitter_ns = 0.0;
+  return m;
+}
+
+struct Fixture {
+  Simulation sim{3};
+  time::PhcClock phc;  // the NIC clock carrying synchronized time
+  time::PhcClock tsc;  // the platform TSC
+  StShmem shmem;
+  SyncTimeUpdater updater;
+
+  explicit Fixture(double phc_drift = 0.0, double tsc_drift = 0.0,
+                   SyncTimeUpdaterConfig cfg = {})
+      : phc(sim, quiet(phc_drift), "phc"),
+        tsc(sim, quiet(tsc_drift), "tsc"),
+        updater(sim, phc, tsc, shmem, cfg, "upd") {}
+};
+
+TEST(SyncTimeUpdaterTest, HeartbeatsEvenWhenNotPublishing) {
+  Fixture f;
+  f.updater.start(1);
+  f.sim.run_until(SimTime(1_s));
+  EXPECT_LT(f.shmem.heartbeat_age(1, f.tsc.read()), 200_ms);
+  EXPECT_FALSE(f.shmem.read_params().valid);
+  EXPECT_EQ(f.updater.publications(), 0u);
+}
+
+TEST(SyncTimeUpdaterTest, PublishesWhenActive) {
+  Fixture f;
+  f.updater.start(0);
+  f.updater.set_publishing(true);
+  f.sim.run_until(SimTime(1_s));
+  EXPECT_TRUE(f.shmem.read_params().valid);
+  EXPECT_GT(f.updater.publications(), 5u);
+}
+
+TEST(SyncTimeUpdaterTest, SynctimeTracksPhcThroughTscMapping) {
+  // PHC +5 ppm, TSC -3 ppm: CLOCK_SYNCTIME derived via the TSC must still
+  // follow the PHC.
+  Fixture f(5.0, -3.0);
+  f.updater.start(0);
+  f.updater.set_publishing(true);
+  f.sim.run_until(SimTime(30_s));
+  const auto synctime = read_synctime(f.shmem, f.tsc.read());
+  ASSERT_TRUE(synctime.has_value());
+  EXPECT_NEAR(static_cast<double>(*synctime - f.phc.read()), 0.0, 50.0);
+  EXPECT_NEAR(f.updater.estimated_rate(), 1.000008, 1e-6);
+}
+
+TEST(SyncTimeUpdaterTest, TakeoverPublishesImmediately) {
+  Fixture f;
+  f.updater.start(0);
+  f.sim.run_until(SimTime(1_s));
+  EXPECT_FALSE(f.shmem.read_params().valid);
+  f.updater.set_publishing(true); // takeover IRQ path
+  EXPECT_TRUE(f.shmem.read_params().valid);
+}
+
+TEST(SyncTimeUpdaterTest, StopCeasesActivity) {
+  Fixture f;
+  f.updater.start(0);
+  f.updater.set_publishing(true);
+  f.sim.run_until(SimTime(1_s));
+  const auto pubs = f.updater.publications();
+  f.updater.stop();
+  f.sim.run_until(SimTime(2_s));
+  EXPECT_EQ(f.updater.publications(), pubs);
+  EXPECT_GT(f.shmem.heartbeat_age(0, f.tsc.read()), 500_ms);
+}
+
+TEST(SyncTimeUpdaterTest, FeedForwardRateConverges) {
+  SyncTimeUpdaterConfig cfg;
+  cfg.mode = SyncTimeMode::kFeedForward;
+  cfg.feed_forward_window = 16;
+  Fixture f(4.0, 0.0, cfg);
+  f.updater.start(0);
+  f.updater.set_publishing(true);
+  f.sim.run_until(SimTime(30_s));
+  EXPECT_NEAR(f.updater.estimated_rate(), 1.000004, 2e-7);
+  const auto synctime = read_synctime(f.shmem, f.tsc.read());
+  ASSERT_TRUE(synctime.has_value());
+  EXPECT_NEAR(static_cast<double>(*synctime - f.phc.read()), 0.0, 50.0);
+}
+
+} // namespace
+} // namespace tsn::hv

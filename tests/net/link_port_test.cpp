@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "net/link.hpp"
+#include "net/nic.hpp"
+#include "net/port.hpp"
+#include "sim/simulation.hpp"
+
+namespace tsn::net {
+namespace {
+
+using tsn::sim::SimTime;
+using tsn::sim::Simulation;
+using namespace tsn::sim::literals;
+
+time::PhcModel quiet_phc() {
+  time::PhcModel m;
+  m.oscillator.initial_drift_ppm = 0.0;
+  m.oscillator.wander_sigma_ppm = 0.0;
+  m.timestamp_jitter_ns = 0.0;
+  return m;
+}
+
+LinkConfig quiet_link(std::int64_t delay_ns = 500) {
+  LinkConfig cfg;
+  cfg.a_to_b = {delay_ns, 0.0};
+  cfg.b_to_a = {delay_ns, 0.0};
+  return cfg;
+}
+
+struct TwoNics {
+  Simulation sim{42};
+  Nic a;
+  Nic b;
+  Link link;
+
+  explicit TwoNics(LinkConfig cfg = quiet_link())
+      : a(sim, quiet_phc(), MacAddress::from_u64(0xA), "nicA"),
+        b(sim, quiet_phc(), MacAddress::from_u64(0xB), "nicB"),
+        link(sim, a.port(), b.port(), cfg, "ab") {}
+};
+
+EthernetFrame frame_to(MacAddress dst, std::uint16_t ethertype = 0x1234, std::size_t len = 46) {
+  EthernetFrame f;
+  f.dst = dst;
+  f.ethertype = ethertype;
+  f.payload.resize(len);
+  return f;
+}
+
+TEST(LinkTest, DeliversUnicastToPeer) {
+  TwoNics t;
+  int received = 0;
+  t.b.set_rx_handler(0x1234, [&](const EthernetFrame& f, const RxMeta&) {
+    ++received;
+    EXPECT_EQ(f.src, t.a.mac());
+  });
+  t.a.send(frame_to(t.b.mac()));
+  t.sim.run_until(SimTime(1_ms));
+  EXPECT_EQ(received, 1);
+}
+
+TEST(LinkTest, DeliveryDelayIsSerializationPlusPropagation) {
+  TwoNics t(quiet_link(500));
+  std::int64_t rx_time = -1;
+  t.b.set_rx_handler(0x1234, [&](const EthernetFrame&, const RxMeta& m) {
+    rx_time = m.true_rx_time.ns();
+  });
+  t.a.send(frame_to(t.b.mac()));
+  t.sim.run_until(SimTime(1_ms));
+  // 64-byte frame + 20B overhead = 84B = 672 bits @1Gbps = 672 ns, + 500.
+  EXPECT_EQ(rx_time, 672 + 500);
+}
+
+TEST(LinkTest, AsymmetricDelays) {
+  LinkConfig cfg;
+  cfg.a_to_b = {1000, 0.0};
+  cfg.b_to_a = {3000, 0.0};
+  TwoNics t(cfg);
+  std::int64_t rx_at_b = -1, rx_at_a = -1;
+  t.b.set_rx_handler(1, [&](const EthernetFrame&, const RxMeta& m) { rx_at_b = m.true_rx_time.ns(); });
+  t.a.set_rx_handler(1, [&](const EthernetFrame&, const RxMeta& m) { rx_at_a = m.true_rx_time.ns(); });
+  t.a.send(frame_to(t.b.mac(), 1));
+  t.sim.run_until(SimTime(1_ms));
+  const std::int64_t t_ab = rx_at_b;
+  t.b.send(frame_to(t.a.mac(), 1));
+  t.sim.run_until(SimTime(2_ms));
+  const std::int64_t t_ba = rx_at_a - 1_ms;
+  EXPECT_EQ(t_ba - t_ab, 2000);
+}
+
+TEST(NicTest, FiltersForeignUnicast) {
+  TwoNics t;
+  int received = 0;
+  t.b.set_rx_handler(0x1234, [&](const EthernetFrame&, const RxMeta&) { ++received; });
+  t.a.send(frame_to(MacAddress::from_u64(0xDEAD)));
+  t.sim.run_until(SimTime(1_ms));
+  EXPECT_EQ(received, 0);
+}
+
+TEST(NicTest, AcceptsBroadcastAndJoinedMulticast) {
+  TwoNics t;
+  int received = 0;
+  t.b.set_rx_handler(0x1234, [&](const EthernetFrame&, const RxMeta&) { ++received; });
+  t.a.send(frame_to(MacAddress::broadcast()));
+  const MacAddress group({0x01, 0x00, 0x5e, 0x00, 0x00, 0x01});
+  t.a.send(frame_to(group)); // not joined yet -> dropped
+  t.sim.run_until(SimTime(1_ms));
+  EXPECT_EQ(received, 1);
+  t.b.join_multicast(group);
+  t.a.send(frame_to(group));
+  t.sim.run_until(SimTime(2_ms));
+  EXPECT_EQ(received, 2);
+}
+
+TEST(NicTest, DownNicDropsRxAndTx) {
+  TwoNics t;
+  int received = 0;
+  t.b.set_rx_handler(0x1234, [&](const EthernetFrame&, const RxMeta&) { ++received; });
+  t.b.set_up(false);
+  t.a.send(frame_to(t.b.mac()));
+  t.sim.run_until(SimTime(1_ms));
+  EXPECT_EQ(received, 0);
+
+  bool reported_down = false;
+  t.b.send(frame_to(t.a.mac()), {std::nullopt, [&](const TxReport& r) {
+                                   reported_down = (r.status == TxReport::Status::kPortDown);
+                                 }});
+  EXPECT_TRUE(reported_down);
+}
+
+TEST(NicTest, TxTimestampDelivered) {
+  TwoNics t;
+  std::optional<std::int64_t> tx_ts;
+  TxOptions opts;
+  opts.on_complete = [&](const TxReport& r) {
+    ASSERT_EQ(r.status, TxReport::Status::kSent);
+    tx_ts = r.hw_tx_ts;
+  };
+  t.sim.at(SimTime(1_s), [&] { t.a.send(frame_to(t.b.mac()), opts); });
+  t.sim.run_until(SimTime(2_s));
+  ASSERT_TRUE(tx_ts.has_value());
+  EXPECT_NEAR(static_cast<double>(*tx_ts), 1e9, 2.0);
+}
+
+TEST(NicTest, RxHwTimestampPresent) {
+  TwoNics t;
+  std::optional<std::int64_t> rx_ts;
+  t.b.set_rx_handler(0x1234, [&](const EthernetFrame&, const RxMeta& m) { rx_ts = m.hw_rx_ts; });
+  t.a.send(frame_to(t.b.mac()));
+  t.sim.run_until(SimTime(1_ms));
+  ASSERT_TRUE(rx_ts.has_value());
+  // SFD timestamp: serialization excluded, only propagation remains.
+  EXPECT_NEAR(static_cast<double>(*rx_ts), 500.0, 2.0);
+}
+
+TEST(EtfTest, LaunchTimeHonored) {
+  TwoNics t;
+  std::int64_t rx_time = -1;
+  t.b.set_rx_handler(0x1234, [&](const EthernetFrame&, const RxMeta& m) {
+    rx_time = m.true_rx_time.ns();
+  });
+  TxOptions opts;
+  opts.launch_time = 100'000; // PHC time == true time for the quiet model
+  t.a.send(frame_to(t.b.mac()), opts);
+  t.sim.run_until(SimTime(1_ms));
+  EXPECT_NEAR(static_cast<double>(rx_time), 100'000 + 672 + 500, 3.0);
+}
+
+TEST(EtfTest, PastLaunchTimeIsDeadlineMiss) {
+  TwoNics t;
+  t.sim.run_until(SimTime(1_ms));
+  bool missed = false;
+  TxOptions opts;
+  opts.launch_time = 500'000; // in the past (now = 1 ms)
+  opts.on_complete = [&](const TxReport& r) {
+    missed = (r.status == TxReport::Status::kDeadlineMissed);
+  };
+  t.a.send(frame_to(t.b.mac()), opts);
+  EXPECT_TRUE(missed);
+}
+
+TEST(EtfTest, FarFutureLaunchTimeInvalid) {
+  TwoNics t;
+  bool invalid = false;
+  TxOptions opts;
+  opts.launch_time = 10'000'000'000; // 10 s ahead, beyond default 1 s horizon
+  opts.on_complete = [&](const TxReport& r) {
+    invalid = (r.status == TxReport::Status::kInvalidLaunch);
+  };
+  t.a.send(frame_to(t.b.mac()), opts);
+  EXPECT_TRUE(invalid);
+}
+
+TEST(EtfTest, LaunchTimeTracksDriftingPhc) {
+  // The launch gate compares against the *PHC*, not true time: with a +100
+  // ppm... (we use 5 ppm) fast PHC, launch happens slightly before true
+  // launch_time nanoseconds elapse.
+  Simulation sim(7);
+  time::PhcModel fast = quiet_phc();
+  fast.oscillator.initial_drift_ppm = 5.0;
+  Nic a(sim, fast, MacAddress::from_u64(0xA), "a");
+  Nic b(sim, quiet_phc(), MacAddress::from_u64(0xB), "b");
+  Link link(sim, a.port(), b.port(), quiet_link(0), "ab");
+  std::int64_t rx_time = -1;
+  b.set_rx_handler(0x1234, [&](const EthernetFrame&, const RxMeta& m) {
+    rx_time = m.true_rx_time.ns();
+  });
+  TxOptions opts;
+  opts.launch_time = 100'000'000; // 100 ms on a's PHC
+  a.send(frame_to(b.mac()), opts);
+  sim.run_until(SimTime(1_s));
+  ASSERT_GT(rx_time, 0);
+  const std::int64_t launch_true = rx_time - 672 - 0;
+  // 5 ppm over 100 ms = 500 ns early.
+  EXPECT_NEAR(static_cast<double>(launch_true), 100'000'000 - 500, 5.0);
+}
+
+} // namespace
+} // namespace tsn::net

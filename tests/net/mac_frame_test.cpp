@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "net/frame.hpp"
+#include "net/mac.hpp"
+
+namespace tsn::net {
+namespace {
+
+TEST(MacAddressTest, RoundTripU64) {
+  const MacAddress m = MacAddress::from_u64(0x0123456789abULL);
+  EXPECT_EQ(m.to_u64(), 0x0123456789abULL);
+  EXPECT_EQ(m.to_string(), "01:23:45:67:89:ab");
+}
+
+TEST(MacAddressTest, MulticastBit) {
+  EXPECT_TRUE(MacAddress::gptp_multicast().is_multicast());
+  EXPECT_TRUE(MacAddress::broadcast().is_multicast());
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_FALSE(MacAddress::from_u64(0x020000000001ULL).is_multicast());
+  EXPECT_FALSE(MacAddress::gptp_multicast().is_broadcast());
+}
+
+TEST(MacAddressTest, GptpMulticastWellKnown) {
+  EXPECT_EQ(MacAddress::gptp_multicast().to_string(), "01:80:c2:00:00:0e");
+}
+
+TEST(MacAddressTest, Ordering) {
+  EXPECT_LT(MacAddress::from_u64(1), MacAddress::from_u64(2));
+  EXPECT_EQ(MacAddress::from_u64(7), MacAddress::from_u64(7));
+}
+
+TEST(EthernetFrameTest, WireSizeMinimum) {
+  EthernetFrame f;
+  f.payload.resize(10);
+  EXPECT_EQ(f.wire_size(), 64u); // padded to minimum frame
+}
+
+TEST(EthernetFrameTest, WireSizeWithVlanAndPayload) {
+  EthernetFrame f;
+  f.payload.resize(100);
+  EXPECT_EQ(f.wire_size(), 118u);
+  f.vlan = VlanTag{10, 5};
+  EXPECT_EQ(f.wire_size(), 122u);
+}
+
+} // namespace
+} // namespace tsn::net

@@ -1,0 +1,110 @@
+#include "net/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "net/link.hpp"
+#include "net/nic.hpp"
+#include "sim/simulation.hpp"
+
+namespace tsn::net {
+namespace {
+
+using tsn::sim::SimTime;
+using tsn::sim::Simulation;
+using namespace tsn::sim::literals;
+
+std::uint32_t read_u32_le(std::ifstream& in) {
+  std::uint8_t b[4];
+  in.read(reinterpret_cast<char*>(b), 4);
+  return static_cast<std::uint32_t>(b[0]) | (b[1] << 8) | (b[2] << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+TEST(FrameToWireBytesTest, LayoutWithoutVlan) {
+  EthernetFrame f;
+  f.dst = MacAddress::from_u64(0x010203040506ULL);
+  f.src = MacAddress::from_u64(0x0A0B0C0D0E0FULL);
+  f.ethertype = 0x88F7;
+  f.payload = {0xDE, 0xAD};
+  const auto bytes = frame_to_wire_bytes(f);
+  ASSERT_GE(bytes.size(), 60u); // padded
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[5], 0x06);
+  EXPECT_EQ(bytes[6], 0x0A);
+  EXPECT_EQ(bytes[12], 0x88);
+  EXPECT_EQ(bytes[13], 0xF7);
+  EXPECT_EQ(bytes[14], 0xDE);
+  EXPECT_EQ(bytes[15], 0xAD);
+}
+
+TEST(FrameToWireBytesTest, VlanTagInserted) {
+  EthernetFrame f;
+  f.vlan = VlanTag{100, 6};
+  f.ethertype = 0x1234;
+  f.payload.resize(50);
+  const auto bytes = frame_to_wire_bytes(f);
+  EXPECT_EQ(bytes[12], 0x81); // TPID
+  EXPECT_EQ(bytes[13], 0x00);
+  EXPECT_EQ(bytes[14], (6 << 5) | 0); // pcp in the top 3 bits
+  EXPECT_EQ(bytes[15], 100);
+  EXPECT_EQ(bytes[16], 0x12);
+  EXPECT_EQ(bytes[17], 0x34);
+}
+
+TEST(PcapTracerTest, WritesValidHeaderAndRecords) {
+  const std::string path = "/tmp/tsn_pcap_test.pcap";
+  Simulation sim(1);
+  {
+    PcapTracer tracer(sim, path);
+    sim.at(SimTime(1'500'000'042), [&] {
+      EthernetFrame f;
+      f.ethertype = 0x88F7;
+      f.payload.resize(30);
+      tracer.record(f);
+    });
+    sim.run_until(SimTime(2_s));
+    EXPECT_EQ(tracer.frames_written(), 1u);
+    tracer.flush();
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  EXPECT_EQ(read_u32_le(in), 0xa1b23c4du); // ns-resolution magic
+  in.seekg(20);
+  EXPECT_EQ(read_u32_le(in), 1u); // LINKTYPE_ETHERNET
+  // First record header.
+  EXPECT_EQ(read_u32_le(in), 1u);             // ts_sec
+  EXPECT_EQ(read_u32_le(in), 500'000'042u);   // ts_nsec
+  const std::uint32_t incl = read_u32_le(in);
+  EXPECT_EQ(incl, 60u); // padded minimum frame
+  EXPECT_EQ(read_u32_le(in), incl);
+  std::remove(path.c_str());
+}
+
+TEST(PcapTracerTest, TapCapturesLiveTraffic) {
+  const std::string path = "/tmp/tsn_pcap_tap_test.pcap";
+  Simulation sim(2);
+  time::PhcModel quiet;
+  quiet.oscillator.initial_drift_ppm = 0.0;
+  quiet.oscillator.wander_sigma_ppm = 0.0;
+  Nic a(sim, quiet, MacAddress::from_u64(0xA), "a");
+  Nic b(sim, quiet, MacAddress::from_u64(0xB), "b");
+  Link link(sim, a.port(), b.port(), {}, "ab");
+  PcapTracer tracer(sim, path);
+  tracer.attach(b.port(), /*capture_tx=*/false, /*capture_rx=*/true);
+  for (int i = 0; i < 5; ++i) {
+    EthernetFrame f;
+    f.dst = b.mac();
+    f.ethertype = 0x1234;
+    f.payload.resize(46);
+    a.send(f);
+  }
+  sim.run_until(SimTime(1_ms));
+  EXPECT_EQ(tracer.frames_written(), 5u);
+  std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace tsn::net

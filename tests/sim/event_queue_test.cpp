@@ -1,0 +1,87 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tsn::sim {
+namespace {
+
+using namespace tsn::sim::literals;
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime(30), [&] { order.push_back(3); });
+  q.schedule(SimTime(10), [&] { order.push_back(1); });
+  q.schedule(SimTime(20), [&] { order.push_back(2); });
+  while (auto e = q.try_pop()) e->fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TieBrokenByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(SimTime(100), [&order, i] { order.push_back(i); });
+  }
+  while (auto e = q.try_pop()) e->fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle h = q.schedule(SimTime(10), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelMiddleKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime(1), [&] { order.push_back(1); });
+  EventHandle h = q.schedule(SimTime(2), [&] { order.push_back(2); });
+  q.schedule(SimTime(3), [&] { order.push_back(3); });
+  h.cancel();
+  while (auto e = q.try_pop()) e->fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventHandle h = q.schedule(SimTime(5), [] {});
+  q.schedule(SimTime(9), [] {});
+  h.cancel();
+  EXPECT_EQ(q.next_time(), SimTime(9));
+}
+
+TEST(EventQueueTest, EmptyAfterAllCancelled) {
+  EventQueue q;
+  auto a = q.schedule(SimTime(1), [] {});
+  auto b = q.schedule(SimTime(2), [] {});
+  a.cancel();
+  b.cancel();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(EventQueueTest, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel(); // must not crash
+}
+
+TEST(EventQueueTest, PoppedReportsScheduledTime) {
+  EventQueue q;
+  q.schedule(SimTime(1234), [] {});
+  auto e = q.try_pop();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->time, SimTime(1234));
+}
+
+} // namespace
+} // namespace tsn::sim

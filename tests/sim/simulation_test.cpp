@@ -1,0 +1,125 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tsn::sim {
+namespace {
+
+using namespace tsn::sim::literals;
+
+TEST(SimulationTest, TimeAdvancesWithEvents) {
+  Simulation sim;
+  std::vector<std::int64_t> times;
+  sim.after(100, [&] { times.push_back(sim.now().ns()); });
+  sim.after(50, [&] { times.push_back(sim.now().ns()); });
+  sim.run_until(SimTime(1000));
+  EXPECT_EQ(times, (std::vector<std::int64_t>{50, 100}));
+  EXPECT_EQ(sim.now(), SimTime(1000));
+}
+
+TEST(SimulationTest, RunUntilExecutesEventsAtLimit) {
+  Simulation sim;
+  bool fired = false;
+  sim.at(SimTime(100), [&] { fired = true; });
+  sim.run_until(SimTime(100));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulationTest, RunUntilStopsBeforeLaterEvents) {
+  Simulation sim;
+  bool fired = false;
+  sim.at(SimTime(101), [&] { fired = true; });
+  sim.run_until(SimTime(100));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.now(), SimTime(100));
+  sim.run_until(SimTime(200));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulationTest, PastScheduleClampsToNow) {
+  Simulation sim;
+  sim.at(SimTime(100), [&] {
+    // Scheduling in the past fires "immediately" rather than rewinding time.
+    sim.at(SimTime(10), [&] { EXPECT_EQ(sim.now(), SimTime(100)); });
+  });
+  sim.run_until(SimTime(1000));
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(SimulationTest, EventsCanScheduleEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.after(10, chain);
+  };
+  sim.after(0, chain);
+  sim.run_until(SimTime(1000));
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(SimulationTest, PeriodicFiresAtFixedTimes) {
+  Simulation sim;
+  std::vector<std::int64_t> fire_times;
+  sim.every(SimTime(100), 250, [&](SimTime t) { fire_times.push_back(t.ns()); });
+  sim.run_until(SimTime(1000));
+  EXPECT_EQ(fire_times, (std::vector<std::int64_t>{100, 350, 600, 850}));
+}
+
+TEST(SimulationTest, PeriodicCancelStops) {
+  Simulation sim;
+  int count = 0;
+  auto h = sim.every(SimTime(0), 100, [&](SimTime) { ++count; });
+  sim.at(SimTime(250), [&] { h.cancel(); });
+  sim.run_until(SimTime(10000));
+  EXPECT_EQ(count, 3); // t = 0, 100, 200
+}
+
+TEST(SimulationTest, PeriodicSelfCancelWithinCallback) {
+  Simulation sim;
+  int count = 0;
+  Simulation::PeriodicHandle h = sim.every(SimTime(0), 100, [&](SimTime) {
+    if (++count == 2) h.cancel();
+  });
+  sim.run_until(SimTime(10000));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulationTest, StopHaltsRun) {
+  Simulation sim;
+  int count = 0;
+  sim.every(SimTime(0), 10, [&](SimTime) {
+    if (++count == 5) sim.stop();
+  });
+  sim.run_until(SimTime(1'000'000));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(SimulationTest, RunEventsBounded) {
+  Simulation sim;
+  int count = 0;
+  sim.every(SimTime(0), 10, [&](SimTime) { ++count; });
+  const auto n = sim.run_events(7);
+  EXPECT_EQ(n, 7u);
+  EXPECT_EQ(count, 7);
+}
+
+TEST(SimulationTest, MakeRngIsDeterministicPerName) {
+  Simulation sim(123);
+  auto a = sim.make_rng("x");
+  auto b = sim.make_rng("x");
+  EXPECT_EQ(a.uniform01(), b.uniform01());
+}
+
+TEST(SimulationTest, PeriodicFirstFiringMayBeAtZero) {
+  Simulation sim;
+  std::vector<std::int64_t> fire_times;
+  sim.every(SimTime::zero(), 500, [&](SimTime t) { fire_times.push_back(t.ns()); });
+  sim.run_until(SimTime(1200));
+  EXPECT_EQ(fire_times, (std::vector<std::int64_t>{0, 500, 1000}));
+}
+
+} // namespace
+} // namespace tsn::sim

@@ -1,0 +1,88 @@
+// Long-horizon property tests on the clock models: the invariants every
+// layer above silently depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tsn_time/phc_clock.hpp"
+
+namespace tsn::time {
+namespace {
+
+using tsn::sim::SimTime;
+using tsn::sim::Simulation;
+using namespace tsn::sim::literals;
+
+class ClockPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClockPropertyTest, PhcReadsAreMonotoneUnderWanderAndServo) {
+  Simulation sim(GetParam());
+  PhcModel m; // random drift, default wander
+  PhcClock phc(sim, m, "prop");
+  util::RngStream rng = sim.make_rng("steps");
+  std::int64_t last = phc.read();
+  for (int i = 0; i < 5'000; ++i) {
+    sim.after(rng.uniform_int(1, 2'000'000), [] {});
+    sim.run_events(1);
+    // Aggressive servo activity must never make the counter run backwards.
+    if (i % 37 == 0) phc.adj_frequency(rng.uniform(-60'000.0, 60'000.0));
+    const std::int64_t now = phc.read();
+    ASSERT_GE(now, last) << "seed " << GetParam() << " step " << i;
+    last = now;
+  }
+}
+
+TEST_P(ClockPropertyTest, FreeRunningErrorBoundedByMaxDrift) {
+  Simulation sim(GetParam());
+  PhcModel m;
+  m.oscillator.max_drift_ppm = 5.0;
+  m.timestamp_jitter_ns = 0.0;
+  PhcClock phc(sim, m, "bounded");
+  for (int hour = 1; hour <= 6; ++hour) {
+    sim.run_until(SimTime(hour * 1_h));
+    const double err = std::abs(static_cast<double>(phc.read() - sim.now().ns()));
+    // |error| <= rmax * elapsed, the assumption behind Gamma = 2*rmax*S.
+    EXPECT_LE(err, 5e-6 * static_cast<double>(sim.now().ns()) + 1.0)
+        << "seed " << GetParam() << " hour " << hour;
+  }
+}
+
+TEST_P(ClockPropertyTest, HwTimestampErrorIsZeroMeanAndBounded) {
+  Simulation sim(GetParam());
+  PhcModel m;
+  m.oscillator.initial_drift_ppm = 0.0;
+  m.oscillator.wander_sigma_ppm = 0.0;
+  m.timestamp_jitter_ns = 8.0;
+  PhcClock phc(sim, m, "ts");
+  sim.run_until(SimTime(1_s));
+  double sum = 0.0;
+  double worst = 0.0;
+  const int n = 5'000;
+  for (int i = 0; i < n; ++i) {
+    const double err = static_cast<double>(phc.hw_timestamp() - phc.read());
+    sum += err;
+    worst = std::max(worst, std::abs(err));
+  }
+  EXPECT_NEAR(sum / n, 0.0, 1.0);
+  EXPECT_LT(worst, 8.0 * 6.0); // 6 sigma
+}
+
+TEST_P(ClockPropertyTest, StepIsExactAndRateIsPreserved) {
+  Simulation sim(GetParam());
+  PhcModel m;
+  m.oscillator.wander_sigma_ppm = 0.0;
+  m.timestamp_jitter_ns = 0.0;
+  PhcClock phc(sim, m, "step");
+  sim.run_until(SimTime(10_s));
+  const std::int64_t before = phc.read();
+  phc.step(123'456'789);
+  EXPECT_EQ(phc.read() - before, 123'456'789);
+  const double rate_before = phc.effective_rate();
+  phc.step(-123'456'789);
+  EXPECT_DOUBLE_EQ(phc.effective_rate(), rate_before); // steps don't touch rate
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClockPropertyTest, ::testing::Values(1, 7, 42, 1337));
+
+} // namespace
+} // namespace tsn::time

@@ -1,0 +1,91 @@
+#include "tsn_time/oscillator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tsn::time {
+namespace {
+
+using tsn::sim::SimTime;
+using namespace tsn::sim::literals;
+
+OscillatorModel fixed_drift(double ppm) {
+  OscillatorModel m;
+  m.initial_drift_ppm = ppm;
+  m.wander_sigma_ppm = 0.0; // freeze the random walk
+  return m;
+}
+
+TEST(OscillatorTest, ZeroDriftTracksTrueTime) {
+  Oscillator osc(fixed_drift(0.0), util::RngStream(1, "o"));
+  const long double elapsed = osc.advance(SimTime(1_s));
+  EXPECT_NEAR(static_cast<double>(elapsed), 1e9, 1e-3);
+}
+
+TEST(OscillatorTest, PositiveDriftRunsFast) {
+  Oscillator osc(fixed_drift(5.0), util::RngStream(1, "o"));
+  const long double elapsed = osc.advance(SimTime(1_s));
+  // +5 ppm over 1 s = +5000 ns.
+  EXPECT_NEAR(static_cast<double>(elapsed), 1e9 + 5000.0, 1e-3);
+}
+
+TEST(OscillatorTest, NegativeDriftRunsSlow) {
+  Oscillator osc(fixed_drift(-5.0), util::RngStream(1, "o"));
+  const long double elapsed = osc.advance(SimTime(1_s));
+  EXPECT_NEAR(static_cast<double>(elapsed), 1e9 - 5000.0, 1e-3);
+}
+
+TEST(OscillatorTest, SplitAdvanceEqualsSingleAdvance) {
+  Oscillator a(fixed_drift(3.0), util::RngStream(1, "o"));
+  Oscillator b(fixed_drift(3.0), util::RngStream(1, "o"));
+  long double split = a.advance(SimTime(400_ms));
+  split += a.advance(SimTime(1_s));
+  const long double whole = b.advance(SimTime(1_s));
+  EXPECT_NEAR(static_cast<double>(split - whole), 0.0, 1e-3);
+}
+
+TEST(OscillatorTest, WanderStaysBounded) {
+  OscillatorModel m;
+  m.initial_drift_ppm = 0.0;
+  m.max_drift_ppm = 5.0;
+  m.wander_sigma_ppm = 0.5; // aggressive wander to stress the bound
+  m.wander_step_ns = 1_ms;
+  Oscillator osc(m, util::RngStream(7, "wander"));
+  for (int i = 1; i <= 1000; ++i) {
+    osc.advance(SimTime(i * 1_ms));
+    EXPECT_LE(std::abs(osc.drift_ppm()), 5.0);
+  }
+}
+
+TEST(OscillatorTest, WanderIsDeterministicPerSeed) {
+  OscillatorModel m;
+  m.initial_drift_ppm = 0.0;
+  m.wander_sigma_ppm = 0.1;
+  Oscillator a(m, util::RngStream(7, "w"));
+  Oscillator b(m, util::RngStream(7, "w"));
+  a.advance(SimTime(1_s));
+  b.advance(SimTime(1_s));
+  EXPECT_EQ(a.drift_ppm(), b.drift_ppm());
+}
+
+TEST(OscillatorTest, RandomInitialDriftWithinBound) {
+  OscillatorModel m; // initial NaN -> random
+  m.max_drift_ppm = 5.0;
+  for (int seed = 0; seed < 20; ++seed) {
+    Oscillator osc(m, util::RngStream(seed, "r"));
+    EXPECT_LE(std::abs(osc.drift_ppm()), 5.0);
+  }
+}
+
+TEST(OscillatorTest, DriftRateBoundLimitsDivergence) {
+  // Two extreme-drift oscillators diverge at <= 2 * rmax * dt, the Gamma
+  // term of the paper's precision bound (1.25 us at S = 125 ms).
+  Oscillator fast(fixed_drift(5.0), util::RngStream(1, "f"));
+  Oscillator slow(fixed_drift(-5.0), util::RngStream(1, "s"));
+  const long double d = fast.advance(SimTime(125_ms)) - slow.advance(SimTime(125_ms));
+  EXPECT_NEAR(static_cast<double>(d), 1250.0, 1e-3); // 1.25 us
+}
+
+} // namespace
+} // namespace tsn::time

@@ -1,0 +1,119 @@
+#include "tsn_time/phc_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tsn::time {
+namespace {
+
+using tsn::sim::SimTime;
+using tsn::sim::Simulation;
+using namespace tsn::sim::literals;
+
+PhcModel quiet_model(double drift_ppm) {
+  PhcModel m;
+  m.oscillator.initial_drift_ppm = drift_ppm;
+  m.oscillator.wander_sigma_ppm = 0.0;
+  m.timestamp_jitter_ns = 0.0;
+  return m;
+}
+
+TEST(PhcClockTest, ReadAdvancesWithSimTime) {
+  Simulation sim;
+  PhcClock phc(sim, quiet_model(0.0), "phc0");
+  EXPECT_EQ(phc.read(), 0);
+  sim.after(1_s, [&] { EXPECT_NEAR(static_cast<double>(phc.read()), 1e9, 1.0); });
+  sim.run_until(SimTime(2_s));
+}
+
+TEST(PhcClockTest, DriftAccumulates) {
+  Simulation sim;
+  PhcClock phc(sim, quiet_model(5.0), "phc");
+  sim.after(10_s, [&] {
+    // +5 ppm over 10 s = +50 us.
+    EXPECT_NEAR(static_cast<double>(phc.read()) - 1e10, 50000.0, 1.0);
+  });
+  sim.run_until(SimTime(20_s));
+}
+
+TEST(PhcClockTest, FrequencyAdjustmentCompensatesDrift) {
+  Simulation sim;
+  PhcClock phc(sim, quiet_model(5.0), "phc");
+  phc.adj_frequency(-5000.0); // -5 ppm in ppb
+  sim.after(10_s, [&] {
+    // (1+5e-6)(1-5e-6) ~ 1 - 2.5e-11: residual ~0.25 ns over 10 s.
+    EXPECT_NEAR(static_cast<double>(phc.read()) - 1e10, 0.0, 5.0);
+  });
+  sim.run_until(SimTime(20_s));
+}
+
+TEST(PhcClockTest, StepShiftsPhase) {
+  Simulation sim;
+  PhcClock phc(sim, quiet_model(0.0), "phc");
+  phc.step(123456);
+  EXPECT_NEAR(static_cast<double>(phc.read()), 123456.0, 1.0);
+  phc.step(-23456);
+  EXPECT_NEAR(static_cast<double>(phc.read()), 100000.0, 1.0);
+}
+
+TEST(PhcClockTest, FreqAdjClamped) {
+  Simulation sim;
+  PhcModel m = quiet_model(0.0);
+  m.max_freq_adj_ppb = 1000.0;
+  PhcClock phc(sim, m, "phc");
+  phc.adj_frequency(5000.0);
+  EXPECT_DOUBLE_EQ(phc.freq_adj_ppb(), 1000.0);
+  phc.adj_frequency(-99999.0);
+  EXPECT_DOUBLE_EQ(phc.freq_adj_ppb(), -1000.0);
+}
+
+TEST(PhcClockTest, TimestampJitterIsBoundedAndNonDegenerate) {
+  Simulation sim;
+  PhcModel m = quiet_model(0.0);
+  m.timestamp_jitter_ns = 8.0;
+  PhcClock phc(sim, m, "phc");
+  sim.after(1_s, [&] {
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+      const double err = static_cast<double>(phc.hw_timestamp()) - static_cast<double>(phc.read());
+      sum += err;
+      sum2 += err * err;
+    }
+    const double mean = sum / n;
+    const double std = std::sqrt(sum2 / n - mean * mean);
+    EXPECT_NEAR(mean, 0.0, 1.0);
+    EXPECT_NEAR(std, 8.0, 1.5);
+  });
+  sim.run_until(SimTime(2_s));
+}
+
+TEST(PhcClockTest, MidIntervalAdjustmentIntegratesPiecewise) {
+  Simulation sim;
+  PhcClock phc(sim, quiet_model(0.0), "phc");
+  sim.at(SimTime(1_s), [&] { phc.adj_frequency(1000.0); }); // +1 ppm from t=1s
+  sim.at(SimTime(3_s), [&] {
+    // 1 s at rate 1.0 + 2 s at 1+1e-6 = 3s + 2000 ns.
+    EXPECT_NEAR(static_cast<double>(phc.read()) - 3e9, 2000.0, 1.0);
+  });
+  sim.run_until(SimTime(4_s));
+}
+
+TEST(PhcClockTest, TwoClocksSameSeedDifferentNamesDiverge) {
+  Simulation sim(99);
+  PhcModel m; // random initial drift
+  PhcClock a(sim, m, "a");
+  PhcClock b(sim, m, "b");
+  EXPECT_NE(a.true_drift_ppm(), b.true_drift_ppm());
+}
+
+TEST(PhcClockTest, EffectiveRateCombinesDriftAndAdj) {
+  Simulation sim;
+  PhcClock phc(sim, quiet_model(2.0), "phc");
+  phc.adj_frequency(3000.0);
+  EXPECT_NEAR(phc.effective_rate(), (1.0 + 2e-6) * (1.0 + 3e-6), 1e-12);
+}
+
+} // namespace
+} // namespace tsn::time

@@ -1,0 +1,49 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsn::util {
+namespace {
+
+TEST(ConfigTest, FromArgs) {
+  const char* argv[] = {"prog", "seed=42", "duration_h=24", "rate=2.5", "verbose=true"};
+  Config cfg = Config::from_args(5, argv);
+  EXPECT_EQ(cfg.get_int("seed", 0), 42);
+  EXPECT_EQ(cfg.get_int("duration_h", 0), 24);
+  EXPECT_DOUBLE_EQ(cfg.get_double("rate", 0.0), 2.5);
+  EXPECT_TRUE(cfg.get_bool("verbose", false));
+}
+
+TEST(ConfigTest, Defaults) {
+  Config cfg;
+  EXPECT_EQ(cfg.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(cfg.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(cfg.get_string("missing", "x"), "x");
+  EXPECT_FALSE(cfg.get_bool("missing", false));
+}
+
+TEST(ConfigTest, BadSyntaxThrows) {
+  const char* argv[] = {"prog", "novalue"};
+  EXPECT_THROW(Config::from_args(2, argv), std::invalid_argument);
+  const char* argv2[] = {"prog", "=x"};
+  EXPECT_THROW(Config::from_args(2, argv2), std::invalid_argument);
+}
+
+TEST(ConfigTest, BoolVariants) {
+  Config cfg;
+  cfg.set("a", "1");
+  cfg.set("b", "off");
+  cfg.set("c", "maybe");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_FALSE(cfg.get_bool("b", true));
+  EXPECT_THROW(cfg.get_bool("c", false), std::invalid_argument);
+}
+
+TEST(ConfigTest, WhitespaceTrimmed) {
+  const char* argv[] = {"prog", " key = value "};
+  Config cfg = Config::from_args(2, argv);
+  EXPECT_EQ(cfg.get_string("key"), "value");
+}
+
+} // namespace
+} // namespace tsn::util

@@ -1,0 +1,49 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsn::util {
+namespace {
+
+TEST(HistogramTest, BinAssignment) {
+  Histogram h(0.0, 100.0, 10.0);
+  EXPECT_EQ(h.bin_count(), 10u);
+  h.add(0.0);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(99.0);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(1), 1u);
+  EXPECT_EQ(h.bin(9), 1u);
+}
+
+TEST(HistogramTest, UnderOverflow) {
+  Histogram h(0.0, 10.0, 1.0);
+  h.add(-1.0);
+  h.add(10.0);
+  h.add(1e9);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  // Out-of-range values still count towards the stats (paper's Fig. 4b
+  // reports max = 10080 ns even though the plotted range ends at 1000 ns).
+  EXPECT_EQ(h.stats().count(), 3u);
+  EXPECT_EQ(h.stats().max(), 1e9);
+}
+
+TEST(HistogramTest, BinLo) {
+  Histogram h(100.0, 200.0, 25.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 100.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 175.0);
+}
+
+TEST(HistogramTest, AsciiRendersRows) {
+  Histogram h(0.0, 30.0, 10.0);
+  for (int i = 0; i < 5; ++i) h.add(5.0);
+  h.add(15.0);
+  const std::string art = h.ascii(20);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('5'), std::string::npos);
+}
+
+} // namespace
+} // namespace tsn::util

@@ -1,0 +1,110 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsn::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeedAndName) {
+  RngStream a(42, "foo");
+  RngStream b(42, "foo");
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform01(), b.uniform01());
+}
+
+TEST(RngTest, DifferentStreamsDiffer) {
+  RngStream a(42, "foo");
+  RngStream b(42, "bar");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform01() == b.uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  RngStream a(1, "foo");
+  RngStream b(2, "foo");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform01() == b.uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformRange) {
+  RngStream r(7, "u");
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  RngStream r(7, "ui");
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = r.uniform_int(0, 3);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == 0);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMoments) {
+  RngStream r(7, "n");
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(10.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, ChanceEdges) {
+  RngStream r(7, "c");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(RngTest, Fnv1aKnownValues) {
+  // FNV-1a reference: hash of empty string is the offset basis.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+}
+
+TEST(BoundedRandomWalkTest, StaysWithinBounds) {
+  RngStream r(9, "walk");
+  BoundedRandomWalk w(0.0, 0.5, 5.0);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = w.step(r);
+    EXPECT_LE(v, 5.0);
+    EXPECT_GE(v, -5.0);
+  }
+}
+
+TEST(BoundedRandomWalkTest, ActuallyMoves) {
+  RngStream r(9, "walk2");
+  BoundedRandomWalk w(0.0, 0.1, 5.0);
+  double min = 0, max = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = w.step(r);
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  EXPECT_LT(min, -0.5);
+  EXPECT_GT(max, 0.5);
+}
+
+} // namespace
+} // namespace tsn::util

@@ -1,0 +1,51 @@
+#include "util/series.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsn::util {
+namespace {
+
+TEST(TimeSeriesTest, AggregateBuckets) {
+  TimeSeries ts;
+  // Two points in bucket 0, one in bucket 2 (bucket = 100 ns).
+  ts.add(10, 1.0);
+  ts.add(90, 3.0);
+  ts.add(250, 10.0);
+  auto agg = ts.aggregate(100);
+  ASSERT_EQ(agg.size(), 2u);
+  EXPECT_EQ(agg[0].bucket_start_ns, 0);
+  EXPECT_DOUBLE_EQ(agg[0].avg, 2.0);
+  EXPECT_DOUBLE_EQ(agg[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(agg[0].max, 3.0);
+  EXPECT_EQ(agg[0].count, 2u);
+  EXPECT_EQ(agg[1].bucket_start_ns, 200);
+  EXPECT_DOUBLE_EQ(agg[1].avg, 10.0);
+}
+
+TEST(TimeSeriesTest, WindowHalfOpen) {
+  TimeSeries ts;
+  ts.add(0, 1.0);
+  ts.add(100, 2.0);
+  ts.add(200, 3.0);
+  auto w = ts.window(0, 200);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[1].t_ns, 100);
+}
+
+TEST(TimeSeriesTest, StatsMatchValues) {
+  TimeSeries ts;
+  ts.add(0, 2.0);
+  ts.add(1, 4.0);
+  auto st = ts.stats();
+  EXPECT_DOUBLE_EQ(st.mean(), 3.0);
+  EXPECT_EQ(st.count(), 2u);
+}
+
+TEST(TimeSeriesTest, EmptyAggregate) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.aggregate(100).empty());
+  EXPECT_TRUE(ts.empty());
+}
+
+} // namespace
+} // namespace tsn::util

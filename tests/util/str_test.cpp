@@ -1,0 +1,64 @@
+#include "util/str.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsn::util {
+namespace {
+
+TEST(StrTest, FormatBasic) {
+  EXPECT_EQ(format("%d+%d=%d", 1, 2, 3), "1+2=3");
+  EXPECT_EQ(format("%s", "hello"), "hello");
+  EXPECT_EQ(format("%.3f", 1.23456), "1.235");
+}
+
+TEST(StrTest, FormatEmptyAndLong) {
+  EXPECT_EQ(format("%s", ""), "");
+  const std::string big(5000, 'x');
+  EXPECT_EQ(format("%s", big.c_str()), big);
+}
+
+TEST(StrTest, TrimRemovesWhitespaceBothEnds) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StrTest, SplitBasic) {
+  auto parts = split("a, b ,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StrTest, SplitEmptyAndTrailing) {
+  EXPECT_EQ(split("", ',').size(), 1u);
+  auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StrTest, StartsWith) {
+  EXPECT_TRUE(starts_with("abcdef", "abc"));
+  EXPECT_FALSE(starts_with("ab", "abc"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(StrTest, HumanNs) {
+  EXPECT_EQ(human_ns(999), "999ns");
+  EXPECT_EQ(human_ns(1250), "1.25us");
+  EXPECT_EQ(human_ns(12636000), "12.64ms");
+  EXPECT_EQ(human_ns(-2500), "-2.50us");
+  EXPECT_EQ(human_ns(1500000000), "1.500s");
+}
+
+TEST(StrTest, Hms) {
+  EXPECT_EQ(hms(0), "00:00:00");
+  EXPECT_EQ(hms(3661LL * 1000000000LL), "01:01:01");
+  EXPECT_EQ(hms(86399LL * 1000000000LL), "23:59:59");
+}
+
+} // namespace
+} // namespace tsn::util

@@ -1,0 +1,128 @@
+// tsnfta_sim: run the paper's virtualized TSN testbed from the command
+// line with arbitrary parameters, faults and attacks -- the "driver" a
+// downstream user reaches for before writing code against the library.
+//
+// Examples:
+//   tsnfta_sim duration_min=10
+//   tsnfta_sim duration_min=60 attack_at_min=5 attack_gm=2 attack2_at_min=9 attack2_gm=0
+//   tsnfta_sim duration_min=30 inject_faults=true gm_kill_period_min=5
+//   tsnfta_sim duration_min=5 aggregation=median sync_interval_ns=62500000
+//   tsnfta_sim duration_min=5 pcap=run.pcap
+#include <cstdio>
+
+#include "experiments/harness.hpp"
+#include "experiments/report.hpp"
+#include "faults/attacker.hpp"
+#include "faults/injector.hpp"
+#include "net/pcap.hpp"
+#include "util/config.hpp"
+#include "util/log.hpp"
+#include "util/str.hpp"
+
+using namespace tsn;
+using namespace tsn::sim::literals;
+
+namespace {
+
+core::AggregationMethod parse_method(const std::string& name) {
+  if (name == "median") return core::AggregationMethod::kMedian;
+  if (name == "mean") return core::AggregationMethod::kMean;
+  return core::AggregationMethod::kFta;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  util::Config cli;
+  try {
+    cli = util::Config::from_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "usage: tsnfta_sim [key=value ...]   (%s)\n", e.what());
+    return 2;
+  }
+  util::set_log_level(util::parse_log_level(cli.get_string("log", "info")));
+
+  experiments::ScenarioConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  cfg.sync_interval_ns = cli.get_int("sync_interval_ns", cfg.sync_interval_ns);
+  cfg.aggregation = parse_method(cli.get_string("aggregation", "fta"));
+  cfg.validity_threshold_ns = cli.get_double("validity_threshold_ns", cfg.validity_threshold_ns);
+  cfg.synctime_feed_forward = cli.get_bool("feed_forward", false);
+  cfg.gm_mutual_sync = cli.get_bool("gm_mutual_sync", true);
+  if (cli.get_bool("diverse_kernels", false)) {
+    cfg.gm_kernels = {"4.19.1", "5.4.0", "5.10.0", "6.1.0"};
+  }
+
+  experiments::Scenario scenario(cfg);
+  experiments::ExperimentHarness harness(scenario);
+
+  std::unique_ptr<net::PcapTracer> pcap;
+  if (cli.has("pcap")) {
+    pcap = std::make_unique<net::PcapTracer>(scenario.sim(), cli.get_string("pcap"));
+    pcap->attach(scenario.measurement_vm().nic().port());
+    std::printf("capturing the measurement VM's traffic to %s\n",
+                cli.get_string("pcap").c_str());
+  }
+
+  std::printf("booting the 4-ECD testbed (seed %llu)...\n",
+              static_cast<unsigned long long>(cfg.seed));
+  harness.bring_up();
+  const auto cal = harness.calibrate();
+  std::printf("initial synchronization complete at t=%s; Pi=%.2f us, gamma=%.2f us\n",
+              util::hms(scenario.sim().now().ns()).c_str(), cal.bound.pi_ns / 1000.0,
+              cal.gamma_ns / 1000.0);
+
+  faults::Attacker attacker(scenario.sim(), faults::KernelVulnDb::with_defaults());
+  const std::int64_t t0 = scenario.sim().now().ns();
+  for (const char* prefix : {"attack", "attack2"}) {
+    const std::string at_key = std::string(prefix) + "_at_min";
+    if (!cli.has(at_key)) continue;
+    const std::size_t gm = static_cast<std::size_t>(
+        cli.get_int(std::string(prefix) + "_gm", 0));
+    attacker.add_step({t0 + cli.get_int(at_key, 0) * 60'000'000'000LL,
+                       &scenario.gm_vm(gm % scenario.num_ecds())});
+  }
+  attacker.start();
+
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (cli.get_bool("inject_faults", false)) {
+    faults::InjectorConfig icfg;
+    icfg.gm_kill_period_ns = cli.get_int("gm_kill_period_min", 30) * 60'000'000'000LL;
+    icfg.standby_kills_per_hour = cli.get_double("standby_kills_per_hour", 0.65);
+    injector = std::make_unique<faults::FaultInjector>(scenario.sim(), scenario.ecd_ptrs(), icfg);
+    injector->spare(&scenario.measurement_vm());
+    injector->start();
+  }
+
+  const std::int64_t duration = cli.get_int("duration_min", 10) * 60'000'000'000LL;
+  std::printf("running the measured phase for %lld min...\n",
+              static_cast<long long>(duration / 60'000'000'000LL));
+  harness.run_measured(duration);
+
+  experiments::print_precision_series(scenario.probe().series(), cal.bound.pi_ns, cal.gamma_ns,
+                                      cli.get_int("bucket_s", 120) * 1'000'000'000LL);
+  if (injector) {
+    std::printf("\nfault injection: %llu kills (%llu GM), %zu takeovers\n",
+                static_cast<unsigned long long>(injector->stats().total_kills),
+                static_cast<unsigned long long>(injector->stats().gm_kills),
+                harness.events().count(experiments::EventKind::kTakeover));
+  }
+  if (!attacker.results().empty()) {
+    std::printf("attacks: %zu attempted, %zu succeeded\n", attacker.results().size(),
+                attacker.successful_exploits());
+  }
+  if (cli.has("csv")) {
+    experiments::dump_series_csv(scenario.probe().series(), cli.get_string("csv"));
+    std::printf("series written to %s\n", cli.get_string("csv").c_str());
+  }
+  if (pcap) {
+    pcap->flush();
+    std::printf("pcap: %llu frames captured\n",
+                static_cast<unsigned long long>(pcap->frames_written()));
+  }
+
+  const double holds = experiments::bound_holding_fraction(scenario.probe().series(),
+                                                           cal.bound.pi_ns, cal.gamma_ns);
+  std::printf("\nprecision bound held for %.2f%% of samples\n", 100.0 * holds);
+  return 0;
+}
