@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_e2e_vs_p2p.dir/ablation_e2e_vs_p2p.cpp.o"
+  "CMakeFiles/ablation_e2e_vs_p2p.dir/ablation_e2e_vs_p2p.cpp.o.d"
+  "ablation_e2e_vs_p2p"
+  "ablation_e2e_vs_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_e2e_vs_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fail_consistent.dir/ablation_fail_consistent.cpp.o"
+  "CMakeFiles/ablation_fail_consistent.dir/ablation_fail_consistent.cpp.o.d"
+  "ablation_fail_consistent"
+  "ablation_fail_consistent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fail_consistent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_feed_forward.dir/ablation_feed_forward.cpp.o"
+  "CMakeFiles/ablation_feed_forward.dir/ablation_feed_forward.cpp.o.d"
+  "ablation_feed_forward"
+  "ablation_feed_forward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_feed_forward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_kyriakakis.dir/baseline_kyriakakis.cpp.o"
+  "CMakeFiles/baseline_kyriakakis.dir/baseline_kyriakakis.cpp.o.d"
+  "baseline_kyriakakis"
+  "baseline_kyriakakis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_kyriakakis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

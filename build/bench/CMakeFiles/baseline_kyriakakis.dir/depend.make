@@ -1,0 +1,2 @@
+# Empty dependencies file for baseline_kyriakakis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_attack_identical.dir/fig3a_attack_identical.cpp.o"
+  "CMakeFiles/fig3a_attack_identical.dir/fig3a_attack_identical.cpp.o.d"
+  "fig3a_attack_identical"
+  "fig3a_attack_identical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_attack_identical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

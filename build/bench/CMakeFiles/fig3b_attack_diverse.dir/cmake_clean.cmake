@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_attack_diverse.dir/fig3b_attack_diverse.cpp.o"
+  "CMakeFiles/fig3b_attack_diverse.dir/fig3b_attack_diverse.cpp.o.d"
+  "fig3b_attack_diverse"
+  "fig3b_attack_diverse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_attack_diverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

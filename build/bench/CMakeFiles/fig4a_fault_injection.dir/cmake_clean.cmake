@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_fault_injection.dir/fig4a_fault_injection.cpp.o"
+  "CMakeFiles/fig4a_fault_injection.dir/fig4a_fault_injection.cpp.o.d"
+  "fig4a_fault_injection"
+  "fig4a_fault_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_fault_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

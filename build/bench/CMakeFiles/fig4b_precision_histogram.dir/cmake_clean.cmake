@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_precision_histogram.dir/fig4b_precision_histogram.cpp.o"
+  "CMakeFiles/fig4b_precision_histogram.dir/fig4b_precision_histogram.cpp.o.d"
+  "fig4b_precision_histogram"
+  "fig4b_precision_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_precision_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_zoom_events.dir/fig5_zoom_events.cpp.o"
+  "CMakeFiles/fig5_zoom_events.dir/fig5_zoom_events.cpp.o.d"
+  "fig5_zoom_events"
+  "fig5_zoom_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_zoom_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

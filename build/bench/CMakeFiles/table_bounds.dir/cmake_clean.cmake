@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_bounds.dir/table_bounds.cpp.o"
+  "CMakeFiles/table_bounds.dir/table_bounds.cpp.o.d"
+  "table_bounds"
+  "table_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

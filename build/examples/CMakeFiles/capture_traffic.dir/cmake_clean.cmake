@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_traffic.dir/capture_traffic.cpp.o"
+  "CMakeFiles/capture_traffic.dir/capture_traffic.cpp.o.d"
+  "capture_traffic"
+  "capture_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_domain_byzantine.dir/multi_domain_byzantine.cpp.o"
+  "CMakeFiles/multi_domain_byzantine.dir/multi_domain_byzantine.cpp.o.d"
+  "multi_domain_byzantine"
+  "multi_domain_byzantine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_domain_byzantine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_diversity.dir/os_diversity.cpp.o"
+  "CMakeFiles/os_diversity.dir/os_diversity.cpp.o.d"
+  "os_diversity"
+  "os_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_core.dir/coordinator.cpp.o"
+  "CMakeFiles/tsn_core.dir/coordinator.cpp.o.d"
+  "CMakeFiles/tsn_core.dir/ft_shmem.cpp.o"
+  "CMakeFiles/tsn_core.dir/ft_shmem.cpp.o.d"
+  "CMakeFiles/tsn_core.dir/fta.cpp.o"
+  "CMakeFiles/tsn_core.dir/fta.cpp.o.d"
+  "CMakeFiles/tsn_core.dir/validity.cpp.o"
+  "CMakeFiles/tsn_core.dir/validity.cpp.o.d"
+  "libtsn_core.a"
+  "libtsn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_experiments.dir/event_log.cpp.o"
+  "CMakeFiles/tsn_experiments.dir/event_log.cpp.o.d"
+  "CMakeFiles/tsn_experiments.dir/harness.cpp.o"
+  "CMakeFiles/tsn_experiments.dir/harness.cpp.o.d"
+  "CMakeFiles/tsn_experiments.dir/report.cpp.o"
+  "CMakeFiles/tsn_experiments.dir/report.cpp.o.d"
+  "CMakeFiles/tsn_experiments.dir/scenario.cpp.o"
+  "CMakeFiles/tsn_experiments.dir/scenario.cpp.o.d"
+  "libtsn_experiments.a"
+  "libtsn_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

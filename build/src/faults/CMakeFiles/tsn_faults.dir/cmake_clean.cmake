@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_faults.dir/attacker.cpp.o"
+  "CMakeFiles/tsn_faults.dir/attacker.cpp.o.d"
+  "CMakeFiles/tsn_faults.dir/injector.cpp.o"
+  "CMakeFiles/tsn_faults.dir/injector.cpp.o.d"
+  "CMakeFiles/tsn_faults.dir/kernel_vuln.cpp.o"
+  "CMakeFiles/tsn_faults.dir/kernel_vuln.cpp.o.d"
+  "libtsn_faults.a"
+  "libtsn_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gptp/bmca.cpp" "src/gptp/CMakeFiles/tsn_gptp.dir/bmca.cpp.o" "gcc" "src/gptp/CMakeFiles/tsn_gptp.dir/bmca.cpp.o.d"
+  "/root/repo/src/gptp/bridge.cpp" "src/gptp/CMakeFiles/tsn_gptp.dir/bridge.cpp.o" "gcc" "src/gptp/CMakeFiles/tsn_gptp.dir/bridge.cpp.o.d"
+  "/root/repo/src/gptp/instance.cpp" "src/gptp/CMakeFiles/tsn_gptp.dir/instance.cpp.o" "gcc" "src/gptp/CMakeFiles/tsn_gptp.dir/instance.cpp.o.d"
+  "/root/repo/src/gptp/link_delay.cpp" "src/gptp/CMakeFiles/tsn_gptp.dir/link_delay.cpp.o" "gcc" "src/gptp/CMakeFiles/tsn_gptp.dir/link_delay.cpp.o.d"
+  "/root/repo/src/gptp/messages.cpp" "src/gptp/CMakeFiles/tsn_gptp.dir/messages.cpp.o" "gcc" "src/gptp/CMakeFiles/tsn_gptp.dir/messages.cpp.o.d"
+  "/root/repo/src/gptp/servo.cpp" "src/gptp/CMakeFiles/tsn_gptp.dir/servo.cpp.o" "gcc" "src/gptp/CMakeFiles/tsn_gptp.dir/servo.cpp.o.d"
+  "/root/repo/src/gptp/stack.cpp" "src/gptp/CMakeFiles/tsn_gptp.dir/stack.cpp.o" "gcc" "src/gptp/CMakeFiles/tsn_gptp.dir/stack.cpp.o.d"
+  "/root/repo/src/gptp/types.cpp" "src/gptp/CMakeFiles/tsn_gptp.dir/types.cpp.o" "gcc" "src/gptp/CMakeFiles/tsn_gptp.dir/types.cpp.o.d"
+  "/root/repo/src/gptp/wire.cpp" "src/gptp/CMakeFiles/tsn_gptp.dir/wire.cpp.o" "gcc" "src/gptp/CMakeFiles/tsn_gptp.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsn_time/CMakeFiles/tsn_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_gptp.dir/bmca.cpp.o"
+  "CMakeFiles/tsn_gptp.dir/bmca.cpp.o.d"
+  "CMakeFiles/tsn_gptp.dir/bridge.cpp.o"
+  "CMakeFiles/tsn_gptp.dir/bridge.cpp.o.d"
+  "CMakeFiles/tsn_gptp.dir/instance.cpp.o"
+  "CMakeFiles/tsn_gptp.dir/instance.cpp.o.d"
+  "CMakeFiles/tsn_gptp.dir/link_delay.cpp.o"
+  "CMakeFiles/tsn_gptp.dir/link_delay.cpp.o.d"
+  "CMakeFiles/tsn_gptp.dir/messages.cpp.o"
+  "CMakeFiles/tsn_gptp.dir/messages.cpp.o.d"
+  "CMakeFiles/tsn_gptp.dir/servo.cpp.o"
+  "CMakeFiles/tsn_gptp.dir/servo.cpp.o.d"
+  "CMakeFiles/tsn_gptp.dir/stack.cpp.o"
+  "CMakeFiles/tsn_gptp.dir/stack.cpp.o.d"
+  "CMakeFiles/tsn_gptp.dir/types.cpp.o"
+  "CMakeFiles/tsn_gptp.dir/types.cpp.o.d"
+  "CMakeFiles/tsn_gptp.dir/wire.cpp.o"
+  "CMakeFiles/tsn_gptp.dir/wire.cpp.o.d"
+  "libtsn_gptp.a"
+  "libtsn_gptp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_gptp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/clock_sync_vm.cpp" "src/hv/CMakeFiles/tsn_hv.dir/clock_sync_vm.cpp.o" "gcc" "src/hv/CMakeFiles/tsn_hv.dir/clock_sync_vm.cpp.o.d"
+  "/root/repo/src/hv/ecd.cpp" "src/hv/CMakeFiles/tsn_hv.dir/ecd.cpp.o" "gcc" "src/hv/CMakeFiles/tsn_hv.dir/ecd.cpp.o.d"
+  "/root/repo/src/hv/monitor.cpp" "src/hv/CMakeFiles/tsn_hv.dir/monitor.cpp.o" "gcc" "src/hv/CMakeFiles/tsn_hv.dir/monitor.cpp.o.d"
+  "/root/repo/src/hv/st_shmem.cpp" "src/hv/CMakeFiles/tsn_hv.dir/st_shmem.cpp.o" "gcc" "src/hv/CMakeFiles/tsn_hv.dir/st_shmem.cpp.o.d"
+  "/root/repo/src/hv/synctime_updater.cpp" "src/hv/CMakeFiles/tsn_hv.dir/synctime_updater.cpp.o" "gcc" "src/hv/CMakeFiles/tsn_hv.dir/synctime_updater.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tsn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gptp/CMakeFiles/tsn_gptp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsn_time/CMakeFiles/tsn_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

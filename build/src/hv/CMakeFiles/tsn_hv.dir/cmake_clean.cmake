@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_hv.dir/clock_sync_vm.cpp.o"
+  "CMakeFiles/tsn_hv.dir/clock_sync_vm.cpp.o.d"
+  "CMakeFiles/tsn_hv.dir/ecd.cpp.o"
+  "CMakeFiles/tsn_hv.dir/ecd.cpp.o.d"
+  "CMakeFiles/tsn_hv.dir/monitor.cpp.o"
+  "CMakeFiles/tsn_hv.dir/monitor.cpp.o.d"
+  "CMakeFiles/tsn_hv.dir/st_shmem.cpp.o"
+  "CMakeFiles/tsn_hv.dir/st_shmem.cpp.o.d"
+  "CMakeFiles/tsn_hv.dir/synctime_updater.cpp.o"
+  "CMakeFiles/tsn_hv.dir/synctime_updater.cpp.o.d"
+  "libtsn_hv.a"
+  "libtsn_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

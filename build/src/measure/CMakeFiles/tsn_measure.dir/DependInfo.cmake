@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/bound.cpp" "src/measure/CMakeFiles/tsn_measure.dir/bound.cpp.o" "gcc" "src/measure/CMakeFiles/tsn_measure.dir/bound.cpp.o.d"
+  "/root/repo/src/measure/path_delay.cpp" "src/measure/CMakeFiles/tsn_measure.dir/path_delay.cpp.o" "gcc" "src/measure/CMakeFiles/tsn_measure.dir/path_delay.cpp.o.d"
+  "/root/repo/src/measure/precision_probe.cpp" "src/measure/CMakeFiles/tsn_measure.dir/precision_probe.cpp.o" "gcc" "src/measure/CMakeFiles/tsn_measure.dir/precision_probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/CMakeFiles/tsn_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tsn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gptp/CMakeFiles/tsn_gptp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsn_time/CMakeFiles/tsn_time.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_measure.dir/bound.cpp.o"
+  "CMakeFiles/tsn_measure.dir/bound.cpp.o.d"
+  "CMakeFiles/tsn_measure.dir/path_delay.cpp.o"
+  "CMakeFiles/tsn_measure.dir/path_delay.cpp.o.d"
+  "CMakeFiles/tsn_measure.dir/precision_probe.cpp.o"
+  "CMakeFiles/tsn_measure.dir/precision_probe.cpp.o.d"
+  "libtsn_measure.a"
+  "libtsn_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

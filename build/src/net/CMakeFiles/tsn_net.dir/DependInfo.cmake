@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/frame.cpp" "src/net/CMakeFiles/tsn_net.dir/frame.cpp.o" "gcc" "src/net/CMakeFiles/tsn_net.dir/frame.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/tsn_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/tsn_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/mac.cpp" "src/net/CMakeFiles/tsn_net.dir/mac.cpp.o" "gcc" "src/net/CMakeFiles/tsn_net.dir/mac.cpp.o.d"
+  "/root/repo/src/net/nic.cpp" "src/net/CMakeFiles/tsn_net.dir/nic.cpp.o" "gcc" "src/net/CMakeFiles/tsn_net.dir/nic.cpp.o.d"
+  "/root/repo/src/net/pcap.cpp" "src/net/CMakeFiles/tsn_net.dir/pcap.cpp.o" "gcc" "src/net/CMakeFiles/tsn_net.dir/pcap.cpp.o.d"
+  "/root/repo/src/net/port.cpp" "src/net/CMakeFiles/tsn_net.dir/port.cpp.o" "gcc" "src/net/CMakeFiles/tsn_net.dir/port.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "src/net/CMakeFiles/tsn_net.dir/switch.cpp.o" "gcc" "src/net/CMakeFiles/tsn_net.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsn_time/CMakeFiles/tsn_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

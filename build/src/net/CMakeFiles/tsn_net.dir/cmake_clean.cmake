@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_net.dir/frame.cpp.o"
+  "CMakeFiles/tsn_net.dir/frame.cpp.o.d"
+  "CMakeFiles/tsn_net.dir/link.cpp.o"
+  "CMakeFiles/tsn_net.dir/link.cpp.o.d"
+  "CMakeFiles/tsn_net.dir/mac.cpp.o"
+  "CMakeFiles/tsn_net.dir/mac.cpp.o.d"
+  "CMakeFiles/tsn_net.dir/nic.cpp.o"
+  "CMakeFiles/tsn_net.dir/nic.cpp.o.d"
+  "CMakeFiles/tsn_net.dir/pcap.cpp.o"
+  "CMakeFiles/tsn_net.dir/pcap.cpp.o.d"
+  "CMakeFiles/tsn_net.dir/port.cpp.o"
+  "CMakeFiles/tsn_net.dir/port.cpp.o.d"
+  "CMakeFiles/tsn_net.dir/switch.cpp.o"
+  "CMakeFiles/tsn_net.dir/switch.cpp.o.d"
+  "libtsn_net.a"
+  "libtsn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

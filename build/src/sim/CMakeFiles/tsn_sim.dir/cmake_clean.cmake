@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/tsn_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/tsn_sim.dir/simulation.cpp.o"
+  "CMakeFiles/tsn_sim.dir/simulation.cpp.o.d"
+  "libtsn_sim.a"
+  "libtsn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

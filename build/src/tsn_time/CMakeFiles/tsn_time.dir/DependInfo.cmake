@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsn_time/oscillator.cpp" "src/tsn_time/CMakeFiles/tsn_time.dir/oscillator.cpp.o" "gcc" "src/tsn_time/CMakeFiles/tsn_time.dir/oscillator.cpp.o.d"
+  "/root/repo/src/tsn_time/phc_clock.cpp" "src/tsn_time/CMakeFiles/tsn_time.dir/phc_clock.cpp.o" "gcc" "src/tsn_time/CMakeFiles/tsn_time.dir/phc_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

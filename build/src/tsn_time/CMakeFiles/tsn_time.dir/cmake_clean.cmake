@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_time.dir/oscillator.cpp.o"
+  "CMakeFiles/tsn_time.dir/oscillator.cpp.o.d"
+  "CMakeFiles/tsn_time.dir/phc_clock.cpp.o"
+  "CMakeFiles/tsn_time.dir/phc_clock.cpp.o.d"
+  "libtsn_time.a"
+  "libtsn_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_util.dir/config.cpp.o"
+  "CMakeFiles/tsn_util.dir/config.cpp.o.d"
+  "CMakeFiles/tsn_util.dir/csv.cpp.o"
+  "CMakeFiles/tsn_util.dir/csv.cpp.o.d"
+  "CMakeFiles/tsn_util.dir/histogram.cpp.o"
+  "CMakeFiles/tsn_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/tsn_util.dir/log.cpp.o"
+  "CMakeFiles/tsn_util.dir/log.cpp.o.d"
+  "CMakeFiles/tsn_util.dir/rng.cpp.o"
+  "CMakeFiles/tsn_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tsn_util.dir/series.cpp.o"
+  "CMakeFiles/tsn_util.dir/series.cpp.o.d"
+  "CMakeFiles/tsn_util.dir/stats.cpp.o"
+  "CMakeFiles/tsn_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tsn_util.dir/str.cpp.o"
+  "CMakeFiles/tsn_util.dir/str.cpp.o.d"
+  "libtsn_util.a"
+  "libtsn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gptp/bmca_test.cpp" "tests/CMakeFiles/gptp_tests.dir/gptp/bmca_test.cpp.o" "gcc" "tests/CMakeFiles/gptp_tests.dir/gptp/bmca_test.cpp.o.d"
+  "/root/repo/tests/gptp/bridge_test.cpp" "tests/CMakeFiles/gptp_tests.dir/gptp/bridge_test.cpp.o" "gcc" "tests/CMakeFiles/gptp_tests.dir/gptp/bridge_test.cpp.o.d"
+  "/root/repo/tests/gptp/e2e_delay_test.cpp" "tests/CMakeFiles/gptp_tests.dir/gptp/e2e_delay_test.cpp.o" "gcc" "tests/CMakeFiles/gptp_tests.dir/gptp/e2e_delay_test.cpp.o.d"
+  "/root/repo/tests/gptp/fuzz_parse_test.cpp" "tests/CMakeFiles/gptp_tests.dir/gptp/fuzz_parse_test.cpp.o" "gcc" "tests/CMakeFiles/gptp_tests.dir/gptp/fuzz_parse_test.cpp.o.d"
+  "/root/repo/tests/gptp/hot_standby_test.cpp" "tests/CMakeFiles/gptp_tests.dir/gptp/hot_standby_test.cpp.o" "gcc" "tests/CMakeFiles/gptp_tests.dir/gptp/hot_standby_test.cpp.o.d"
+  "/root/repo/tests/gptp/link_delay_test.cpp" "tests/CMakeFiles/gptp_tests.dir/gptp/link_delay_test.cpp.o" "gcc" "tests/CMakeFiles/gptp_tests.dir/gptp/link_delay_test.cpp.o.d"
+  "/root/repo/tests/gptp/servo_test.cpp" "tests/CMakeFiles/gptp_tests.dir/gptp/servo_test.cpp.o" "gcc" "tests/CMakeFiles/gptp_tests.dir/gptp/servo_test.cpp.o.d"
+  "/root/repo/tests/gptp/stack_test.cpp" "tests/CMakeFiles/gptp_tests.dir/gptp/stack_test.cpp.o" "gcc" "tests/CMakeFiles/gptp_tests.dir/gptp/stack_test.cpp.o.d"
+  "/root/repo/tests/gptp/sync_e2e_test.cpp" "tests/CMakeFiles/gptp_tests.dir/gptp/sync_e2e_test.cpp.o" "gcc" "tests/CMakeFiles/gptp_tests.dir/gptp/sync_e2e_test.cpp.o.d"
+  "/root/repo/tests/gptp/wire_messages_test.cpp" "tests/CMakeFiles/gptp_tests.dir/gptp/wire_messages_test.cpp.o" "gcc" "tests/CMakeFiles/gptp_tests.dir/gptp/wire_messages_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gptp/CMakeFiles/tsn_gptp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsn_time/CMakeFiles/tsn_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gptp_tests.dir/gptp/bmca_test.cpp.o"
+  "CMakeFiles/gptp_tests.dir/gptp/bmca_test.cpp.o.d"
+  "CMakeFiles/gptp_tests.dir/gptp/bridge_test.cpp.o"
+  "CMakeFiles/gptp_tests.dir/gptp/bridge_test.cpp.o.d"
+  "CMakeFiles/gptp_tests.dir/gptp/e2e_delay_test.cpp.o"
+  "CMakeFiles/gptp_tests.dir/gptp/e2e_delay_test.cpp.o.d"
+  "CMakeFiles/gptp_tests.dir/gptp/fuzz_parse_test.cpp.o"
+  "CMakeFiles/gptp_tests.dir/gptp/fuzz_parse_test.cpp.o.d"
+  "CMakeFiles/gptp_tests.dir/gptp/hot_standby_test.cpp.o"
+  "CMakeFiles/gptp_tests.dir/gptp/hot_standby_test.cpp.o.d"
+  "CMakeFiles/gptp_tests.dir/gptp/link_delay_test.cpp.o"
+  "CMakeFiles/gptp_tests.dir/gptp/link_delay_test.cpp.o.d"
+  "CMakeFiles/gptp_tests.dir/gptp/servo_test.cpp.o"
+  "CMakeFiles/gptp_tests.dir/gptp/servo_test.cpp.o.d"
+  "CMakeFiles/gptp_tests.dir/gptp/stack_test.cpp.o"
+  "CMakeFiles/gptp_tests.dir/gptp/stack_test.cpp.o.d"
+  "CMakeFiles/gptp_tests.dir/gptp/sync_e2e_test.cpp.o"
+  "CMakeFiles/gptp_tests.dir/gptp/sync_e2e_test.cpp.o.d"
+  "CMakeFiles/gptp_tests.dir/gptp/wire_messages_test.cpp.o"
+  "CMakeFiles/gptp_tests.dir/gptp/wire_messages_test.cpp.o.d"
+  "gptp_tests"
+  "gptp_tests.pdb"
+  "gptp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gptp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

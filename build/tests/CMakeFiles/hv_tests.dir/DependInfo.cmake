@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hv/ecd_failover_test.cpp" "tests/CMakeFiles/hv_tests.dir/hv/ecd_failover_test.cpp.o" "gcc" "tests/CMakeFiles/hv_tests.dir/hv/ecd_failover_test.cpp.o.d"
+  "/root/repo/tests/hv/fail_consistent_test.cpp" "tests/CMakeFiles/hv_tests.dir/hv/fail_consistent_test.cpp.o" "gcc" "tests/CMakeFiles/hv_tests.dir/hv/fail_consistent_test.cpp.o.d"
+  "/root/repo/tests/hv/st_shmem_test.cpp" "tests/CMakeFiles/hv_tests.dir/hv/st_shmem_test.cpp.o" "gcc" "tests/CMakeFiles/hv_tests.dir/hv/st_shmem_test.cpp.o.d"
+  "/root/repo/tests/hv/synctime_updater_test.cpp" "tests/CMakeFiles/hv_tests.dir/hv/synctime_updater_test.cpp.o" "gcc" "tests/CMakeFiles/hv_tests.dir/hv/synctime_updater_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/CMakeFiles/tsn_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tsn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gptp/CMakeFiles/tsn_gptp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsn_time/CMakeFiles/tsn_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_tests.dir/hv/ecd_failover_test.cpp.o"
+  "CMakeFiles/hv_tests.dir/hv/ecd_failover_test.cpp.o.d"
+  "CMakeFiles/hv_tests.dir/hv/fail_consistent_test.cpp.o"
+  "CMakeFiles/hv_tests.dir/hv/fail_consistent_test.cpp.o.d"
+  "CMakeFiles/hv_tests.dir/hv/st_shmem_test.cpp.o"
+  "CMakeFiles/hv_tests.dir/hv/st_shmem_test.cpp.o.d"
+  "CMakeFiles/hv_tests.dir/hv/synctime_updater_test.cpp.o"
+  "CMakeFiles/hv_tests.dir/hv/synctime_updater_test.cpp.o.d"
+  "hv_tests"
+  "hv_tests.pdb"
+  "hv_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_tests.dir/measure/measure_test.cpp.o"
+  "CMakeFiles/measure_tests.dir/measure/measure_test.cpp.o.d"
+  "measure_tests"
+  "measure_tests.pdb"
+  "measure_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/link_port_test.cpp" "tests/CMakeFiles/net_tests.dir/net/link_port_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/link_port_test.cpp.o.d"
+  "/root/repo/tests/net/mac_frame_test.cpp" "tests/CMakeFiles/net_tests.dir/net/mac_frame_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/mac_frame_test.cpp.o.d"
+  "/root/repo/tests/net/pcap_test.cpp" "tests/CMakeFiles/net_tests.dir/net/pcap_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/pcap_test.cpp.o.d"
+  "/root/repo/tests/net/switch_test.cpp" "tests/CMakeFiles/net_tests.dir/net/switch_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/switch_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsn_time/CMakeFiles/tsn_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

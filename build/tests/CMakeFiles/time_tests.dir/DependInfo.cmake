@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tsn_time/clock_properties_test.cpp" "tests/CMakeFiles/time_tests.dir/tsn_time/clock_properties_test.cpp.o" "gcc" "tests/CMakeFiles/time_tests.dir/tsn_time/clock_properties_test.cpp.o.d"
+  "/root/repo/tests/tsn_time/oscillator_test.cpp" "tests/CMakeFiles/time_tests.dir/tsn_time/oscillator_test.cpp.o" "gcc" "tests/CMakeFiles/time_tests.dir/tsn_time/oscillator_test.cpp.o.d"
+  "/root/repo/tests/tsn_time/phc_clock_test.cpp" "tests/CMakeFiles/time_tests.dir/tsn_time/phc_clock_test.cpp.o" "gcc" "tests/CMakeFiles/time_tests.dir/tsn_time/phc_clock_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tsn_time/CMakeFiles/tsn_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

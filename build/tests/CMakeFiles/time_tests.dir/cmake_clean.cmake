@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_tests.dir/tsn_time/clock_properties_test.cpp.o"
+  "CMakeFiles/time_tests.dir/tsn_time/clock_properties_test.cpp.o.d"
+  "CMakeFiles/time_tests.dir/tsn_time/oscillator_test.cpp.o"
+  "CMakeFiles/time_tests.dir/tsn_time/oscillator_test.cpp.o.d"
+  "CMakeFiles/time_tests.dir/tsn_time/phc_clock_test.cpp.o"
+  "CMakeFiles/time_tests.dir/tsn_time/phc_clock_test.cpp.o.d"
+  "time_tests"
+  "time_tests.pdb"
+  "time_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/time_tests[1]_include.cmake")
+include("/root/repo/build/tests/faults_tests[1]_include.cmake")
+include("/root/repo/build/tests/measure_tests[1]_include.cmake")
+include("/root/repo/build/tests/experiments_tests[1]_include.cmake")
+include("/root/repo/build/tests/hv_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/gptp_tests[1]_include.cmake")
+include("/root/repo/build/tests/net_tests[1]_include.cmake")

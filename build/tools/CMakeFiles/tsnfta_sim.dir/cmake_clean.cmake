@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsnfta_sim.dir/tsnfta_sim.cpp.o"
+  "CMakeFiles/tsnfta_sim.dir/tsnfta_sim.cpp.o.d"
+  "tsnfta_sim"
+  "tsnfta_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsnfta_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
