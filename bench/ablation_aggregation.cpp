@@ -4,6 +4,9 @@
 // median and the plain mean (no fault tolerance) on the same scenario with
 // one compromised GM (-24 us). Expected shape: FTA and median mask the
 // attacker, the mean is dragged by ~ -24/4 us and violates the bound.
+//
+// The three method variants run through the SweepRunner (threads= knob)
+// and the table prints in fixed method order.
 #include "bench_common.hpp"
 
 using namespace tsn;
@@ -14,47 +17,56 @@ int main(int argc, char** argv) {
   bench::banner("Ablation: FTA vs median vs mean under one Byzantine GM",
                 "design choice behind sec. II-B");
 
-  struct Row {
+  struct Variant {
     const char* name;
     core::AggregationMethod method;
-    double avg = 0, max = 0, holds = 0;
   };
-  Row rows[] = {
+  const Variant variants[] = {
       {"fta (paper)", core::AggregationMethod::kFta},
       {"median", core::AggregationMethod::kMedian},
       {"mean (no fault tolerance)", core::AggregationMethod::kMean},
   };
 
-  const std::int64_t duration = cli.get_int("duration_min", 10) * 60'000'000'000LL;
-  for (auto& row : rows) {
+  std::vector<experiments::ScenarioConfig> configs;
+  for (const auto& v : variants) {
     experiments::ScenarioConfig cfg = bench::scenario_from_cli(cli);
-    cfg.aggregation = row.method;
+    cfg.aggregation = v.method;
     // Disable validity exclusion so the aggregation function alone decides.
     cfg.validity_threshold_ns = 1e9;
-    experiments::Scenario scenario(cfg);
-    experiments::ExperimentHarness harness(scenario);
-    harness.bring_up();
-    const auto cal = harness.calibrate();
-    scenario.gm_vm(2).compromise(-24'000);
-    harness.run_measured(duration);
-    const auto st = scenario.probe().series().stats();
-    row.avg = st.mean();
-    row.max = st.max();
-    row.holds = experiments::bound_holding_fraction(scenario.probe().series(), cal.bound.pi_ns,
-                                                    cal.gamma_ns);
+    configs.push_back(cfg);
   }
 
+  struct Result {
+    double avg = 0, max = 0, holds = 0;
+  };
+  const std::int64_t duration = cli.get_int("duration_min", 10) * 60'000'000'000LL;
+  sweep::SweepRunner runner(bench::sweep_options_from_cli(cli));
+  const auto results = runner.run(
+      configs, [&](const experiments::ScenarioConfig& cfg, std::size_t) {
+        experiments::Scenario scenario(cfg);
+        experiments::ExperimentHarness harness(scenario);
+        harness.bring_up();
+        const auto cal = harness.calibrate();
+        scenario.gm_vm(2).compromise(-24'000);
+        harness.run_measured(duration);
+        const auto st = scenario.probe().series().stats();
+        return Result{st.mean(), st.max(),
+                      experiments::bound_holding_fraction(scenario.probe().series(),
+                                                          cal.bound.pi_ns, cal.gamma_ns)};
+      });
+
   std::vector<experiments::ComparisonRow> table;
-  for (const auto& row : rows) {
-    table.push_back({row.name,
-                     row.method == core::AggregationMethod::kMean ? "breaks" : "masks",
-                     util::format("avg=%.0fns max=%.0fns holds=%.0f%%", row.avg, row.max,
-                                  100 * row.holds),
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    table.push_back({variants[i].name,
+                     variants[i].method == core::AggregationMethod::kMean ? "breaks" : "masks",
+                     util::format("avg=%.0fns max=%.0fns holds=%.0f%%", results[i].avg,
+                                  results[i].max, 100 * results[i].holds),
                      ""});
   }
   experiments::print_comparison_table("Aggregation ablation, 1 Byzantine GM of 4", table);
 
-  const bool ok = rows[0].holds == 1.0 && rows[1].holds == 1.0 && rows[2].avg > 3 * rows[0].avg;
+  const bool ok = results[0].holds == 1.0 && results[1].holds == 1.0 &&
+                  results[2].avg > 3 * results[0].avg;
   std::printf("\nexpected shape (FTA/median mask, mean degrades): %s\n", ok ? "OK" : "DIFFERENT");
   return ok ? 0 : 1;
 }

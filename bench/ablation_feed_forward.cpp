@@ -5,6 +5,7 @@
 // control of the derived software clocks and cites RADclock's feed-forward
 // design as the candidate fix. Our SyncTimeUpdater implements both; this
 // bench compares the spike behaviour (p99/max) of the measured precision.
+// Both variants run through the SweepRunner (threads= knob).
 #include "bench_common.hpp"
 #include "util/stats.hpp"
 
@@ -16,38 +17,49 @@ int main(int argc, char** argv) {
   bench::banner("Ablation: feedback vs feed-forward CLOCK_SYNCTIME",
                 "sec. III-C discussion / future work");
 
-  struct Row {
+  struct Variant {
     const char* name;
     bool feed_forward;
-    double avg = 0, p99 = 0, max = 0;
   };
-  Row rows[] = {{"feedback (phc2sys-style, paper)", false}, {"feed-forward (RADclock-style)", true}};
+  const Variant variants[] = {{"feedback (phc2sys-style, paper)", false},
+                              {"feed-forward (RADclock-style)", true}};
 
-  const std::int64_t duration = cli.get_int("duration_min", 30) * 60'000'000'000LL;
-  for (auto& row : rows) {
+  std::vector<experiments::ScenarioConfig> configs;
+  for (const auto& v : variants) {
     experiments::ScenarioConfig cfg = bench::scenario_from_cli(cli);
-    cfg.synctime_feed_forward = row.feed_forward;
-    experiments::Scenario scenario(cfg);
-    experiments::ExperimentHarness harness(scenario);
-    harness.bring_up();
-    harness.calibrate();
-    harness.run_measured(duration);
-    util::SampleSet samples;
-    for (const auto& p : scenario.probe().series().points()) samples.add(p.value);
-    row.avg = scenario.probe().series().stats().mean();
-    row.p99 = samples.quantile(0.99);
-    row.max = scenario.probe().series().stats().max();
+    cfg.synctime_feed_forward = v.feed_forward;
+    configs.push_back(cfg);
   }
 
+  struct Result {
+    double avg = 0, p99 = 0, max = 0;
+  };
+  const std::int64_t duration = cli.get_int("duration_min", 30) * 60'000'000'000LL;
+  sweep::SweepRunner runner(bench::sweep_options_from_cli(cli));
+  const auto results = runner.run(
+      configs, [&](const experiments::ScenarioConfig& cfg, std::size_t) {
+        experiments::Scenario scenario(cfg);
+        experiments::ExperimentHarness harness(scenario);
+        harness.bring_up();
+        harness.calibrate();
+        harness.run_measured(duration);
+        util::SampleSet samples;
+        for (const auto& p : scenario.probe().series().points()) samples.add(p.value);
+        const auto& st = scenario.probe().series().stats();
+        return Result{st.mean(), samples.quantile(0.99), st.max()};
+      });
+
   std::vector<experiments::ComparisonRow> table;
-  for (const auto& row : rows) {
-    table.push_back({row.name, row.feed_forward ? "(hypothesized better tail)" : "(baseline)",
-                     util::format("avg=%.0fns p99=%.0fns max=%.0fns", row.avg, row.p99, row.max),
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    table.push_back({variants[i].name,
+                     variants[i].feed_forward ? "(hypothesized better tail)" : "(baseline)",
+                     util::format("avg=%.0fns p99=%.0fns max=%.0fns", results[i].avg,
+                                  results[i].p99, results[i].max),
                      ""});
   }
   experiments::print_comparison_table("CLOCK_SYNCTIME derivation ablation (fault-free)", table);
   std::printf("\npaper hypothesis: feed-forward reduces spike tail; measured tail ratio "
               "(feedback/feed-forward p99) = %.2f\n",
-              rows[0].p99 / rows[1].p99);
+              results[0].p99 / results[1].p99);
   return 0;
 }

@@ -3,7 +3,9 @@
 // The drift term of the precision bound is Gamma = 2 * rmax * S, so the
 // bound scales linearly in S while the measured precision degrades more
 // slowly (it is dominated by reading error/jitter until drift accumulation
-// takes over). This bench sweeps S and reports measured vs bound.
+// takes over). This bench sweeps S and reports measured vs bound; the five
+// interval variants run through the SweepRunner (threads= knob) and the
+// table prints in fixed interval order.
 #include "bench_common.hpp"
 
 using namespace tsn;
@@ -13,26 +15,37 @@ int main(int argc, char** argv) {
   const auto cli = bench::parse_cli(argc, argv);
   bench::banner("Ablation: sync interval S sweep", "bound structure of sec. III-A3");
 
-  const std::int64_t intervals_ms[] = {3125, 625, 125, 250, 500}; // 31.25..500 ms (x100 units)
-  std::vector<experiments::ComparisonRow> table;
-  const std::int64_t duration = cli.get_int("duration_min", 5) * 60'000'000'000LL;
-
-  for (std::int64_t s_100us : {312, 625, 1250, 2500, 5000}) {
-    const std::int64_t S = s_100us * 100'000; // ns
+  std::vector<experiments::ScenarioConfig> configs;
+  for (std::int64_t s_100us : {312, 625, 1250, 2500, 5000}) { // 31.25..500 ms
     experiments::ScenarioConfig cfg = bench::scenario_from_cli(cli);
-    cfg.sync_interval_ns = S;
-    experiments::Scenario scenario(cfg);
-    experiments::ExperimentHarness harness(scenario);
-    harness.bring_up(240'000'000'000LL);
-    const auto cal = harness.calibrate();
-    harness.run_measured(duration);
-    const auto st = scenario.probe().series().stats();
-    table.push_back({util::format("S = %.2f ms", static_cast<double>(S) / 1e6),
-                     util::format("Gamma=%.2fus", cal.bound.drift_offset_ns / 1000.0),
-                     util::format("avg=%.0fns max=%.0fns", st.mean(), st.max()),
-                     util::format("Pi=%.1fus", cal.bound.pi_ns / 1000.0)});
+    cfg.sync_interval_ns = s_100us * 100'000;
+    configs.push_back(cfg);
   }
-  (void)intervals_ms;
+
+  struct Result {
+    double gamma_us = 0, pi_us = 0, avg = 0, max = 0;
+  };
+  const std::int64_t duration = cli.get_int("duration_min", 5) * 60'000'000'000LL;
+  sweep::SweepRunner runner(bench::sweep_options_from_cli(cli));
+  const auto results = runner.run(
+      configs, [&](const experiments::ScenarioConfig& cfg, std::size_t) {
+        experiments::Scenario scenario(cfg);
+        experiments::ExperimentHarness harness(scenario);
+        harness.bring_up(240'000'000'000LL);
+        const auto cal = harness.calibrate();
+        harness.run_measured(duration);
+        const auto st = scenario.probe().series().stats();
+        return Result{cal.bound.drift_offset_ns / 1000.0, cal.bound.pi_ns / 1000.0, st.mean(),
+                      st.max()};
+      });
+
+  std::vector<experiments::ComparisonRow> table;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    table.push_back({util::format("S = %.2f ms", static_cast<double>(configs[i].sync_interval_ns) / 1e6),
+                     util::format("Gamma=%.2fus", results[i].gamma_us),
+                     util::format("avg=%.0fns max=%.0fns", results[i].avg, results[i].max),
+                     util::format("Pi=%.1fus", results[i].pi_us)});
+  }
   experiments::print_comparison_table("Sync interval sweep (fault-free)", table);
   return 0;
 }

@@ -2,11 +2,14 @@
 // the standard header each binary prints.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
 #include "experiments/harness.hpp"
 #include "experiments/report.hpp"
+#include "sweep/sweep_runner.hpp"
 #include "util/config.hpp"
 #include "util/log.hpp"
 #include "util/str.hpp"
@@ -33,6 +36,35 @@ inline experiments::ScenarioConfig scenario_from_cli(const util::Config& cli) {
   cfg.validity_threshold_ns = cli.get_double("validity_threshold_ns", cfg.validity_threshold_ns);
   cfg.synctime_feed_forward = cli.get_bool("feed_forward", cfg.synctime_feed_forward);
   return cfg;
+}
+
+/// `threads=` knob shared by every bench: 0 (default) = hardware
+/// concurrency, 1 = run replicas inline exactly like the legacy
+/// sequential loop. Negative values are treated as 0.
+inline sweep::SweepOptions sweep_options_from_cli(const util::Config& cli) {
+  sweep::SweepOptions opts;
+  opts.threads = static_cast<std::size_t>(std::max<std::int64_t>(0, cli.get_int("threads", 0)));
+  return opts;
+}
+
+/// `seeds=` knob: number of seed replicas (seed, seed+1, ...). Defaults
+/// to 1 = today's single deterministic run; values below 1 are clamped
+/// (every bench reports at least one replica).
+inline std::size_t seeds_from_cli(const util::Config& cli) {
+  return static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("seeds", 1)));
+}
+
+/// Sample-count-weighted combination of per-replica bound-holding
+/// fractions (each replica holds against its own calibrated bound).
+inline double combine_holding_fractions(const std::vector<double>& holds,
+                                        const std::vector<std::size_t>& counts) {
+  double held = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < holds.size(); ++i) {
+    held += holds[i] * static_cast<double>(counts[i]);
+    total += counts[i];
+  }
+  return total == 0 ? 1.0 : held / static_cast<double>(total);
 }
 
 } // namespace tsn::bench

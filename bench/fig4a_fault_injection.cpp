@@ -8,76 +8,139 @@
 // 347 in 24 h). The measured precision must stay within Pi + gamma
 // throughout; the dependent clock's takeover keeps every node serving
 // CLOCK_SYNCTIME.
+//
+// seeds=N runs N independent replicas (seed, seed+1, ...) through the
+// SweepRunner on threads= workers and reports sums/merged series; each
+// replica's bound check uses its own calibration. The default seeds=1
+// reproduces the paper's single 24 h run exactly.
 #include "bench_common.hpp"
 #include "faults/injector.hpp"
 
 using namespace tsn;
 using namespace tsn::sim::literals;
 
+namespace {
+
+struct Replica {
+  util::TimeSeries series;
+  experiments::EventLog events;
+  experiments::ExperimentHarness::Calibration cal;
+  std::uint64_t total_kills = 0;
+  std::uint64_t gm_kills = 0;
+  std::uint64_t tx_timeouts = 0;
+  std::uint64_t deadline_misses = 0;
+  std::size_t takeovers = 0;
+  double holds = 0;
+};
+
+} // namespace
+
 int main(int argc, char** argv) {
   const auto cli = bench::parse_cli(argc, argv);
   bench::banner("24h fault injection: precision under fail-silent faults",
                 "Fig. 4a + Table scalars (DSN-S'23 sec. III-C)");
 
-  experiments::ScenarioConfig cfg = bench::scenario_from_cli(cli);
-  experiments::Scenario scenario(cfg);
-  experiments::ExperimentHarness harness(scenario);
+  const std::int64_t duration = cli.get_int("duration_h", 24) * 3'600'000'000'000LL;
+  const auto run_replica = [&](const experiments::ScenarioConfig& cfg, std::size_t) -> Replica {
+    experiments::Scenario scenario(cfg);
+    experiments::ExperimentHarness harness(scenario);
 
-  // Transient SW fault rates: the paper observed 2992 tx-timestamp
-  // timeouts and 347 deadline misses over 24 h across all instances.
-  // Syncs sent: 4 GMs * 8 Hz * 86400 s ~ 2.76M; bridges re-send per hop.
-  gptp::InstanceFaultModel fm;
-  fm.p_tx_timestamp_timeout = cli.get_double("p_tx_timeout", 1.06e-3);
-  fm.p_late_launch = cli.get_double("p_late_launch", 1.25e-4);
-  for (std::size_t x = 0; x < scenario.num_ecds(); ++x) {
-    for (std::size_t i = 0; i < 2; ++i) scenario.vm(x, i).set_fault_model(fm);
+    // Transient SW fault rates: the paper observed 2992 tx-timestamp
+    // timeouts and 347 deadline misses over 24 h across all instances.
+    // Syncs sent: 4 GMs * 8 Hz * 86400 s ~ 2.76M; bridges re-send per hop.
+    gptp::InstanceFaultModel fm;
+    fm.p_tx_timestamp_timeout = cli.get_double("p_tx_timeout", 1.06e-3);
+    fm.p_late_launch = cli.get_double("p_late_launch", 1.25e-4);
+    for (std::size_t x = 0; x < scenario.num_ecds(); ++x) {
+      for (std::size_t i = 0; i < 2; ++i) scenario.vm(x, i).set_fault_model(fm);
+    }
+
+    harness.bring_up();
+    const auto cal = harness.calibrate();
+
+    faults::InjectorConfig icfg;
+    icfg.gm_kill_period_ns = cli.get_int("gm_kill_period_min", 30) * 60'000'000'000LL;
+    icfg.gm_downtime_ns = cli.get_int("gm_downtime_s", 90) * 1'000'000'000LL;
+    icfg.standby_kills_per_hour = cli.get_double("standby_kills_per_hour", 0.65);
+    icfg.standby_downtime_ns = cli.get_int("standby_downtime_s", 90) * 1'000'000'000LL;
+    faults::FaultInjector injector(scenario.sim(), scenario.ecd_ptrs(), icfg);
+    injector.spare(&scenario.measurement_vm());
+    injector.on_event = [&](const faults::InjectionEvent& ev) {
+      harness.events().record(ev.at_ns,
+                              ev.is_reboot ? experiments::EventKind::kVmReboot
+                                           : experiments::EventKind::kVmFailure,
+                              ev.vm, ev.was_gm ? "gm" : "standby");
+    };
+    injector.start();
+
+    harness.run_measured(duration);
+
+    Replica out;
+    out.series = scenario.probe().series();
+    out.events = harness.events();
+    out.cal = cal;
+    out.total_kills = injector.stats().total_kills;
+    out.gm_kills = injector.stats().gm_kills;
+    out.tx_timeouts = harness.total_tx_timestamp_timeouts();
+    out.deadline_misses = harness.total_deadline_misses();
+    out.takeovers = harness.events().count(experiments::EventKind::kTakeover);
+    out.holds = experiments::bound_holding_fraction(out.series, cal.bound.pi_ns, cal.gamma_ns);
+    return out;
+  };
+
+  sweep::SweepRunner runner(bench::sweep_options_from_cli(cli));
+  const auto results =
+      runner.run(sweep::seed_sweep(bench::scenario_from_cli(cli), bench::seeds_from_cli(cli)),
+                 run_replica);
+
+  experiments::print_calibration(results.front().cal, 4120 - 600, 9188 - 1500, 11'420, 856);
+
+  std::vector<util::TimeSeries> series;
+  std::vector<experiments::EventLog> logs;
+  std::vector<double> holds_parts;
+  std::vector<std::size_t> counts;
+  Replica sums;
+  for (const auto& r : results) {
+    series.push_back(r.series);
+    logs.push_back(r.events);
+    holds_parts.push_back(r.holds);
+    counts.push_back(r.series.points().size());
+    sums.total_kills += r.total_kills;
+    sums.gm_kills += r.gm_kills;
+    sums.tx_timeouts += r.tx_timeouts;
+    sums.deadline_misses += r.deadline_misses;
+    sums.takeovers += r.takeovers;
+  }
+  const auto merged = sweep::merge_series(series);
+  const auto merged_events = sweep::merge_event_logs(logs);
+  const double holds = bench::combine_holding_fractions(holds_parts, counts);
+  if (results.size() > 1) {
+    std::printf("\n%zu seed replicas on %zu threads; counts below are sums across replicas\n",
+                results.size(), runner.threads());
   }
 
-  harness.bring_up();
-  const auto cal = harness.calibrate();
-  experiments::print_calibration(cal, 4120 - 600, 9188 - 1500, 11'420, 856);
+  const auto& cal = results.front().cal;
+  experiments::print_precision_series(merged, cal.bound.pi_ns, cal.gamma_ns,
+                                      cli.get_int("bucket_s", 1800) * 1'000'000'000LL);
 
-  faults::InjectorConfig icfg;
-  icfg.gm_kill_period_ns = cli.get_int("gm_kill_period_min", 30) * 60'000'000'000LL;
-  icfg.gm_downtime_ns = cli.get_int("gm_downtime_s", 90) * 1'000'000'000LL;
-  icfg.standby_kills_per_hour = cli.get_double("standby_kills_per_hour", 0.65);
-  icfg.standby_downtime_ns = cli.get_int("standby_downtime_s", 90) * 1'000'000'000LL;
-  faults::FaultInjector injector(scenario.sim(), scenario.ecd_ptrs(), icfg);
-  injector.spare(&scenario.measurement_vm());
-  injector.on_event = [&](const faults::InjectionEvent& ev) {
-    harness.events().record(ev.at_ns,
-                            ev.is_reboot ? experiments::EventKind::kVmReboot
-                                         : experiments::EventKind::kVmFailure,
-                            ev.vm, ev.was_gm ? "gm" : "standby");
-  };
-  injector.start();
-
-  const std::int64_t duration = cli.get_int("duration_h", 24) * 3'600'000'000'000LL;
-  harness.run_measured(duration);
-
-  experiments::print_precision_series(
-      scenario.probe().series(), cal.bound.pi_ns, cal.gamma_ns,
-      cli.get_int("bucket_s", 1800) * 1'000'000'000LL);
-
-  const auto st = scenario.probe().series().stats();
-  const double holds = experiments::bound_holding_fraction(scenario.probe().series(),
-                                                           cal.bound.pi_ns, cal.gamma_ns);
-  const double hours = static_cast<double>(duration) / 3.6e12;
+  const auto st = merged.stats();
+  const double hours =
+      static_cast<double>(duration) / 3.6e12 * static_cast<double>(results.size());
   experiments::print_comparison_table(
       "Section III-C results (scaled to the configured duration)",
       {
           {"duration", "24 h", util::format("%.1f h", hours), ""},
           {"fail-silent clock sync VMs", "94",
-           util::format("%llu", (unsigned long long)injector.stats().total_kills), ""},
+           util::format("%llu", (unsigned long long)sums.total_kills), ""},
           {"of which GM failures", "48",
-           util::format("%llu", (unsigned long long)injector.stats().gm_kills), ""},
+           util::format("%llu", (unsigned long long)sums.gm_kills), ""},
           {"CLOCK_SYNCTIME takeovers", "(Fig. 5 stars)",
-           util::format("%zu", harness.events().count(experiments::EventKind::kTakeover)), ""},
+           util::format("%zu", sums.takeovers), ""},
           {"tx timestamp timeouts", "2992",
-           util::format("%llu", (unsigned long long)harness.total_tx_timestamp_timeouts()),
+           util::format("%llu", (unsigned long long)sums.tx_timeouts),
            "igb driver issue, modelled stochastically"},
           {"tx deadline misses", "347",
-           util::format("%llu", (unsigned long long)harness.total_deadline_misses()), ""},
+           util::format("%llu", (unsigned long long)sums.deadline_misses), ""},
           {"avg precision", "322 ns", util::format("%.0f ns", st.mean()), ""},
           {"std precision", "421 ns", util::format("%.0f ns", st.stddev()), ""},
           {"min precision", "33 ns", util::format("%.0f ns", st.min()), ""},
@@ -85,9 +148,8 @@ int main(int argc, char** argv) {
           {"eq.(3.3) holds", "always", util::format("%.2f%% of samples", 100.0 * holds), ""},
       });
 
-  experiments::dump_aggregated_csv(scenario.probe().series(), 120_s,
-                                   cli.get_string("csv", "fig4a_aggregated.csv"));
-  experiments::dump_events_csv(harness.events(), cli.get_string("events_csv", "fig4a_events.csv"));
+  experiments::dump_aggregated_csv(merged, 120_s, cli.get_string("csv", "fig4a_aggregated.csv"));
+  experiments::dump_events_csv(merged_events, cli.get_string("events_csv", "fig4a_events.csv"));
   std::printf("\nCSV: %s, %s\n", cli.get_string("csv", "fig4a_aggregated.csv").c_str(),
               cli.get_string("events_csv", "fig4a_events.csv").c_str());
   return holds == 1.0 ? 0 : 1;

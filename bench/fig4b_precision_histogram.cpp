@@ -3,48 +3,75 @@
 // std 421 ns, min 33 ns, max 10080 ns; plotted 0..1000 ns in 50 ns-ish
 // bins with a long right tail).
 //
-// Runs the same deterministic scenario as fig4a (same seed -> same run)
-// and emits the histogram.
+// With the default seeds=1 this runs the same deterministic scenario as
+// fig4a (same seed -> same run) and emits the histogram. seeds=N fans N
+// replicas (seed, seed+1, ...) across threads= workers through the
+// SweepRunner and emits the merged distribution; the merged output is
+// identical whatever threads= is.
 #include "bench_common.hpp"
 #include "faults/injector.hpp"
 
 using namespace tsn;
 using namespace tsn::sim::literals;
 
+namespace {
+
+struct Replica {
+  util::TimeSeries series;
+  double pi_ns = 0;
+  double gamma_ns = 0;
+};
+
+} // namespace
+
 int main(int argc, char** argv) {
   const auto cli = bench::parse_cli(argc, argv);
   bench::banner("Precision distribution under fault injection",
                 "Fig. 4b (DSN-S'23 sec. III-C)");
 
-  experiments::ScenarioConfig cfg = bench::scenario_from_cli(cli);
-  experiments::Scenario scenario(cfg);
-  experiments::ExperimentHarness harness(scenario);
+  const std::int64_t duration = cli.get_int("duration_h", 24) * 3'600'000'000'000LL;
+  const auto run_replica = [&](const experiments::ScenarioConfig& cfg, std::size_t) -> Replica {
+    experiments::Scenario scenario(cfg);
+    experiments::ExperimentHarness harness(scenario);
 
-  gptp::InstanceFaultModel fm;
-  fm.p_tx_timestamp_timeout = cli.get_double("p_tx_timeout", 1.06e-3);
-  fm.p_late_launch = cli.get_double("p_late_launch", 1.25e-4);
-  for (std::size_t x = 0; x < scenario.num_ecds(); ++x) {
-    for (std::size_t i = 0; i < 2; ++i) scenario.vm(x, i).set_fault_model(fm);
+    gptp::InstanceFaultModel fm;
+    fm.p_tx_timestamp_timeout = cli.get_double("p_tx_timeout", 1.06e-3);
+    fm.p_late_launch = cli.get_double("p_late_launch", 1.25e-4);
+    for (std::size_t x = 0; x < scenario.num_ecds(); ++x) {
+      for (std::size_t i = 0; i < 2; ++i) scenario.vm(x, i).set_fault_model(fm);
+    }
+
+    harness.bring_up();
+    const auto cal = harness.calibrate();
+
+    faults::InjectorConfig icfg;
+    icfg.gm_kill_period_ns = cli.get_int("gm_kill_period_min", 30) * 60'000'000'000LL;
+    icfg.standby_kills_per_hour = cli.get_double("standby_kills_per_hour", 0.65);
+    faults::FaultInjector injector(scenario.sim(), scenario.ecd_ptrs(), icfg);
+    injector.spare(&scenario.measurement_vm());
+    injector.start();
+
+    harness.run_measured(duration);
+    return {scenario.probe().series(), cal.bound.pi_ns, cal.gamma_ns};
+  };
+
+  sweep::SweepRunner runner(bench::sweep_options_from_cli(cli));
+  const auto results =
+      runner.run(sweep::seed_sweep(bench::scenario_from_cli(cli), bench::seeds_from_cli(cli)),
+                 run_replica);
+
+  std::vector<util::TimeSeries> series;
+  for (const auto& r : results) series.push_back(r.series);
+  const auto merged = sweep::merge_series(series);
+  if (results.size() > 1) {
+    std::printf("\n%zu seed replicas on %zu threads, %zu samples merged\n", results.size(),
+                runner.threads(), merged.points().size());
   }
 
-  harness.bring_up();
-  const auto cal = harness.calibrate();
-
-  faults::InjectorConfig icfg;
-  icfg.gm_kill_period_ns = cli.get_int("gm_kill_period_min", 30) * 60'000'000'000LL;
-  icfg.standby_kills_per_hour = cli.get_double("standby_kills_per_hour", 0.65);
-  faults::FaultInjector injector(scenario.sim(), scenario.ecd_ptrs(), icfg);
-  injector.spare(&scenario.measurement_vm());
-  injector.start();
-
-  const std::int64_t duration = cli.get_int("duration_h", 24) * 3'600'000'000'000LL;
-  harness.run_measured(duration);
-
-  experiments::print_precision_histogram(scenario.probe().series(),
-                                         cli.get_double("bin_ns", 50.0),
+  experiments::print_precision_histogram(merged, cli.get_double("bin_ns", 50.0),
                                          cli.get_double("range_ns", 1000.0));
 
-  const auto st = scenario.probe().series().stats();
+  const auto st = merged.stats();
   experiments::print_comparison_table(
       "Fig. 4b distribution statistics",
       {
@@ -52,13 +79,13 @@ int main(int argc, char** argv) {
           {"std", "421 ns", util::format("%.0f ns", st.stddev()), ""},
           {"min", "33 ns", util::format("%.0f ns", st.min()), ""},
           {"max", "10080 ns", util::format("%.0f ns", st.max()),
-           util::format("bound Pi+gamma = %.0f ns", cal.bound.pi_ns + cal.gamma_ns)},
+           util::format("bound Pi+gamma = %.0f ns",
+                        results.front().pi_ns + results.front().gamma_ns)},
           {"shape", "sub-us bulk, long right tail",
            st.mean() < 1000 && st.max() > 4 * st.mean() ? "same" : "DIFFERENT", ""},
       });
 
-  experiments::dump_series_csv(scenario.probe().series(),
-                               cli.get_string("csv", "fig4b_series.csv"));
+  experiments::dump_series_csv(merged, cli.get_string("csv", "fig4b_series.csv"));
   std::printf("\nseries CSV: %s\n", cli.get_string("csv", "fig4b_series.csv").c_str());
   return 0;
 }

@@ -83,6 +83,40 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleAndPop);
 
+void BM_EventQueuePostAndPop(benchmark::State& state) {
+  // The no-handle fast path Simulation::every() rides on: no slab
+  // traffic, pure heap churn.
+  sim::EventQueue q;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) q.post(sim::SimTime(t + (i * 7919) % 1000), [] {});
+    while (auto e = q.try_pop()) benchmark::DoNotOptimize(&e);
+    t += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueuePostAndPop);
+
+void BM_EventQueueScheduleCancelHalf(benchmark::State& state) {
+  // Timeout-style usage: half the scheduled events are cancelled before
+  // they fire; cancellation must stay allocation-free via the slab.
+  sim::EventQueue q;
+  std::vector<sim::EventHandle> handles;
+  handles.reserve(64);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    handles.clear();
+    for (int i = 0; i < 64; ++i) {
+      handles.push_back(q.schedule(sim::SimTime(t + (i * 7919) % 1000), [] {}));
+    }
+    for (int i = 0; i < 64; i += 2) handles[static_cast<std::size_t>(i)].cancel();
+    while (auto e = q.try_pop()) benchmark::DoNotOptimize(&e);
+    t += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleCancelHalf);
+
 void BM_PiServoSample(benchmark::State& state) {
   gptp::PiServo servo;
   std::int64_t ts = 0;

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/experiments/CMakeFiles/tsn_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/sweep/CMakeFiles/tsn_sweep.dir/DependInfo.cmake"
   "/root/repo/build/src/measure/CMakeFiles/tsn_measure.dir/DependInfo.cmake"
   "/root/repo/build/src/faults/CMakeFiles/tsn_faults.dir/DependInfo.cmake"
   "/root/repo/build/src/hv/CMakeFiles/tsn_hv.dir/DependInfo.cmake"

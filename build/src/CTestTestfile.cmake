@@ -14,3 +14,4 @@ subdirs("hv")
 subdirs("faults")
 subdirs("measure")
 subdirs("experiments")
+subdirs("sweep")

@@ -211,8 +211,7 @@ src/core/CMakeFiles/tsn_core.dir/coordinator.cpp.o: \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/gptp/types.hpp \
  /root/repo/src/gptp/link_delay.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sim/simulation.hpp /root/repo/src/sim/event_queue.hpp \
- /usr/include/c++/12/memory \
+ /root/repo/src/sim/simulation.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -242,8 +241,8 @@ src/core/CMakeFiles/tsn_core.dir/coordinator.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/sim_time.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/sim/event_queue.hpp /root/repo/src/sim/sim_time.hpp \
  /root/repo/src/util/rng.hpp /usr/include/c++/12/random \
  /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \

@@ -220,7 +220,6 @@ src/experiments/CMakeFiles/tsn_experiments.dir/harness.cpp.o: \
  /root/repo/src/gptp/messages.hpp /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/gptp/types.hpp \
  /root/repo/src/sim/simulation.hpp /root/repo/src/sim/event_queue.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/sim_time.hpp /root/repo/src/util/rng.hpp \
  /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \

@@ -143,7 +143,7 @@ src/net/CMakeFiles/tsn_net.dir/port.cpp.o: /root/repo/src/net/port.cpp \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/net/frame.hpp \
  /root/repo/src/net/mac.hpp /root/repo/src/sim/simulation.hpp \
- /root/repo/src/sim/event_queue.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -212,8 +212,8 @@ src/net/CMakeFiles/tsn_net.dir/port.cpp.o: /root/repo/src/net/port.cpp \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/sim_time.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/sim/event_queue.hpp /root/repo/src/sim/sim_time.hpp \
  /root/repo/src/util/rng.hpp /usr/include/c++/12/random \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \

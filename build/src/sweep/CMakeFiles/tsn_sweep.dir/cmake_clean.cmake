@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_sweep.dir/sweep_runner.cpp.o"
+  "CMakeFiles/tsn_sweep.dir/sweep_runner.cpp.o.d"
+  "CMakeFiles/tsn_sweep.dir/thread_pool.cpp.o"
+  "CMakeFiles/tsn_sweep.dir/thread_pool.cpp.o.d"
+  "libtsn_sweep.a"
+  "libtsn_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

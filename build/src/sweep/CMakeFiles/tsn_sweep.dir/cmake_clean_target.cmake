@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtsn_sweep.a"
+)

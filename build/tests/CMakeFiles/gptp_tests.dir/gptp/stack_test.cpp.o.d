@@ -320,7 +320,6 @@ tests/CMakeFiles/gptp_tests.dir/gptp/stack_test.cpp.o: \
  /root/repo/src/gptp/link_delay.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/sim/simulation.hpp /root/repo/src/sim/event_queue.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/sim_time.hpp /root/repo/src/util/rng.hpp \
  /usr/include/c++/12/random /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \

@@ -295,11 +295,9 @@ tests/CMakeFiles/net_tests.dir/net/link_port_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/net/link.hpp /root/repo/src/net/frame.hpp \
  /root/repo/src/net/mac.hpp /root/repo/src/sim/simulation.hpp \
- /root/repo/src/sim/event_queue.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/sim_time.hpp /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/sim/event_queue.hpp /root/repo/src/sim/sim_time.hpp \
+ /root/repo/src/util/rng.hpp /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -326,5 +324,7 @@ tests/CMakeFiles/net_tests.dir/net/link_port_test.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/net/nic.hpp \
- /root/repo/src/net/port.hpp /root/repo/src/tsn_time/phc_clock.hpp \
+ /root/repo/src/net/port.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/tsn_time/phc_clock.hpp \
  /root/repo/src/tsn_time/oscillator.hpp

@@ -102,7 +102,13 @@ tests/CMakeFiles/sim_tests.dir/sim/event_queue_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
- /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h \
+ /root/repo/src/sim/sim_time.hpp /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/limits \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -115,9 +121,6 @@ tests/CMakeFiles/sim_tests.dir/sim/event_queue_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/__mbstate_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/__FILE.h \
  /usr/include/x86_64-linux-gnu/bits/types/FILE.h \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/localefwd.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++locale.h \
@@ -207,12 +210,7 @@ tests/CMakeFiles/sim_tests.dir/sim/event_queue_test.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/sim_time.hpp \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/limits \
+ /usr/include/c++/12/pstl/execution_defs.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

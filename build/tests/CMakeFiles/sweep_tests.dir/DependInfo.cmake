@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sweep/sweep_runner_test.cpp" "tests/CMakeFiles/sweep_tests.dir/sweep/sweep_runner_test.cpp.o" "gcc" "tests/CMakeFiles/sweep_tests.dir/sweep/sweep_runner_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sweep/CMakeFiles/tsn_sweep.dir/DependInfo.cmake"
+  "/root/repo/build/src/experiments/CMakeFiles/tsn_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/tsn_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/tsn_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/tsn_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tsn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gptp/CMakeFiles/tsn_gptp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsn_time/CMakeFiles/tsn_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -317,11 +317,9 @@ tests/CMakeFiles/time_tests.dir/tsn_time/clock_properties_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/tsn_time/phc_clock.hpp /root/repo/src/sim/simulation.hpp \
- /root/repo/src/sim/event_queue.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/sim_time.hpp /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/random /usr/include/c++/12/bits/random.h \
+ /root/repo/src/sim/event_queue.hpp /root/repo/src/sim/sim_time.hpp \
+ /root/repo/src/util/rng.hpp /usr/include/c++/12/random \
+ /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \

@@ -10,6 +10,7 @@ include("/root/repo/build/tests/time_tests[1]_include.cmake")
 include("/root/repo/build/tests/faults_tests[1]_include.cmake")
 include("/root/repo/build/tests/measure_tests[1]_include.cmake")
 include("/root/repo/build/tests/experiments_tests[1]_include.cmake")
+include("/root/repo/build/tests/sweep_tests[1]_include.cmake")
 include("/root/repo/build/tests/hv_tests[1]_include.cmake")
 include("/root/repo/build/tests/core_tests[1]_include.cmake")
 include("/root/repo/build/tests/gptp_tests[1]_include.cmake")

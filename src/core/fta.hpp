@@ -1,9 +1,11 @@
 // Fault-tolerant average and related aggregation functions.
 //
 // The FTA (Kopetz & Ochsenreiter 1987, used by the paper for multi-domain
-// aggregation) sorts the clock readings, discards the f smallest and f
-// largest, and averages the remainder. With N >= 3f+1 readings it masks up
-// to f arbitrary (Byzantine) faults; the paper instantiates N = 4, f = 1.
+// aggregation) discards the f smallest and f largest clock readings and
+// averages the remainder. With N >= 3f+1 readings it masks up to f
+// arbitrary (Byzantine) faults; the paper instantiates N = 4, f = 1.
+// Only partial selection (std::nth_element) is needed for the trim, so
+// aggregation is O(N) rather than O(N log N).
 #pragma once
 
 #include <cstddef>

@@ -1,18 +1,59 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace tsn::sim {
 
+void EventQueue::reserve(std::size_t n) {
+  heap_.reserve(n);
+  slot_gen_.reserve(n);
+  free_slots_.reserve(n);
+}
+
 EventHandle EventQueue::schedule(SimTime at, EventFn fn) {
-  auto alive = std::make_shared<bool>(true);
-  heap_.push(Entry{at, next_seq_++, std::move(fn), alive});
-  return EventHandle(std::move(alive));
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slot_gen_.size());
+    slot_gen_.push_back(0);
+  }
+  const std::uint32_t gen = slot_gen_[slot];
+  heap_.push_back(Entry{at, next_seq_++, slot, gen, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+  return EventHandle(this, slot, gen);
+}
+
+void EventQueue::post(SimTime at, EventFn fn) {
+  heap_.push_back(Entry{at, next_seq_++, kNoSlot, 0, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  // Bumping the generation invalidates every outstanding handle (and any
+  // stale heap entry) referring to this incarnation of the slot.
+  ++slot_gen_[slot];
+  free_slots_.push_back(slot);
+}
+
+void EventQueue::cancel_slot(std::uint32_t slot, std::uint32_t gen) {
+  if (!slot_pending(slot, gen)) return;
+  release_slot(slot);
+  --live_;
+}
+
+void EventQueue::pop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
 }
 
 void EventQueue::drop_dead() {
-  while (!heap_.empty() && !*heap_.top().alive) {
-    heap_.pop();
+  while (!heap_.empty() && !entry_live(heap_.front())) {
+    pop_top();
   }
 }
 
@@ -24,17 +65,18 @@ bool EventQueue::empty() {
 SimTime EventQueue::next_time() {
   drop_dead();
   assert(!heap_.empty());
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 std::optional<EventQueue::Popped> EventQueue::try_pop() {
   drop_dead();
   if (heap_.empty()) return std::nullopt;
-  // std::priority_queue::top() returns const&; moving the function object out
-  // requires a const_cast, which is safe because we pop immediately after.
-  Entry& top = const_cast<Entry&>(heap_.top());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry& top = heap_.back();
+  if (top.slot != kNoSlot) release_slot(top.slot);
   Popped out{top.time, std::move(top.fn)};
-  heap_.pop();
+  heap_.pop_back();
+  --live_;
   return out;
 }
 

@@ -2,14 +2,21 @@
 //
 // Ties at the same timestamp are broken by insertion sequence number, so a
 // given schedule of calls always executes in the same order regardless of
-// std::priority_queue internals.
+// heap internals.
+//
+// Cancellation uses a slab of generation-counted slots instead of a
+// per-event heap allocation: an EventHandle is (queue, slot index,
+// generation) and stays O(1)/allocation-free to create, test and cancel.
+// Events scheduled through post() skip the slab entirely — that is the
+// hot path Simulation::every() rides on.
+//
+// Handles must not outlive their queue (they hold a raw pointer into it);
+// within a Simulation that is guaranteed by construction.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "sim/sim_time.hpp"
@@ -18,24 +25,35 @@ namespace tsn::sim {
 
 using EventFn = std::function<void()>;
 
+class EventQueue;
+
 /// Handle for cancelling a scheduled event. Cheap to copy; cancelling an
 /// already-fired or already-cancelled event is a no-op.
 class EventHandle {
  public:
   EventHandle() = default;
-  void cancel() { if (alive_) *alive_ = false; }
-  bool pending() const { return alive_ && *alive_; }
+  void cancel();
+  bool pending() const;
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  EventHandle(EventQueue* queue, std::uint32_t slot, std::uint32_t gen)
+      : queue_(queue), slot_(slot), gen_(gen) {}
+  EventQueue* queue_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class EventQueue {
  public:
-  /// Schedule `fn` at absolute time `at`.
+  EventQueue() { reserve(kDefaultReserve); }
+
+  /// Schedule `fn` at absolute time `at`, returning a cancellable handle.
   EventHandle schedule(SimTime at, EventFn fn);
+
+  /// Fast path: schedule `fn` at `at` with no cancellation handle. Zero
+  /// slab traffic; the entry only dies by firing.
+  void post(SimTime at, EventFn fn);
 
   /// True when no live (non-cancelled) events remain. Purges cancelled
   /// entries from the top of the heap as a side effect.
@@ -55,13 +73,28 @@ class EventQueue {
   /// an upper bound on the number of live events.
   std::size_t size_upper_bound() const { return heap_.size(); }
 
+  /// Exact number of live (scheduled, neither fired nor cancelled)
+  /// events, independent of how many cancelled entries still sit
+  /// unpurged in the heap.
+  std::size_t live_size() const { return live_; }
+
+  /// Pre-size the heap and the cancellation slab.
+  void reserve(std::size_t n);
+
  private:
+  friend class EventHandle;
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+  static constexpr std::size_t kDefaultReserve = 64;
+
   struct Entry {
     SimTime time;
     std::uint64_t seq;
+    std::uint32_t slot; ///< kNoSlot for post()ed events
+    std::uint32_t gen;  ///< slab generation at schedule time
     EventFn fn;
-    std::shared_ptr<bool> alive;
   };
+  // std::push_heap/pop_heap build a max-heap w.r.t. the comparator, so
+  // "a fires later than b" puts the earliest event at the front.
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
@@ -69,10 +102,30 @@ class EventQueue {
     }
   };
 
+  bool entry_live(const Entry& e) const {
+    return e.slot == kNoSlot || slot_gen_[e.slot] == e.gen;
+  }
+  void release_slot(std::uint32_t slot);
+  void pop_top();
   void drop_dead();
+  void cancel_slot(std::uint32_t slot, std::uint32_t gen);
+  bool slot_pending(std::uint32_t slot, std::uint32_t gen) const {
+    return slot < slot_gen_.size() && slot_gen_[slot] == gen;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<Entry> heap_;
+  std::vector<std::uint32_t> slot_gen_; ///< current generation per slot
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
 };
+
+inline void EventHandle::cancel() {
+  if (queue_) queue_->cancel_slot(slot_, gen_);
+}
+
+inline bool EventHandle::pending() const {
+  return queue_ && queue_->slot_pending(slot_, gen_);
+}
 
 } // namespace tsn::sim

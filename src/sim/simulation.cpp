@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/log.hpp"
+
 namespace tsn::sim {
 
 EventHandle Simulation::at(SimTime when, EventFn fn) {
@@ -10,14 +12,22 @@ EventHandle Simulation::at(SimTime when, EventFn fn) {
 }
 
 EventHandle Simulation::after(std::int64_t delay_ns, EventFn fn) {
-  assert(delay_ns >= 0);
+  if (delay_ns < 0) {
+    if (!warned_negative_delay_) {
+      warned_negative_delay_ = true;
+      TSN_LOG_WARN("sim", "after() called with negative delay %lld ns; clamping to 0 "
+                          "(further occurrences not logged)",
+                   static_cast<long long>(delay_ns));
+    }
+    delay_ns = 0;
+  }
   return queue_.schedule(now_ + delay_ns, std::move(fn));
 }
 
 void Simulation::schedule_periodic(SimTime when, std::int64_t period_ns,
                                    std::shared_ptr<bool> alive,
                                    std::shared_ptr<std::function<void(SimTime)>> fn) {
-  queue_.schedule(when, [this, when, period_ns, alive, fn]() {
+  queue_.post(when, [this, when, period_ns, alive, fn]() {
     if (!*alive) return;
     (*fn)(when);
     if (*alive) schedule_periodic(when + period_ns, period_ns, alive, fn);

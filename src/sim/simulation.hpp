@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string_view>
 
 #include "sim/event_queue.hpp"
@@ -30,7 +31,8 @@ class Simulation {
   /// Schedule at an absolute time; times in the past are clamped to now
   /// (fire "immediately", after currently pending same-time events).
   EventHandle at(SimTime when, EventFn fn);
-  /// Schedule after a relative delay in ns (>= 0).
+  /// Schedule after a relative delay in ns. Negative delays are clamped
+  /// to 0 (fire "immediately") and warned about once per Simulation.
   EventHandle after(std::int64_t delay_ns, EventFn fn);
 
   /// Schedule `fn` every `period_ns`, first firing at `first`. The callback
@@ -68,6 +70,7 @@ class Simulation {
   std::uint64_t master_seed_;
   std::uint64_t events_executed_ = 0;
   bool stop_requested_ = false;
+  bool warned_negative_delay_ = false;
 };
 
 } // namespace tsn::sim

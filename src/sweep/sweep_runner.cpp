@@ -1,0 +1,45 @@
+#include "sweep/sweep_runner.hpp"
+
+#include <stdexcept>
+
+namespace tsn::sweep {
+
+std::vector<experiments::ScenarioConfig> seed_sweep(const experiments::ScenarioConfig& base,
+                                                    std::size_t count) {
+  std::vector<experiments::ScenarioConfig> configs(count, base);
+  for (std::size_t i = 0; i < count; ++i) {
+    configs[i].seed = base.seed + static_cast<std::uint64_t>(i);
+  }
+  return configs;
+}
+
+util::TimeSeries merge_series(const std::vector<util::TimeSeries>& parts) {
+  util::TimeSeries merged;
+  for (const auto& part : parts) {
+    for (const auto& p : part.points()) merged.add(p.t_ns, p.value);
+  }
+  return merged;
+}
+
+experiments::EventLog merge_event_logs(const std::vector<experiments::EventLog>& parts) {
+  experiments::EventLog merged;
+  for (const auto& part : parts) {
+    for (const auto& e : part.events()) merged.record(e.t_ns, e.kind, e.subject, e.detail);
+  }
+  return merged;
+}
+
+util::RunningStats merge_stats(const std::vector<util::RunningStats>& parts) {
+  util::RunningStats merged;
+  for (const auto& part : parts) merged.merge(part);
+  return merged;
+}
+
+util::Histogram merge_histograms(const std::vector<util::Histogram>& parts) {
+  if (parts.empty()) throw std::invalid_argument("merge_histograms: no parts");
+  util::Histogram merged = parts.front();
+  for (std::size_t i = 1; i < parts.size(); ++i) merged.merge(parts[i]);
+  return merged;
+}
+
+} // namespace tsn::sweep

@@ -1,0 +1,105 @@
+// SweepRunner: fan independent (ScenarioConfig, seed) replicas out across
+// cores and merge their results deterministically.
+//
+// Every replica body builds and owns its entire world — Simulation,
+// Scenario, ExperimentHarness, injectors — so replicas share no mutable
+// state and the per-replica results are identical whatever thread ran
+// them. Results are collected into a vector indexed by submission order,
+// and all merging helpers fold in that order, so the merged CSVs, stats
+// and histograms of a `threads=N` run are byte-identical to a
+// `threads=1` run.
+//
+// With threads == 1 the replicas run inline on the calling thread, no
+// pool is spawned and behavior is exactly the sequential legacy loop.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "experiments/event_log.hpp"
+#include "experiments/scenario.hpp"
+#include "sweep/thread_pool.hpp"
+#include "util/histogram.hpp"
+#include "util/series.hpp"
+#include "util/stats.hpp"
+
+namespace tsn::sweep {
+
+struct SweepOptions {
+  /// Worker threads; 0 = hardware concurrency, 1 = run inline (exact
+  /// sequential legacy behavior).
+  std::size_t threads = 0;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions opts = {}) : opts_(opts) {}
+
+  std::size_t threads() const { return ThreadPool::resolve_threads(opts_.threads); }
+
+  /// Run `fn(configs[i], i)` for every config and return the results in
+  /// submission order. `fn` must not touch shared mutable state; the
+  /// first exception a replica throws is rethrown after the sweep
+  /// completes.
+  template <typename Fn>
+  auto run(const std::vector<experiments::ScenarioConfig>& configs, Fn&& fn)
+      -> std::vector<std::invoke_result_t<Fn&, const experiments::ScenarioConfig&, std::size_t>> {
+    using Result = std::invoke_result_t<Fn&, const experiments::ScenarioConfig&, std::size_t>;
+    static_assert(!std::is_void_v<Result>, "replica body must return its result");
+    std::vector<Result> results(configs.size());
+    const std::size_t n_threads = threads();
+    if (n_threads <= 1 || configs.size() <= 1) {
+      for (std::size_t i = 0; i < configs.size(); ++i) results[i] = fn(configs[i], i);
+      return results;
+    }
+    std::vector<std::exception_ptr> errors(configs.size());
+    {
+      ThreadPool pool(n_threads);
+      for (std::size_t i = 0; i < configs.size(); ++i) {
+        pool.submit([&, i] {
+          try {
+            results[i] = fn(configs[i], i);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        });
+      }
+      pool.wait_idle();
+    }
+    for (auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    return results;
+  }
+
+ private:
+  SweepOptions opts_;
+};
+
+/// `count` copies of `base` with seeds base.seed, base.seed+1, ... —
+/// the canonical N-seed replica sweep.
+std::vector<experiments::ScenarioConfig> seed_sweep(const experiments::ScenarioConfig& base,
+                                                    std::size_t count);
+
+// ---------------------------------------------------------------------------
+// Deterministic (submission-order) merge helpers.
+
+/// Concatenate per-replica series in order. Timestamps are left untouched;
+/// replicas of equal duration interleave per-replica runs of points.
+util::TimeSeries merge_series(const std::vector<util::TimeSeries>& parts);
+
+/// Merge event logs in replica order (events stay grouped per replica,
+/// each log's internal order preserved).
+experiments::EventLog merge_event_logs(const std::vector<experiments::EventLog>& parts);
+
+/// Fold per-replica running stats in replica order.
+util::RunningStats merge_stats(const std::vector<util::RunningStats>& parts);
+
+/// Fold per-replica histograms (identical binning) in replica order.
+/// Precondition: parts is non-empty.
+util::Histogram merge_histograms(const std::vector<util::Histogram>& parts);
+
+} // namespace tsn::sweep

@@ -1,0 +1,121 @@
+#include "sweep/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace tsn::sweep {
+
+namespace {
+// Identifies the pool (and worker slot) the current thread belongs to, so
+// submit() from inside a task lands on the worker's own deque.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local std::size_t tls_index = 0;
+} // namespace
+
+std::size_t ThreadPool::resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = resolve_threads(threads);
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) queues_.push_back(std::make_unique<Worker>());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lk(state_mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target;
+  if (tls_pool == this) {
+    target = tls_index;
+  } else {
+    std::lock_guard<std::mutex> lk(state_mutex_);
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lk(queues_[target]->mutex);
+    queues_[target]->deque.push_back(std::move(task));
+  }
+  // The task must be visible in a deque before the queued count says so;
+  // a worker that reserves a unit of work is then guaranteed to find one.
+  {
+    std::lock_guard<std::mutex> lk(state_mutex_);
+    ++queued_;
+    ++pending_;
+  }
+  work_available_.notify_one();
+}
+
+bool ThreadPool::try_get_task(std::size_t self, std::function<void()>& out) {
+  // Own deque first (back = most recently pushed, cache-warm), then steal
+  // from the front of the others.
+  {
+    Worker& w = *queues_[self];
+    std::lock_guard<std::mutex> lk(w.mutex);
+    if (!w.deque.empty()) {
+      out = std::move(w.deque.back());
+      w.deque.pop_back();
+      return true;
+    }
+  }
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    Worker& victim = *queues_[(self + k) % queues_.size()];
+    std::lock_guard<std::mutex> lk(victim.mutex);
+    if (!victim.deque.empty()) {
+      out = std::move(victim.deque.front());
+      victim.deque.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  tls_pool = this;
+  tls_index = self;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(state_mutex_);
+      work_available_.wait(lk, [&] { return shutdown_ || queued_ > 0; });
+      if (queued_ == 0) {
+        if (shutdown_) return;
+        continue;
+      }
+      --queued_; // reserve one unit of work
+    }
+    std::function<void()> task;
+    while (!try_get_task(self, task)) {
+      // The reserved task is mid-push or being shuffled; extremely short
+      // window, just yield.
+      std::this_thread::yield();
+    }
+    task();
+    task = nullptr; // release captures before reporting completion
+    bool done;
+    {
+      std::lock_guard<std::mutex> lk(state_mutex_);
+      done = (--pending_ == 0);
+    }
+    if (done) all_done_.notify_all();
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(state_mutex_);
+  all_done_.wait(lk, [&] { return pending_ == 0; });
+}
+
+} // namespace tsn::sweep

@@ -1,0 +1,70 @@
+// Work-stealing thread pool for fanning independent simulation replicas
+// out across cores.
+//
+// Each worker owns a deque: it pushes/pops its own work at the back and
+// steals from the front of other workers' deques when it runs dry, which
+// keeps contention off the common path. External submissions are
+// distributed round-robin. The pool never touches simulation state — the
+// determinism of a sweep comes from replicas owning all of their mutable
+// state and from merging results in submission order, not from any
+// scheduling property of this class.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tsn::sweep {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains the queues: blocks until every submitted task has run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Thread-safe; may be called from worker threads too
+  /// (the task then lands on the calling worker's own deque).
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks (including ones submitted while
+  /// waiting) have finished.
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// The effective worker count a given configuration yields.
+  static std::size_t resolve_threads(std::size_t requested);
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> deque;
+    std::mutex mutex;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_get_task(std::size_t self, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Worker>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex state_mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t pending_ = 0; ///< submitted but not yet finished
+  std::size_t queued_ = 0;  ///< submitted but not yet picked up by a worker
+  std::size_t next_queue_ = 0;
+  bool shutdown_ = false;
+};
+
+} // namespace tsn::sweep

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "util/str.hpp"
 
@@ -24,6 +25,16 @@ void Histogram::add(double x) {
     return;
   }
   ++bins_[idx];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.bin_width_ != bin_width_ || other.bins_.size() != bins_.size()) {
+    throw std::invalid_argument("Histogram::merge: binning mismatch");
+  }
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  stats_.merge(other.stats_);
 }
 
 double Histogram::bin_lo(std::size_t i) const { return lo_ + static_cast<double>(i) * bin_width_; }

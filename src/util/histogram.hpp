@@ -17,6 +17,11 @@ class Histogram {
 
   void add(double x);
 
+  /// Fold another histogram with identical binning into this one
+  /// (bin-wise counts, under/overflow and stats). Throws on a binning
+  /// mismatch.
+  void merge(const Histogram& other);
+
   std::size_t bin_count() const { return bins_.size(); }
   std::uint64_t bin(std::size_t i) const { return bins_[i]; }
   double bin_lo(std::size_t i) const;

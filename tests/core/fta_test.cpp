@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "util/rng.hpp"
 
@@ -145,6 +147,93 @@ TEST_P(FtaProperty, ByzantineMaskingWithEnoughClocks) {
 }
 
 INSTANTIATE_TEST_SUITE_P(FaultCounts, FtaProperty, ::testing::Values(0, 1, 2, 3));
+
+// ---------------------------------------------------------------------------
+// The nth_element-based implementation must agree with the textbook
+// sort-then-trim formulation.
+
+double reference_sorted_fta(std::vector<double> values, int f) {
+  std::sort(values.begin(), values.end());
+  double sum = 0.0;
+  const std::size_t lo = static_cast<std::size_t>(f);
+  const std::size_t hi = values.size() - static_cast<std::size_t>(f);
+  for (std::size_t i = lo; i < hi; ++i) sum += values[i];
+  return sum / static_cast<double>(hi - lo);
+}
+
+TEST(FtaTest, MatchesSortedReferenceOnRandomVectors) {
+  util::RngStream rng(4242, "fta-ref");
+  for (int f = 0; f <= 3; ++f) {
+    for (int trial = 0; trial < 300; ++trial) {
+      const int n = static_cast<int>(rng.uniform_int(2 * f + 1, 64));
+      std::vector<double> v;
+      for (int i = 0; i < n; ++i) {
+        // Mix magnitudes and force duplicates in about a third of draws.
+        if (!v.empty() && rng.uniform01() < 0.33) {
+          v.push_back(v[static_cast<std::size_t>(rng.uniform_int(0, n)) % v.size()]);
+        } else {
+          v.push_back(rng.uniform(-1e9, 1e9));
+        }
+      }
+      const auto got = fault_tolerant_average(v, f);
+      ASSERT_TRUE(got.has_value());
+      const double want = reference_sorted_fta(v, f);
+      // The reference's left-to-right sum carries O(n·eps·max|x|) rounding
+      // error; the compensated implementation is at least as accurate.
+      EXPECT_NEAR(*got, want, static_cast<double>(n) * 1e9 * 1e-15)
+          << "f=" << f << " n=" << n;
+    }
+  }
+}
+
+TEST(FtaTest, MatchesSortedReferenceWithInfinities) {
+  // A single +inf or -inf is trimmed away exactly like the sorted version
+  // would trim it.
+  EXPECT_DOUBLE_EQ(*fault_tolerant_average(
+                       {std::numeric_limits<double>::infinity(), 1.0, 2.0, 3.0}, 1),
+                   2.5);
+  EXPECT_DOUBLE_EQ(*fault_tolerant_average(
+                       {-std::numeric_limits<double>::infinity(), 1.0, 2.0, 3.0}, 1),
+                   1.5);
+  EXPECT_DOUBLE_EQ(*fault_tolerant_average({-std::numeric_limits<double>::infinity(), 1.0, 2.0,
+                                            std::numeric_limits<double>::infinity()},
+                                           1),
+                   1.5);
+  // An infinity that survives the trim propagates, as with a full sort.
+  const auto surviving = fault_tolerant_average(
+      {std::numeric_limits<double>::infinity(), std::numeric_limits<double>::infinity(), 1.0,
+       2.0},
+      1);
+  ASSERT_TRUE(surviving.has_value());
+  EXPECT_TRUE(std::isinf(*surviving));
+  // Duplicated infinities on both sides of the trim.
+  const auto both = fault_tolerant_average(
+      {std::numeric_limits<double>::infinity(), std::numeric_limits<double>::infinity(),
+       -std::numeric_limits<double>::infinity(), -std::numeric_limits<double>::infinity(), 5.0},
+      2);
+  ASSERT_TRUE(both.has_value());
+  EXPECT_DOUBLE_EQ(*both, 5.0);
+}
+
+TEST(MedianTest, MatchesSortedReferenceOnRandomVectors) {
+  util::RngStream rng(777, "med-ref");
+  for (int trial = 0; trial < 300; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 65));
+    std::vector<double> v;
+    for (int i = 0; i < n; ++i) {
+      v.push_back(rng.uniform01() < 0.3 ? std::floor(rng.uniform(-5.0, 5.0))
+                                        : rng.uniform(-1e9, 1e9));
+    }
+    auto sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    const double want = (n % 2 == 1)
+                            ? sorted[static_cast<std::size_t>(n) / 2]
+                            : (sorted[static_cast<std::size_t>(n) / 2 - 1] +
+                               sorted[static_cast<std::size_t>(n) / 2]) /
+                                  2.0;
+    EXPECT_DOUBLE_EQ(*median(v), want) << "n=" << n;
+  }
+}
 
 } // namespace
 } // namespace tsn::core

@@ -83,5 +83,71 @@ TEST(EventQueueTest, PoppedReportsScheduledTime) {
   EXPECT_EQ(e->time, SimTime(1234));
 }
 
+TEST(EventQueueTest, PostedEventsInterleaveWithScheduled) {
+  EventQueue q;
+  std::vector<int> order;
+  q.post(SimTime(20), [&] { order.push_back(2); });
+  q.schedule(SimTime(10), [&] { order.push_back(1); });
+  q.post(SimTime(30), [&] { order.push_back(3); });
+  while (auto e = q.try_pop()) e->fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, LiveSizeTracksCancellation) {
+  EventQueue q;
+  auto a = q.schedule(SimTime(1), [] {});
+  auto b = q.schedule(SimTime(2), [] {});
+  q.post(SimTime(3), [] {});
+  EXPECT_EQ(q.live_size(), 3u);
+  EXPECT_EQ(q.size_upper_bound(), 3u);
+  a.cancel();
+  // The cancelled entry still sits in the heap, but live_size is exact.
+  EXPECT_EQ(q.live_size(), 2u);
+  EXPECT_EQ(q.size_upper_bound(), 3u);
+  a.cancel(); // double cancel must not drift the count
+  b.cancel();
+  EXPECT_EQ(q.live_size(), 1u);
+  ASSERT_TRUE(q.try_pop().has_value());
+  EXPECT_EQ(q.live_size(), 0u);
+  EXPECT_EQ(q.size_upper_bound(), 0u);
+}
+
+TEST(EventQueueTest, HandleInertAfterFire) {
+  EventQueue q;
+  EventHandle h = q.schedule(SimTime(1), [] {});
+  ASSERT_TRUE(q.try_pop().has_value());
+  EXPECT_FALSE(h.pending());
+  h.cancel(); // must be a no-op, not cancel some future event
+  EXPECT_EQ(q.live_size(), 0u);
+}
+
+TEST(EventQueueTest, StaleHandleDoesNotCancelSlotReuse) {
+  EventQueue q;
+  // Fire the first event so its slab slot is freed, then schedule another
+  // event that reuses the slot. The stale handle must not affect it.
+  EventHandle stale = q.schedule(SimTime(1), [] {});
+  ASSERT_TRUE(q.try_pop().has_value());
+  bool fired = false;
+  EventHandle fresh = q.schedule(SimTime(2), [&] { fired = true; });
+  stale.cancel();
+  EXPECT_FALSE(stale.pending());
+  EXPECT_TRUE(fresh.pending());
+  while (auto e = q.try_pop()) e->fn();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueTest, ManyCancellationsReuseSlab) {
+  EventQueue q;
+  for (int round = 0; round < 100; ++round) {
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 16; ++i) {
+      handles.push_back(q.schedule(SimTime(round * 100 + i), [] {}));
+    }
+    for (auto& h : handles) h.cancel();
+    EXPECT_EQ(q.live_size(), 0u);
+    EXPECT_TRUE(q.empty());
+  }
+}
+
 } // namespace
 } // namespace tsn::sim

@@ -113,6 +113,19 @@ TEST(SimulationTest, MakeRngIsDeterministicPerName) {
   EXPECT_EQ(a.uniform01(), b.uniform01());
 }
 
+TEST(SimulationTest, NegativeDelayClampsToNow) {
+  Simulation sim;
+  std::vector<std::int64_t> fire_times;
+  sim.at(SimTime(100), [&] {
+    sim.after(-50, [&] { fire_times.push_back(sim.now().ns()); });
+    sim.after(-1'000'000, [&] { fire_times.push_back(sim.now().ns()); });
+  });
+  sim.run_until(SimTime(1000));
+  // Both fire "immediately" at t=100 instead of rewinding time.
+  EXPECT_EQ(fire_times, (std::vector<std::int64_t>{100, 100}));
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
 TEST(SimulationTest, PeriodicFirstFiringMayBeAtZero) {
   Simulation sim;
   std::vector<std::int64_t> fire_times;

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Run the google-benchmark microbenchmarks and record BENCH_micro.json at
+# the repo root (the baseline perf PRs diff against).
+#
+# Usage: tools/run_benches.sh [build-dir]
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+if [ ! -x "$build_dir/bench/micro_benchmarks" ]; then
+  echo "building micro_benchmarks in $build_dir..."
+  cmake -S "$repo_root" -B "$build_dir" >/dev/null
+  cmake --build "$build_dir" --target micro_benchmarks -j >/dev/null
+fi
+
+"$build_dir/bench/micro_benchmarks" \
+  --benchmark_format=json \
+  --benchmark_out="$repo_root/BENCH_micro.json" \
+  --benchmark_out_format=json
+
+echo "wrote $repo_root/BENCH_micro.json"

@@ -8,6 +8,13 @@
 //   tsnfta_sim duration_min=30 inject_faults=true gm_kill_period_min=5
 //   tsnfta_sim duration_min=5 aggregation=median sync_interval_ns=62500000
 //   tsnfta_sim duration_min=5 pcap=run.pcap
+//   tsnfta_sim duration_min=10 seeds=8 threads=4 csv=sweep.csv
+//
+// seeds=N runs N replicas (seed, seed+1, ...) through the SweepRunner on
+// threads= workers (0 = hardware concurrency). The merged series/stats
+// are identical whatever threads= is; seeds=1 (default) reproduces the
+// classic single run. pcap capture applies to the first replica only.
+#include <algorithm>
 #include <cstdio>
 
 #include "experiments/harness.hpp"
@@ -15,6 +22,7 @@
 #include "faults/attacker.hpp"
 #include "faults/injector.hpp"
 #include "net/pcap.hpp"
+#include "sweep/sweep_runner.hpp"
 #include "util/config.hpp"
 #include "util/log.hpp"
 #include "util/str.hpp"
@@ -30,6 +38,19 @@ core::AggregationMethod parse_method(const std::string& name) {
   return core::AggregationMethod::kFta;
 }
 
+struct Replica {
+  util::TimeSeries series;
+  experiments::ExperimentHarness::Calibration cal;
+  std::int64_t sync_done_ns = 0;
+  std::uint64_t injector_kills = 0;
+  std::uint64_t injector_gm_kills = 0;
+  std::size_t takeovers = 0;
+  std::size_t attacks_attempted = 0;
+  std::size_t attacks_succeeded = 0;
+  std::uint64_t pcap_frames = 0;
+  double holds = 0;
+};
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -42,87 +63,148 @@ int main(int argc, char** argv) {
   }
   util::set_log_level(util::parse_log_level(cli.get_string("log", "info")));
 
-  experiments::ScenarioConfig cfg;
-  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-  cfg.sync_interval_ns = cli.get_int("sync_interval_ns", cfg.sync_interval_ns);
-  cfg.aggregation = parse_method(cli.get_string("aggregation", "fta"));
-  cfg.validity_threshold_ns = cli.get_double("validity_threshold_ns", cfg.validity_threshold_ns);
-  cfg.synctime_feed_forward = cli.get_bool("feed_forward", false);
-  cfg.gm_mutual_sync = cli.get_bool("gm_mutual_sync", true);
+  experiments::ScenarioConfig base;
+  base.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  base.sync_interval_ns = cli.get_int("sync_interval_ns", base.sync_interval_ns);
+  base.aggregation = parse_method(cli.get_string("aggregation", "fta"));
+  base.validity_threshold_ns = cli.get_double("validity_threshold_ns", base.validity_threshold_ns);
+  base.synctime_feed_forward = cli.get_bool("feed_forward", false);
+  base.gm_mutual_sync = cli.get_bool("gm_mutual_sync", true);
   if (cli.get_bool("diverse_kernels", false)) {
-    cfg.gm_kernels = {"4.19.1", "5.4.0", "5.10.0", "6.1.0"};
-  }
-
-  experiments::Scenario scenario(cfg);
-  experiments::ExperimentHarness harness(scenario);
-
-  std::unique_ptr<net::PcapTracer> pcap;
-  if (cli.has("pcap")) {
-    pcap = std::make_unique<net::PcapTracer>(scenario.sim(), cli.get_string("pcap"));
-    pcap->attach(scenario.measurement_vm().nic().port());
-    std::printf("capturing the measurement VM's traffic to %s\n",
-                cli.get_string("pcap").c_str());
-  }
-
-  std::printf("booting the 4-ECD testbed (seed %llu)...\n",
-              static_cast<unsigned long long>(cfg.seed));
-  harness.bring_up();
-  const auto cal = harness.calibrate();
-  std::printf("initial synchronization complete at t=%s; Pi=%.2f us, gamma=%.2f us\n",
-              util::hms(scenario.sim().now().ns()).c_str(), cal.bound.pi_ns / 1000.0,
-              cal.gamma_ns / 1000.0);
-
-  faults::Attacker attacker(scenario.sim(), faults::KernelVulnDb::with_defaults());
-  const std::int64_t t0 = scenario.sim().now().ns();
-  for (const char* prefix : {"attack", "attack2"}) {
-    const std::string at_key = std::string(prefix) + "_at_min";
-    if (!cli.has(at_key)) continue;
-    const std::size_t gm = static_cast<std::size_t>(
-        cli.get_int(std::string(prefix) + "_gm", 0));
-    attacker.add_step({t0 + cli.get_int(at_key, 0) * 60'000'000'000LL,
-                       &scenario.gm_vm(gm % scenario.num_ecds())});
-  }
-  attacker.start();
-
-  std::unique_ptr<faults::FaultInjector> injector;
-  if (cli.get_bool("inject_faults", false)) {
-    faults::InjectorConfig icfg;
-    icfg.gm_kill_period_ns = cli.get_int("gm_kill_period_min", 30) * 60'000'000'000LL;
-    icfg.standby_kills_per_hour = cli.get_double("standby_kills_per_hour", 0.65);
-    injector = std::make_unique<faults::FaultInjector>(scenario.sim(), scenario.ecd_ptrs(), icfg);
-    injector->spare(&scenario.measurement_vm());
-    injector->start();
+    base.gm_kernels = {"4.19.1", "5.4.0", "5.10.0", "6.1.0"};
   }
 
   const std::int64_t duration = cli.get_int("duration_min", 10) * 60'000'000'000LL;
+  const std::size_t seeds =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("seeds", 1)));
+
+  const auto run_replica = [&](const experiments::ScenarioConfig& cfg,
+                               std::size_t index) -> Replica {
+    experiments::Scenario scenario(cfg);
+    experiments::ExperimentHarness harness(scenario);
+
+    std::unique_ptr<net::PcapTracer> pcap;
+    if (cli.has("pcap") && index == 0) {
+      pcap = std::make_unique<net::PcapTracer>(scenario.sim(), cli.get_string("pcap"));
+      pcap->attach(scenario.measurement_vm().nic().port());
+    }
+
+    harness.bring_up();
+    const auto cal = harness.calibrate();
+    const std::int64_t sync_done = scenario.sim().now().ns();
+
+    faults::Attacker attacker(scenario.sim(), faults::KernelVulnDb::with_defaults());
+    const std::int64_t t0 = scenario.sim().now().ns();
+    for (const char* prefix : {"attack", "attack2"}) {
+      const std::string at_key = std::string(prefix) + "_at_min";
+      if (!cli.has(at_key)) continue;
+      const std::size_t gm = static_cast<std::size_t>(
+          cli.get_int(std::string(prefix) + "_gm", 0));
+      attacker.add_step({t0 + cli.get_int(at_key, 0) * 60'000'000'000LL,
+                         &scenario.gm_vm(gm % scenario.num_ecds())});
+    }
+    attacker.start();
+
+    std::unique_ptr<faults::FaultInjector> injector;
+    if (cli.get_bool("inject_faults", false)) {
+      faults::InjectorConfig icfg;
+      icfg.gm_kill_period_ns = cli.get_int("gm_kill_period_min", 30) * 60'000'000'000LL;
+      icfg.standby_kills_per_hour = cli.get_double("standby_kills_per_hour", 0.65);
+      injector = std::make_unique<faults::FaultInjector>(scenario.sim(), scenario.ecd_ptrs(),
+                                                         icfg);
+      injector->spare(&scenario.measurement_vm());
+      injector->start();
+    }
+
+    harness.run_measured(duration);
+
+    Replica out;
+    out.series = scenario.probe().series();
+    out.cal = cal;
+    out.sync_done_ns = sync_done;
+    if (injector) {
+      out.injector_kills = injector->stats().total_kills;
+      out.injector_gm_kills = injector->stats().gm_kills;
+      out.takeovers = harness.events().count(experiments::EventKind::kTakeover);
+    }
+    out.attacks_attempted = attacker.results().size();
+    out.attacks_succeeded = attacker.successful_exploits();
+    if (pcap) {
+      pcap->flush();
+      out.pcap_frames = pcap->frames_written();
+    }
+    out.holds = experiments::bound_holding_fraction(out.series, cal.bound.pi_ns, cal.gamma_ns);
+    return out;
+  };
+
+  sweep::SweepRunner runner(
+      {.threads = static_cast<std::size_t>(std::max<std::int64_t>(0, cli.get_int("threads", 0)))});
+  std::printf("booting the 4-ECD testbed (seed %llu%s)...\n",
+              static_cast<unsigned long long>(base.seed),
+              seeds > 1 ? util::format(", %zu replicas on %zu threads", seeds,
+                                       runner.threads())
+                              .c_str()
+                        : "");
+  if (cli.has("pcap")) {
+    std::printf("capturing the measurement VM's traffic to %s\n",
+                cli.get_string("pcap").c_str());
+  }
   std::printf("running the measured phase for %lld min...\n",
               static_cast<long long>(duration / 60'000'000'000LL));
-  harness.run_measured(duration);
 
-  experiments::print_precision_series(scenario.probe().series(), cal.bound.pi_ns, cal.gamma_ns,
-                                      cli.get_int("bucket_s", 120) * 1'000'000'000LL);
-  if (injector) {
-    std::printf("\nfault injection: %llu kills (%llu GM), %zu takeovers\n",
-                static_cast<unsigned long long>(injector->stats().total_kills),
-                static_cast<unsigned long long>(injector->stats().gm_kills),
-                harness.events().count(experiments::EventKind::kTakeover));
+  const auto results = runner.run(sweep::seed_sweep(base, seeds), run_replica);
+
+  const auto& first = results.front();
+  std::printf("initial synchronization complete at t=%s; Pi=%.2f us, gamma=%.2f us\n",
+              util::hms(first.sync_done_ns).c_str(), first.cal.bound.pi_ns / 1000.0,
+              first.cal.gamma_ns / 1000.0);
+
+  std::vector<util::TimeSeries> series;
+  std::vector<double> holds_parts;
+  std::vector<std::size_t> counts;
+  Replica sums;
+  for (const auto& r : results) {
+    series.push_back(r.series);
+    holds_parts.push_back(r.holds);
+    counts.push_back(r.series.points().size());
+    sums.injector_kills += r.injector_kills;
+    sums.injector_gm_kills += r.injector_gm_kills;
+    sums.takeovers += r.takeovers;
+    sums.attacks_attempted += r.attacks_attempted;
+    sums.attacks_succeeded += r.attacks_succeeded;
+    sums.pcap_frames += r.pcap_frames;
   }
-  if (!attacker.results().empty()) {
-    std::printf("attacks: %zu attempted, %zu succeeded\n", attacker.results().size(),
-                attacker.successful_exploits());
+  const auto merged = sweep::merge_series(series);
+
+  experiments::print_precision_series(merged, first.cal.bound.pi_ns, first.cal.gamma_ns,
+                                      cli.get_int("bucket_s", 120) * 1'000'000'000LL);
+  if (cli.get_bool("inject_faults", false)) {
+    std::printf("\nfault injection: %llu kills (%llu GM), %zu takeovers\n",
+                static_cast<unsigned long long>(sums.injector_kills),
+                static_cast<unsigned long long>(sums.injector_gm_kills), sums.takeovers);
+  }
+  if (sums.attacks_attempted > 0) {
+    std::printf("attacks: %zu attempted, %zu succeeded\n", sums.attacks_attempted,
+                sums.attacks_succeeded);
   }
   if (cli.has("csv")) {
-    experiments::dump_series_csv(scenario.probe().series(), cli.get_string("csv"));
+    experiments::dump_series_csv(merged, cli.get_string("csv"));
     std::printf("series written to %s\n", cli.get_string("csv").c_str());
   }
-  if (pcap) {
-    pcap->flush();
+  if (cli.has("pcap")) {
     std::printf("pcap: %llu frames captured\n",
-                static_cast<unsigned long long>(pcap->frames_written()));
+                static_cast<unsigned long long>(sums.pcap_frames));
   }
 
-  const double holds = experiments::bound_holding_fraction(scenario.probe().series(),
-                                                           cal.bound.pi_ns, cal.gamma_ns);
-  std::printf("\nprecision bound held for %.2f%% of samples\n", 100.0 * holds);
+  const double held = [&] {
+    double weighted = 0;
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < holds_parts.size(); ++i) {
+      weighted += holds_parts[i] * static_cast<double>(counts[i]);
+      total += counts[i];
+    }
+    return total == 0 ? 1.0 : weighted / static_cast<double>(total);
+  }();
+  std::printf("\nprecision bound held for %.2f%% of samples\n", 100.0 * held);
   return 0;
 }
