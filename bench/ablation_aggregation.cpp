@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
 
   struct Result {
     double avg = 0, max = 0, holds = 0;
+    obs::MetricsSnapshot metrics;
   };
   const std::int64_t duration = cli.get_int("duration_min", 10) * 60'000'000'000LL;
   sweep::SweepRunner runner(bench::sweep_options_from_cli(cli));
@@ -52,7 +53,8 @@ int main(int argc, char** argv) {
         const auto st = scenario.probe().series().stats();
         return Result{st.mean(), st.max(),
                       experiments::bound_holding_fraction(scenario.probe().series(),
-                                                          cal.bound.pi_ns, cal.gamma_ns)};
+                                                          cal.bound.pi_ns, cal.gamma_ns),
+                      scenario.metrics_snapshot()};
       });
 
   std::vector<experiments::ComparisonRow> table;
@@ -68,5 +70,14 @@ int main(int argc, char** argv) {
   const bool ok = results[0].holds == 1.0 && results[1].holds == 1.0 &&
                   results[2].avg > 3 * results[0].avg;
   std::printf("\nexpected shape (FTA/median mask, mean degrades): %s\n", ok ? "OK" : "DIFFERENT");
+
+  std::vector<obs::MetricsSnapshot> metric_parts;
+  for (const auto& r : results) metric_parts.push_back(r.metrics);
+  auto manifest = bench::make_manifest("ablation_aggregation", configs.front(), results.size(),
+                                       runner.threads(), sweep::merge_metrics(metric_parts));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    manifest.extra[util::format("holds_%zu", i)] = util::format("%.6f", results[i].holds);
+  }
+  bench::write_manifest_from_cli(cli, manifest);
   return ok ? 0 : 1;
 }

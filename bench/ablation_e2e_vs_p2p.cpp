@@ -24,6 +24,7 @@ namespace {
 struct Outcome {
   double offset_std_ns = 0;
   double disagreement_ns = 0;
+  obs::MetricsSnapshot metrics;
 };
 
 time::PhcModel phc(double drift) {
@@ -35,6 +36,7 @@ time::PhcModel phc(double drift) {
 
 Outcome run(bool p2p_with_bridge, double residence_jitter, std::int64_t duration) {
   sim::Simulation sim(7);
+  obs::Observability obs; // stack-level bench: no Scenario, so own the bundle
   net::SwitchConfig scfg;
   scfg.port_count = 3;
   scfg.residence_base_ns = 2'000;
@@ -79,6 +81,7 @@ Outcome run(bool p2p_with_bridge, double residence_jitter, std::int64_t duration
   });
   // Re-enable servo behaviour through the callback:
   gptp::PiServo servo;
+  servo.attach_obs(obs.context(), "slave.servo");
   slave.set_offset_callback([&](const gptp::MasterOffsetSample& s) {
     offsets.add(s.offset_ns);
     const auto r = servo.sample(static_cast<std::int64_t>(s.offset_ns), s.local_rx_ts);
@@ -89,7 +92,9 @@ Outcome run(bool p2p_with_bridge, double residence_jitter, std::int64_t duration
   });
   sim.run_until(sim.now() + duration);
 
-  return {offsets.stddev(), disagreement.mean()};
+  obs.metrics.gauge("sim.events_executed")
+      .set(static_cast<double>(sim.events_executed()));
+  return {offsets.stddev(), disagreement.mean(), obs.metrics.snapshot()};
 }
 
 } // namespace
@@ -101,10 +106,13 @@ int main(int argc, char** argv) {
 
   const std::int64_t duration = cli.get_int("duration_min", 5) * 60'000'000'000LL;
   std::vector<experiments::ComparisonRow> rows;
+  std::vector<obs::MetricsSnapshot> metric_parts;
   double e2e_std = 0, p2p_std = 0;
   for (double jitter : {0.0, 100.0, 400.0}) {
     const Outcome e2e = run(false, jitter, duration);
     const Outcome p2p = run(true, jitter, duration);
+    metric_parts.push_back(e2e.metrics);
+    metric_parts.push_back(p2p.metrics);
     if (jitter == 400.0) {
       e2e_std = e2e.offset_std_ns;
       p2p_std = p2p.offset_std_ns;
@@ -122,5 +130,18 @@ int main(int argc, char** argv) {
   std::printf("\nexpected shape (P2P bridge correction cancels queueing jitter, E2E does\n"
               "not; at 400 ns jitter E2E noise is %.0fx P2P): %s\n",
               e2e_std / std::max(p2p_std, 1.0), ok ? "OK" : "DIFFERENT");
+
+  // No ScenarioConfig here (raw gPTP stacks), so assemble the manifest by hand.
+  obs::RunManifest manifest;
+  manifest.tool = "ablation_e2e_vs_p2p";
+  manifest.seed = 7;
+  manifest.replicas = metric_parts.size();
+  manifest.threads = 1;
+  manifest.scenario["residence_jitter_ns"] = "0,100,400";
+  manifest.scenario["duration_ns"] = std::to_string(duration);
+  manifest.metrics = obs::merge_snapshots(metric_parts);
+  manifest.extra["e2e_std_ns_j400"] = util::format("%.1f", e2e_std);
+  manifest.extra["p2p_std_ns_j400"] = util::format("%.1f", p2p_std);
+  tsn::bench::write_manifest_from_cli(cli, manifest);
   return ok ? 0 : 1;
 }

@@ -37,11 +37,13 @@ struct Outcome {
   bool detected = false;
   double detection_latency_ms = -1;
   double residual_error_ns = 0; ///< CLOCK_SYNCTIME error after the fault
+  obs::MetricsSnapshot metrics;
 };
 
 Outcome run(std::size_t vm_count, std::uint64_t seed) {
   sim::Simulation sim(seed);
-  hv::Ecd ecd(sim, {"ecd", nic_phc(), {}});
+  obs::Observability obs; // Ecd-level bench: no Scenario, so own the bundle
+  hv::Ecd ecd(sim, {"ecd", nic_phc(), {}}, obs.context());
   for (std::size_t i = 0; i < vm_count; ++i) {
     ecd.add_clock_sync_vm(vm_cfg(util::format("vm%zu", i), 0x50 + i));
   }
@@ -64,6 +66,9 @@ Outcome run(std::size_t vm_count, std::uint64_t seed) {
   const auto st = ecd.read_synctime();
   const auto ref = ecd.vm(vm_count - 1).nic().phc().read();
   out.residual_error_ns = st ? static_cast<double>(*st - ref) : -1;
+  obs.metrics.gauge("sim.events_executed")
+      .set(static_cast<double>(sim.events_executed()));
+  out.metrics = obs.metrics.snapshot();
   return out;
 }
 
@@ -96,5 +101,20 @@ int main(int argc, char** argv) {
                   three.detected && std::abs(three.residual_error_ns) < 10'000;
   std::printf("\nexpected shape (2 VMs blind, 3 VMs detect and recover): %s\n",
               ok ? "OK" : "DIFFERENT");
+
+  // No ScenarioConfig here (Ecd-level bench), so assemble the manifest by hand.
+  obs::RunManifest manifest;
+  manifest.tool = "ablation_fail_consistent";
+  manifest.seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+  manifest.replicas = 2;
+  manifest.threads = 1;
+  manifest.scenario["vm_counts"] = "2,3";
+  manifest.scenario["param_corruption_ns"] = "50000";
+  manifest.metrics = obs::merge_snapshots({two.metrics, three.metrics});
+  manifest.extra["detected_2vm"] = two.detected ? "1" : "0";
+  manifest.extra["detected_3vm"] = three.detected ? "1" : "0";
+  manifest.extra["residual_ns_2vm"] = util::format("%.1f", two.residual_error_ns);
+  manifest.extra["residual_ns_3vm"] = util::format("%.1f", three.residual_error_ns);
+  bench::write_manifest_from_cli(cli, manifest);
   return ok ? 0 : 1;
 }

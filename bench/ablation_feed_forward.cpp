@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
 
   struct Result {
     double avg = 0, p99 = 0, max = 0;
+    obs::MetricsSnapshot metrics;
   };
   const std::int64_t duration = cli.get_int("duration_min", 30) * 60'000'000'000LL;
   sweep::SweepRunner runner(bench::sweep_options_from_cli(cli));
@@ -46,7 +47,8 @@ int main(int argc, char** argv) {
         util::SampleSet samples;
         for (const auto& p : scenario.probe().series().points()) samples.add(p.value);
         const auto& st = scenario.probe().series().stats();
-        return Result{st.mean(), samples.quantile(0.99), st.max()};
+        return Result{st.mean(), samples.quantile(0.99), st.max(),
+                      scenario.metrics_snapshot()};
       });
 
   std::vector<experiments::ComparisonRow> table;
@@ -61,5 +63,13 @@ int main(int argc, char** argv) {
   std::printf("\npaper hypothesis: feed-forward reduces spike tail; measured tail ratio "
               "(feedback/feed-forward p99) = %.2f\n",
               results[0].p99 / results[1].p99);
+
+  std::vector<obs::MetricsSnapshot> metric_parts;
+  for (const auto& r : results) metric_parts.push_back(r.metrics);
+  auto manifest = bench::make_manifest("ablation_feed_forward", configs.front(), results.size(),
+                                       runner.threads(), sweep::merge_metrics(metric_parts));
+  manifest.extra["p99_feedback_ns"] = util::format("%.1f", results[0].p99);
+  manifest.extra["p99_feed_forward_ns"] = util::format("%.1f", results[1].p99);
+  bench::write_manifest_from_cli(cli, manifest);
   return 0;
 }

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
 
   struct Result {
     double gamma_us = 0, pi_us = 0, avg = 0, max = 0;
+    obs::MetricsSnapshot metrics;
   };
   const std::int64_t duration = cli.get_int("duration_min", 5) * 60'000'000'000LL;
   sweep::SweepRunner runner(bench::sweep_options_from_cli(cli));
@@ -36,7 +37,7 @@ int main(int argc, char** argv) {
         harness.run_measured(duration);
         const auto st = scenario.probe().series().stats();
         return Result{cal.bound.drift_offset_ns / 1000.0, cal.bound.pi_ns / 1000.0, st.mean(),
-                      st.max()};
+                      st.max(), scenario.metrics_snapshot()};
       });
 
   std::vector<experiments::ComparisonRow> table;
@@ -47,5 +48,15 @@ int main(int argc, char** argv) {
                      util::format("Pi=%.1fus", results[i].pi_us)});
   }
   experiments::print_comparison_table("Sync interval sweep (fault-free)", table);
+
+  std::vector<obs::MetricsSnapshot> metric_parts;
+  for (const auto& r : results) metric_parts.push_back(r.metrics);
+  auto manifest = bench::make_manifest("ablation_sync_interval", configs.front(), results.size(),
+                                       runner.threads(), sweep::merge_metrics(metric_parts));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    manifest.extra[util::format("pi_us_S%lld", (long long)configs[i].sync_interval_ns)] =
+        util::format("%.2f", results[i].pi_us);
+  }
+  bench::write_manifest_from_cli(cli, manifest);
   return 0;
 }

@@ -24,6 +24,7 @@ struct Outcome {
   double client_avg_ns = 0;
   double client_max_ns = 0;
   double gm_disagreement_ns = 0;
+  obs::MetricsSnapshot metrics;
 };
 
 Outcome run(bool gm_mutual_sync, const util::Config& cli) {
@@ -38,6 +39,7 @@ Outcome run(bool gm_mutual_sync, const util::Config& cli) {
   out.client_avg_ns = scenario.probe().series().stats().mean();
   out.client_max_ns = scenario.probe().series().stats().max();
   out.gm_disagreement_ns = scenario.gm_clock_disagreement_ns();
+  out.metrics = scenario.metrics_snapshot();
   return out;
 }
 
@@ -74,5 +76,13 @@ int main(int argc, char** argv) {
               "separated GMs. shape: %s\n",
               baseline.gm_disagreement_ns / std::max(paper.gm_disagreement_ns, 1.0),
               shape_ok ? "OK" : "DIFFERENT");
+
+  auto manifest =
+      tsn::bench::make_manifest("baseline_kyriakakis", tsn::bench::scenario_from_cli(cli), 2, 1,
+                                obs::merge_snapshots({paper.metrics, baseline.metrics}));
+  manifest.extra["gm_disagreement_ns_paper"] = util::format("%.1f", paper.gm_disagreement_ns);
+  manifest.extra["gm_disagreement_ns_baseline"] =
+      util::format("%.1f", baseline.gm_disagreement_ns);
+  tsn::bench::write_manifest_from_cli(cli, manifest);
   return shape_ok ? 0 : 1;
 }

@@ -6,9 +6,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "experiments/harness.hpp"
 #include "experiments/report.hpp"
+#include "obs/manifest.hpp"
 #include "sweep/sweep_runner.hpp"
 #include "util/config.hpp"
 #include "util/log.hpp"
@@ -52,6 +54,32 @@ inline sweep::SweepOptions sweep_options_from_cli(const util::Config& cli) {
 /// (every bench reports at least one replica).
 inline std::size_t seeds_from_cli(const util::Config& cli) {
   return static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("seeds", 1)));
+}
+
+/// Assemble the per-run manifest every reproduction binary writes: which
+/// scenario ran, on which code, what the instrumented subsystems counted.
+/// `metrics` is the submission-order merge of the per-replica snapshots.
+inline obs::RunManifest make_manifest(const std::string& tool,
+                                      const experiments::ScenarioConfig& scenario,
+                                      std::size_t replicas, std::size_t threads,
+                                      obs::MetricsSnapshot metrics) {
+  obs::RunManifest m;
+  m.tool = tool;
+  m.seed = scenario.seed;
+  m.replicas = replicas;
+  m.threads = threads;
+  m.scenario = experiments::scenario_kv(scenario);
+  m.metrics = std::move(metrics);
+  return m;
+}
+
+/// Write the manifest to `manifest=` (default `<tool>_manifest.json`) and
+/// tell the user where it went. `manifest=none` suppresses it.
+inline void write_manifest_from_cli(const util::Config& cli, const obs::RunManifest& m) {
+  const std::string path = cli.get_string("manifest", m.tool + "_manifest.json");
+  if (path == "none") return;
+  obs::write_manifest(path, m);
+  std::printf("run manifest -> %s (git %s)\n", path.c_str(), obs::build_git_sha());
 }
 
 /// Sample-count-weighted combination of per-replica bound-holding

@@ -22,6 +22,7 @@ namespace {
 struct Replica {
   util::TimeSeries series;
   experiments::ExperimentHarness::Calibration cal;
+  obs::MetricsSnapshot metrics;
   std::size_t exploits = 0;
   double holds = 0;
 };
@@ -59,21 +60,24 @@ int main(int argc, char** argv) {
     out.cal = cal;
     out.exploits = attacker.successful_exploits();
     out.holds = experiments::bound_holding_fraction(out.series, cal.bound.pi_ns, cal.gamma_ns);
+    out.metrics = scenario.metrics_snapshot();
     return out;
   };
 
+  const auto base_cfg = bench::scenario_from_cli(cli);
   sweep::SweepRunner runner(bench::sweep_options_from_cli(cli));
   const auto results =
-      runner.run(sweep::seed_sweep(bench::scenario_from_cli(cli), bench::seeds_from_cli(cli)),
-                 run_replica);
+      runner.run(sweep::seed_sweep(base_cfg, bench::seeds_from_cli(cli)), run_replica);
 
   experiments::print_calibration(results.front().cal, 4120, 9188, 12'636, 1313);
 
   std::vector<util::TimeSeries> series;
+  std::vector<obs::MetricsSnapshot> metric_parts;
   std::size_t exploits = 0;
   std::size_t violated_replicas = 0;
   for (const auto& r : results) {
     series.push_back(r.series);
+    metric_parts.push_back(r.metrics);
     exploits += r.exploits;
     if (r.holds < 1.0) ++violated_replicas;
   }
@@ -103,5 +107,11 @@ int main(int argc, char** argv) {
 
   experiments::dump_series_csv(merged, cli.get_string("csv", "fig3a_series.csv"));
   std::printf("\nseries CSV: %s\n", cli.get_string("csv", "fig3a_series.csv").c_str());
+
+  auto manifest = bench::make_manifest("fig3a_attack_identical", base_cfg, results.size(),
+                                       runner.threads(), sweep::merge_metrics(metric_parts));
+  manifest.extra["exploits"] = std::to_string(exploits);
+  manifest.extra["violated_replicas"] = std::to_string(violated_replicas);
+  bench::write_manifest_from_cli(cli, manifest);
   return all_violated ? 0 : 1; // the figure's point is the violation
 }

@@ -25,6 +25,7 @@ struct Replica {
   util::TimeSeries series;
   experiments::EventLog events;
   experiments::ExperimentHarness::Calibration cal;
+  obs::MetricsSnapshot metrics;
   std::uint64_t total_kills = 0;
   std::uint64_t gm_kills = 0;
   std::uint64_t tx_timeouts = 0;
@@ -85,24 +86,27 @@ int main(int argc, char** argv) {
     out.deadline_misses = harness.total_deadline_misses();
     out.takeovers = harness.events().count(experiments::EventKind::kTakeover);
     out.holds = experiments::bound_holding_fraction(out.series, cal.bound.pi_ns, cal.gamma_ns);
+    out.metrics = scenario.metrics_snapshot();
     return out;
   };
 
+  const auto base_cfg = bench::scenario_from_cli(cli);
   sweep::SweepRunner runner(bench::sweep_options_from_cli(cli));
   const auto results =
-      runner.run(sweep::seed_sweep(bench::scenario_from_cli(cli), bench::seeds_from_cli(cli)),
-                 run_replica);
+      runner.run(sweep::seed_sweep(base_cfg, bench::seeds_from_cli(cli)), run_replica);
 
   experiments::print_calibration(results.front().cal, 4120 - 600, 9188 - 1500, 11'420, 856);
 
   std::vector<util::TimeSeries> series;
   std::vector<experiments::EventLog> logs;
+  std::vector<obs::MetricsSnapshot> metric_parts;
   std::vector<double> holds_parts;
   std::vector<std::size_t> counts;
   Replica sums;
   for (const auto& r : results) {
     series.push_back(r.series);
     logs.push_back(r.events);
+    metric_parts.push_back(r.metrics);
     holds_parts.push_back(r.holds);
     counts.push_back(r.series.points().size());
     sums.total_kills += r.total_kills;
@@ -152,5 +156,13 @@ int main(int argc, char** argv) {
   experiments::dump_events_csv(merged_events, cli.get_string("events_csv", "fig4a_events.csv"));
   std::printf("\nCSV: %s, %s\n", cli.get_string("csv", "fig4a_aggregated.csv").c_str(),
               cli.get_string("events_csv", "fig4a_events.csv").c_str());
+
+  auto manifest = bench::make_manifest("fig4a_fault_injection", base_cfg, results.size(),
+                                       runner.threads(), sweep::merge_metrics(metric_parts));
+  manifest.extra["duration_h"] = util::format("%g", hours);
+  manifest.extra["total_kills"] = std::to_string(sums.total_kills);
+  manifest.extra["takeovers"] = std::to_string(sums.takeovers);
+  manifest.extra["holding_fraction"] = util::format("%.6f", holds);
+  bench::write_manifest_from_cli(cli, manifest);
   return holds == 1.0 ? 0 : 1;
 }

@@ -18,6 +18,7 @@ namespace {
 
 struct Replica {
   util::TimeSeries series;
+  obs::MetricsSnapshot metrics;
   double pi_ns = 0;
   double gamma_ns = 0;
 };
@@ -52,16 +53,21 @@ int main(int argc, char** argv) {
     injector.start();
 
     harness.run_measured(duration);
-    return {scenario.probe().series(), cal.bound.pi_ns, cal.gamma_ns};
+    return {scenario.probe().series(), scenario.metrics_snapshot(), cal.bound.pi_ns,
+            cal.gamma_ns};
   };
 
+  const auto base_cfg = bench::scenario_from_cli(cli);
   sweep::SweepRunner runner(bench::sweep_options_from_cli(cli));
   const auto results =
-      runner.run(sweep::seed_sweep(bench::scenario_from_cli(cli), bench::seeds_from_cli(cli)),
-                 run_replica);
+      runner.run(sweep::seed_sweep(base_cfg, bench::seeds_from_cli(cli)), run_replica);
 
   std::vector<util::TimeSeries> series;
-  for (const auto& r : results) series.push_back(r.series);
+  std::vector<obs::MetricsSnapshot> metric_parts;
+  for (const auto& r : results) {
+    series.push_back(r.series);
+    metric_parts.push_back(r.metrics);
+  }
   const auto merged = sweep::merge_series(series);
   if (results.size() > 1) {
     std::printf("\n%zu seed replicas on %zu threads, %zu samples merged\n", results.size(),
@@ -87,5 +93,12 @@ int main(int argc, char** argv) {
 
   experiments::dump_series_csv(merged, cli.get_string("csv", "fig4b_series.csv"));
   std::printf("\nseries CSV: %s\n", cli.get_string("csv", "fig4b_series.csv").c_str());
+
+  auto manifest = bench::make_manifest("fig4b_precision_histogram", base_cfg, results.size(),
+                                       runner.threads(), sweep::merge_metrics(metric_parts));
+  manifest.extra["samples"] = std::to_string(merged.points().size());
+  manifest.extra["avg_ns"] = util::format("%.1f", st.mean());
+  manifest.extra["max_ns"] = util::format("%.1f", st.max());
+  bench::write_manifest_from_cli(cli, manifest);
   return 0;
 }

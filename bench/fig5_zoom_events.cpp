@@ -82,5 +82,12 @@ int main(int argc, char** argv) {
 
   experiments::dump_events_csv(harness.events(), cli.get_string("csv", "fig5_events.csv"));
   std::printf("\nevents CSV: %s\n", cli.get_string("csv", "fig5_events.csv").c_str());
+
+  auto manifest =
+      bench::make_manifest("fig5_zoom_events", cfg, 1, 1, scenario.metrics_snapshot());
+  manifest.extra["peak_ns"] = util::format("%.1f", peak);
+  manifest.extra["takeovers"] =
+      std::to_string(harness.events().count(experiments::EventKind::kTakeover));
+  bench::write_manifest_from_cli(cli, manifest);
   return 0;
 }

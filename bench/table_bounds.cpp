@@ -36,26 +36,43 @@ int main(int argc, char** argv) {
     configs.push_back(cfg);
   }
 
+  struct Replica {
+    experiments::ExperimentHarness::Calibration cal;
+    obs::MetricsSnapshot metrics;
+  };
   sweep::SweepRunner runner(bench::sweep_options_from_cli(cli));
-  const auto cals = runner.run(
-      configs, [&](const experiments::ScenarioConfig& cfg, std::size_t) {
+  const auto results = runner.run(
+      configs, [&](const experiments::ScenarioConfig& cfg, std::size_t) -> Replica {
         experiments::Scenario scenario(cfg);
         experiments::ExperimentHarness harness(scenario);
         harness.bring_up();
-        return harness.calibrate(static_cast<int>(cli.get_int("rounds", 60)));
+        const auto cal = harness.calibrate(static_cast<int>(cli.get_int("rounds", 60)));
+        return {cal, scenario.metrics_snapshot()};
       });
 
   int rc = 0;
-  for (std::size_t i = 0; i < cals.size(); ++i) {
+  std::vector<obs::MetricsSnapshot> metric_parts;
+  for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& row = rows[i];
+    metric_parts.push_back(results[i].metrics);
     std::printf("\n--- %s (seed %llu)\n", row.name, (unsigned long long)row.seed);
-    experiments::print_calibration(cals[i], row.dmin, row.dmax, row.pi, row.gamma);
+    experiments::print_calibration(results[i].cal, row.dmin, row.dmax, row.pi, row.gamma);
 
     // Sanity: same order of magnitude as the testbed.
-    if (cals[i].bound.pi_ns < 6'000 || cals[i].bound.pi_ns > 25'000) rc = 1;
+    if (results[i].cal.bound.pi_ns < 6'000 || results[i].cal.bound.pi_ns > 25'000) rc = 1;
   }
 
   std::printf("\nNote: paper experiment 2 reports only Pi and gamma; its dmin/dmax\n"
               "columns above are back-derived from Pi = 2(E + 1.25us).\n");
+
+  auto manifest = bench::make_manifest("table_bounds", configs.front(), results.size(),
+                                       runner.threads(), sweep::merge_metrics(metric_parts));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    manifest.extra[util::format("pi_ns_exp%zu", i + 1)] =
+        util::format("%.1f", results[i].cal.bound.pi_ns);
+    manifest.extra[util::format("gamma_ns_exp%zu", i + 1)] =
+        util::format("%.1f", results[i].cal.gamma_ns);
+  }
+  bench::write_manifest_from_cli(cli, manifest);
   return rc;
 }

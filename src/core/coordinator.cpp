@@ -9,7 +9,7 @@ namespace tsn::core {
 
 MultiDomainCoordinator::MultiDomainCoordinator(sim::Simulation& sim, time::PhcClock& phc,
                                                FtShmem& shmem, const CoordinatorConfig& cfg,
-                                               const std::string& name)
+                                               const std::string& name, obs::ObsContext obs)
     : sim_(sim), phc_(phc), shmem_(shmem), cfg_(cfg), name_(name), servo_(cfg.servo) {
   if (cfg_.domains.empty() || cfg_.domains.size() != shmem.num_domains()) {
     throw std::invalid_argument("coordinator: domain list must match FTSHMEM size");
@@ -24,11 +24,57 @@ MultiDomainCoordinator::MultiDomainCoordinator(sim::Simulation& sim, time::PhcCl
     throw std::invalid_argument("coordinator: initial domain not in domain list");
   }
   last_validity_.assign(cfg_.domains.size(), true);
+  bind_metrics(obs);
   // Warm start: inherit the shared servo state left in FTSHMEM.
   servo_.set_integral_ppb(shmem_.servo_integral());
   if (cfg_.skip_startup) {
     shmem_.set_phase(SyncPhase::kFta);
   }
+}
+
+void MultiDomainCoordinator::bind_metrics(obs::ObsContext obs) {
+  obs::MetricsRegistry* reg = obs.metrics;
+  if (!reg) {
+    own_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    reg = own_metrics_.get();
+  }
+  const std::string p = name_ + ".";
+  c_samples_stored_ = &reg->counter(p + "samples_stored");
+  c_aggregations_ = &reg->counter(p + "aggregations");
+  c_skipped_no_quorum_ = &reg->counter(p + "aggregation_skipped_no_quorum");
+  c_startup_adjustments_ = &reg->counter(p + "startup_adjustments");
+  c_excluded_stale_ = &reg->counter(p + "gms_excluded_stale");
+  c_excluded_disagreeing_ = &reg->counter(p + "gms_excluded_disagreeing");
+  c_clock_steps_ = &reg->counter(p + "clock_steps");
+  trace_ = obs.trace;
+  if (trace_) trace_src_ = trace_->intern(name_);
+  servo_.attach_obs(obs::ObsContext{reg, obs.trace}, name_ + ".servo");
+}
+
+void MultiDomainCoordinator::trace(obs::TraceKind kind, std::uint32_t a, std::uint32_t mask,
+                                   std::int64_t v0, std::int64_t v1) const {
+  if (!trace_) return;
+  obs::TraceRecord rec;
+  rec.t_ns = phc_.read();
+  rec.kind = kind;
+  rec.source = trace_src_;
+  rec.a = a;
+  rec.mask = mask;
+  rec.v0 = v0;
+  rec.v1 = v1;
+  trace_->push(rec);
+}
+
+CoordinatorStats MultiDomainCoordinator::stats() const {
+  CoordinatorStats s;
+  s.samples_stored = c_samples_stored_->value();
+  s.aggregations = c_aggregations_->value();
+  s.aggregation_skipped_no_quorum = c_skipped_no_quorum_->value();
+  s.startup_adjustments = c_startup_adjustments_->value();
+  s.gms_excluded_stale = c_excluded_stale_->value();
+  s.gms_excluded_disagreeing = c_excluded_disagreeing_->value();
+  s.clock_steps = c_clock_steps_->value();
+  return s;
 }
 
 std::size_t MultiDomainCoordinator::slot_of(std::uint8_t domain) const {
@@ -45,7 +91,7 @@ void MultiDomainCoordinator::on_offset(const gptp::MasterOffsetSample& sample) {
   record.local_rx_ts = sample.local_rx_ts;
   record.rate_ratio = sample.rate_ratio;
   shmem_.store_offset(slot, record);
-  ++stats_.samples_stored;
+  c_samples_stored_->inc();
 
   if (shmem_.phase() == SyncPhase::kStartup) {
     startup_step(slot, sample);
@@ -62,7 +108,7 @@ void MultiDomainCoordinator::apply_servo(double offset_ns, std::int64_t local_ts
     case gptp::PiServo::State::kJump:
       phc_.step(-static_cast<std::int64_t>(std::llround(offset_ns)));
       phc_.adj_frequency(res.freq_ppb);
-      ++stats_.clock_steps;
+      c_clock_steps_->inc();
       break;
     case gptp::PiServo::State::kLocked:
       phc_.adj_frequency(res.freq_ppb);
@@ -76,7 +122,7 @@ void MultiDomainCoordinator::startup_step(std::size_t slot,
   // During startup only the initial domain disciplines the clock.
   if (sample.domain != cfg_.initial_domain) return;
   apply_servo(sample.offset_ns, sample.local_rx_ts);
-  ++stats_.startup_adjustments;
+  c_startup_adjustments_->inc();
 
   // Leave startup once every domain's offset is fresh and small, for
   // startup_consecutive initial-domain intervals in a row.
@@ -100,12 +146,14 @@ void MultiDomainCoordinator::enter_fta_phase() {
   shmem_.set_phase(SyncPhase::kFta);
   shmem_.set_adjust_last(phc_.read());
   TSN_LOG_INFO("fta", "%s: entering FTA phase", name_.c_str());
+  trace(obs::TraceKind::kPhaseChange, static_cast<std::uint32_t>(SyncPhase::kFta), 0, 0, 0);
   if (on_phase_change) on_phase_change(SyncPhase::kFta);
 }
 
 void MultiDomainCoordinator::fta_step(const gptp::MasterOffsetSample& sample) {
   const std::int64_t now = phc_.read();
   if (!shmem_.try_acquire_gate(now, cfg_.sync_interval_ns)) return;
+  trace(obs::TraceKind::kGateAcquire, static_cast<std::uint32_t>(sample.domain), 0, now, 0);
 
   // This instance won the gate: aggregate all stored offsets.
   std::vector<std::optional<GmOffsetRecord>> slots;
@@ -116,14 +164,16 @@ void MultiDomainCoordinator::fta_step(const gptp::MasterOffsetSample& sample) {
   const auto verdicts = evaluate_validity(slots, now, cfg_.validity);
 
   std::vector<double> usable;
+  std::uint32_t valid_mask = 0;
   for (std::size_t i = 0; i < slots.size(); ++i) {
     const bool valid = verdicts[i].usable();
     if (valid) {
       usable.push_back(slots[i]->offset_ns);
+      if (i < 32) valid_mask |= (1u << i);
     } else if (!verdicts[i].fresh) {
-      ++stats_.gms_excluded_stale;
+      c_excluded_stale_->inc();
     } else {
-      ++stats_.gms_excluded_disagreeing;
+      c_excluded_disagreeing_->inc();
     }
     shmem_.set_gm_valid(i, valid);
     if (valid != last_validity_[i]) {
@@ -136,12 +186,16 @@ void MultiDomainCoordinator::fta_step(const gptp::MasterOffsetSample& sample) {
   if (!aggregated) {
     // Too few usable clocks: hold the current frequency (free-run) rather
     // than following a possibly-faulty minority.
-    ++stats_.aggregation_skipped_no_quorum;
+    c_skipped_no_quorum_->inc();
+    trace(obs::TraceKind::kNoQuorum, static_cast<std::uint32_t>(usable.size()), valid_mask, 0,
+          0);
     return;
   }
 
   apply_servo(*aggregated, sample.local_rx_ts);
-  ++stats_.aggregations;
+  c_aggregations_->inc();
+  trace(obs::TraceKind::kAggregate, static_cast<std::uint32_t>(usable.size()), valid_mask,
+        static_cast<std::int64_t>(std::llround(*aggregated)), 0);
   shmem_.count_aggregation();
   if (on_aggregate) on_aggregate(*aggregated, static_cast<int>(usable.size()));
 }

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "core/validity.hpp"
 #include "gptp/instance.hpp"
 #include "gptp/servo.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulation.hpp"
 #include "tsn_time/phc_clock.hpp"
 
@@ -51,6 +53,8 @@ struct CoordinatorConfig {
   gptp::PiServoConfig servo;
 };
 
+/// Snapshot of the coordinator's registry-backed counters; kept as a
+/// plain struct so existing `stats().field` call sites read unchanged.
 struct CoordinatorStats {
   std::uint64_t samples_stored = 0;
   std::uint64_t aggregations = 0;
@@ -64,7 +68,8 @@ struct CoordinatorStats {
 class MultiDomainCoordinator {
  public:
   MultiDomainCoordinator(sim::Simulation& sim, time::PhcClock& phc, FtShmem& shmem,
-                         const CoordinatorConfig& cfg, const std::string& name);
+                         const CoordinatorConfig& cfg, const std::string& name,
+                         obs::ObsContext obs = {});
 
   MultiDomainCoordinator(const MultiDomainCoordinator&) = delete;
   MultiDomainCoordinator& operator=(const MultiDomainCoordinator&) = delete;
@@ -73,7 +78,9 @@ class MultiDomainCoordinator {
   void on_offset(const gptp::MasterOffsetSample& sample);
 
   SyncPhase phase() const { return shmem_.phase(); }
-  const CoordinatorStats& stats() const { return stats_; }
+  /// Reads the live counters into a plain struct (by value: the backing
+  /// store is the metrics registry, not a member struct).
+  CoordinatorStats stats() const;
   FtShmem& shmem() { return shmem_; }
 
   /// Fired when the coordinator leaves the startup phase.
@@ -89,6 +96,9 @@ class MultiDomainCoordinator {
   void fta_step(const gptp::MasterOffsetSample& sample);
   void apply_servo(double offset_ns, std::int64_t local_ts);
   void enter_fta_phase();
+  void bind_metrics(obs::ObsContext obs);
+  void trace(obs::TraceKind kind, std::uint32_t a, std::uint32_t mask,
+             std::int64_t v0, std::int64_t v1) const;
 
   sim::Simulation& sim_;
   time::PhcClock& phc_;
@@ -99,7 +109,19 @@ class MultiDomainCoordinator {
   gptp::PiServo servo_;
   int startup_ok_streak_ = 0;
   std::vector<bool> last_validity_;
-  CoordinatorStats stats_;
+
+  /// Owned fallback so stats() works when no shared registry is wired in
+  /// (unit tests construct coordinators bare).
+  std::unique_ptr<obs::MetricsRegistry> own_metrics_;
+  obs::Counter* c_samples_stored_ = nullptr;
+  obs::Counter* c_aggregations_ = nullptr;
+  obs::Counter* c_skipped_no_quorum_ = nullptr;
+  obs::Counter* c_startup_adjustments_ = nullptr;
+  obs::Counter* c_excluded_stale_ = nullptr;
+  obs::Counter* c_excluded_disagreeing_ = nullptr;
+  obs::Counter* c_clock_steps_ = nullptr;
+  obs::TraceRing* trace_ = nullptr;
+  std::uint16_t trace_src_ = 0;
 };
 
 } // namespace tsn::core

@@ -144,4 +144,31 @@ void dump_events_csv(const EventLog& log, const std::string& path) {
   }
 }
 
+std::map<std::string, std::string> scenario_kv(const ScenarioConfig& cfg) {
+  std::map<std::string, std::string> kv;
+  kv["num_ecds"] = std::to_string(cfg.num_ecds);
+  kv["max_drift_ppm"] = util::format("%g", cfg.max_drift_ppm);
+  kv["wander_sigma_ppm"] = util::format("%g", cfg.wander_sigma_ppm);
+  kv["nic_ts_jitter_ns"] = util::format("%g", cfg.nic_ts_jitter_ns);
+  kv["initial_phase_range_ns"] = util::format("%g", cfg.initial_phase_range_ns);
+  kv["host_link_delay_ns"] = std::to_string(cfg.host_link_delay_ns);
+  kv["mesh_link_delay_ns"] = std::to_string(cfg.mesh_link_delay_ns);
+  kv["switch_residence_ns"] = std::to_string(cfg.switch_residence_ns);
+  kv["sync_interval_ns"] = std::to_string(cfg.sync_interval_ns);
+  kv["validity_threshold_ns"] = util::format("%g", cfg.validity_threshold_ns);
+  kv["startup_threshold_ns"] = util::format("%g", cfg.startup_threshold_ns);
+  kv["startup_consecutive"] = std::to_string(cfg.startup_consecutive);
+  switch (cfg.aggregation) {
+    case core::AggregationMethod::kFta: kv["aggregation"] = "fta"; break;
+    case core::AggregationMethod::kMedian: kv["aggregation"] = "median"; break;
+    case core::AggregationMethod::kMean: kv["aggregation"] = "mean"; break;
+  }
+  kv["fta_f"] = std::to_string(cfg.fta_f);
+  kv["synctime_period_ns"] = std::to_string(cfg.synctime_period_ns);
+  kv["synctime_feed_forward"] = cfg.synctime_feed_forward ? "1" : "0";
+  kv["gm_mutual_sync"] = cfg.gm_mutual_sync ? "1" : "0";
+  kv["measurement_ecd"] = std::to_string(cfg.measurement_ecd);
+  return kv;
+}
+
 } // namespace tsn::experiments

@@ -3,11 +3,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "experiments/event_log.hpp"
 #include "experiments/harness.hpp"
+#include "experiments/scenario.hpp"
 #include "util/histogram.hpp"
 #include "util/series.hpp"
 
@@ -48,5 +50,9 @@ void dump_events_csv(const EventLog& log, const std::string& path);
 
 /// Fraction of samples with (value - gamma) <= pi, i.e. eq. 3.3 holding.
 double bound_holding_fraction(const util::TimeSeries& series, double pi_ns, double gamma_ns);
+
+/// Stringify the scenario knobs for the run manifest (stable key names,
+/// %g formatting for doubles).
+std::map<std::string, std::string> scenario_kv(const ScenarioConfig& cfg);
 
 } // namespace tsn::experiments

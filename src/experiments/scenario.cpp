@@ -59,7 +59,7 @@ void Scenario::build_ecds() {
     hv::EcdConfig ecfg;
     ecfg.name = util::format("ecd%zu", x + 1);
     ecfg.tsc = tsc_model;
-    ecds_.push_back(std::make_unique<hv::Ecd>(sim_, ecfg));
+    ecds_.push_back(std::make_unique<hv::Ecd>(sim_, ecfg, obs_.context()));
 
     for (std::size_t i = 0; i < 2; ++i) {
       hv::ClockSyncVmConfig vcfg;
@@ -268,6 +268,17 @@ bool Scenario::all_in_fta_phase() {
     }
   }
   return true;
+}
+
+obs::MetricsSnapshot Scenario::metrics_snapshot() {
+  const auto& q = sim_.queue().stats();
+  obs_.metrics.gauge("sim.events_executed").set(static_cast<double>(sim_.events_executed()));
+  obs_.metrics.gauge("sim.events_scheduled").set(static_cast<double>(q.scheduled));
+  obs_.metrics.gauge("sim.events_posted").set(static_cast<double>(q.posted));
+  obs_.metrics.gauge("sim.events_cancelled").set(static_cast<double>(q.cancelled));
+  obs_.metrics.gauge("trace.records_total").set(static_cast<double>(obs_.trace.total()));
+  obs_.metrics.gauge("trace.records_dropped").set(static_cast<double>(obs_.trace.dropped()));
+  return obs_.metrics.snapshot();
 }
 
 double Scenario::gm_clock_disagreement_ns() {

@@ -21,6 +21,7 @@
 #include "measure/precision_probe.hpp"
 #include "net/link.hpp"
 #include "net/switch.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulation.hpp"
 
 namespace tsn::experiments {
@@ -116,6 +117,15 @@ class Scenario {
   /// instrumentation, used by tests and sanity checks).
   double gm_clock_disagreement_ns();
 
+  /// The scenario-wide metrics registry / trace ring every component of
+  /// this world reports into. Single-threaded by construction (one world =
+  /// one replica = one thread in the sweep runner).
+  obs::MetricsRegistry& metrics() { return obs_.metrics; }
+  obs::TraceRing& trace() { return obs_.trace; }
+  /// Registry snapshot plus the event-queue totals harvested as gauges
+  /// ("sim.events_executed", "sim.events_scheduled", ...).
+  obs::MetricsSnapshot metrics_snapshot();
+
  private:
   void build_ecds();
   void build_network();
@@ -126,6 +136,7 @@ class Scenario {
 
   ScenarioConfig cfg_;
   sim::Simulation sim_;
+  obs::Observability obs_; ///< must outlive the components holding handles
   std::vector<std::unique_ptr<hv::Ecd>> ecds_;
   std::vector<std::unique_ptr<net::Switch>> switches_;
   std::vector<std::unique_ptr<gptp::TimeAwareBridge>> bridges_;

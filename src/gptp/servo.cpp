@@ -20,14 +20,39 @@ void PiServo::reset() {
   // static drift from scratch. Call set_integral_ppb(0) for a cold reset.
 }
 
+void PiServo::attach_obs(obs::ObsContext ctx, const std::string& name) {
+  if (ctx.metrics) {
+    c_samples_ = &ctx.metrics->counter(name + ".samples");
+    c_jumps_ = &ctx.metrics->counter(name + ".jumps");
+    c_unlock_resets_ = &ctx.metrics->counter(name + ".unlock_resets");
+  }
+  trace_ = ctx.trace;
+  if (trace_) trace_src_ = trace_->intern(name);
+}
+
+void PiServo::note_state(State prev, std::int64_t local_ts_ns, double freq_ppb) {
+  if (state_ == prev || !trace_) return;
+  obs::TraceRecord rec;
+  rec.t_ns = local_ts_ns;
+  rec.kind = obs::TraceKind::kServoState;
+  rec.source = trace_src_;
+  rec.a = static_cast<std::uint32_t>(state_);
+  rec.v0 = static_cast<std::int64_t>(freq_ppb);
+  rec.v1 = static_cast<std::int64_t>(prev);
+  trace_->push(rec);
+}
+
 PiServo::Result PiServo::sample(std::int64_t offset_ns, std::int64_t local_ts_ns) {
   Result res;
+  const State prev = state_;
+  if (c_samples_) c_samples_->inc();
 
   if (state_ == State::kLocked && cfg_.step_threshold_ns > 0 &&
       std::llabs(offset_ns) > cfg_.step_threshold_ns) {
     // Runaway offset: fall back to acquisition.
     state_ = State::kUnlocked;
     sample_count_ = 0;
+    if (c_unlock_resets_) c_unlock_resets_->inc();
   }
 
   switch (state_) {
@@ -38,6 +63,7 @@ PiServo::Result PiServo::sample(std::int64_t offset_ns, std::int64_t local_ts_ns
         ++sample_count_;
         res.state = State::kUnlocked;
         res.freq_ppb = clamp_freq(-integral_ppb_);
+        note_state(prev, local_ts_ns, res.freq_ppb);
         return res;
       }
       // Second sample: estimate the frequency error between the two
@@ -53,6 +79,8 @@ PiServo::Result PiServo::sample(std::int64_t offset_ns, std::int64_t local_ts_ns
         state_ = State::kLocked;
         res.state = State::kJump;
         res.freq_ppb = clamp_freq(-integral_ppb_);
+        if (c_jumps_) c_jumps_->inc();
+        note_state(prev, local_ts_ns, res.freq_ppb);
         return res;
       }
       state_ = State::kLocked;
@@ -65,6 +93,7 @@ PiServo::Result PiServo::sample(std::int64_t offset_ns, std::int64_t local_ts_ns
       state_ = State::kLocked;
       res.state = State::kLocked;
       res.freq_ppb = out;
+      note_state(prev, local_ts_ns, out);
       return res;
     }
   }

@@ -8,6 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+
+#include "obs/obs.hpp"
 
 namespace tsn::gptp {
 
@@ -54,8 +57,15 @@ class PiServo {
 
   State state() const { return state_; }
 
+  /// Attach observability under `name` (e.g. "c11/fta.servo"): counts
+  /// samples, phase jumps and runaway unlock-resets in `<name>.*` and
+  /// traces every state transition (record time = the sample's local
+  /// timestamp). Survives copies; re-attach after assigning a fresh servo.
+  void attach_obs(obs::ObsContext ctx, const std::string& name);
+
  private:
   double clamp_freq(double ppb) const;
+  void note_state(State prev, std::int64_t local_ts_ns, double freq_ppb);
 
   PiServoConfig cfg_;
   State state_ = State::kUnlocked;
@@ -63,6 +73,12 @@ class PiServo {
   std::int64_t first_offset_ = 0;
   std::int64_t first_ts_ = 0;
   double integral_ppb_ = 0.0;
+
+  obs::Counter* c_samples_ = nullptr;
+  obs::Counter* c_jumps_ = nullptr;
+  obs::Counter* c_unlock_resets_ = nullptr;
+  obs::TraceRing* trace_ = nullptr;
+  std::uint16_t trace_src_ = 0;
 };
 
 } // namespace tsn::gptp

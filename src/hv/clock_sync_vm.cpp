@@ -5,15 +5,17 @@
 namespace tsn::hv {
 
 ClockSyncVm::ClockSyncVm(sim::Simulation& sim, StShmem& st_shmem, time::PhcClock& ecd_tsc,
-                         const ClockSyncVmConfig& cfg, std::size_t vm_index)
+                         const ClockSyncVmConfig& cfg, std::size_t vm_index, obs::ObsContext obs)
     : sim_(sim),
       st_shmem_(st_shmem),
       cfg_(cfg),
       vm_index_(vm_index),
+      obs_(obs),
       kernel_version_(cfg.kernel_version),
       nic_(sim, cfg.phc, cfg.mac, cfg.name + "/nic") {
   updater_ = std::make_unique<SyncTimeUpdater>(sim, nic_.phc(), ecd_tsc, st_shmem_,
                                                cfg_.synctime, cfg_.name + "/phc2sys");
+  updater_->set_obs(obs_);
   nic_.set_up(false); // powered but VM not booted yet
 }
 
@@ -42,8 +44,8 @@ void ClockSyncVm::build_stack() {
     ft_shmem_ = std::make_unique<core::FtShmem>(cfg_.domains.size());
     core::CoordinatorConfig coord_cfg = cfg_.coordinator;
     coord_cfg.domains = cfg_.domains;
-    coordinator_ = std::make_unique<core::MultiDomainCoordinator>(sim_, nic_.phc(), *ft_shmem_,
-                                                                  coord_cfg, cfg_.name + "/fta");
+    coordinator_ = std::make_unique<core::MultiDomainCoordinator>(
+        sim_, nic_.phc(), *ft_shmem_, coord_cfg, cfg_.name + "/fta", obs_);
   }
 
   stack_ = std::make_unique<gptp::PtpStack>(sim_, nic_, cfg_.link_delay, cfg_.name);

@@ -20,6 +20,7 @@
 #include "hv/st_shmem.hpp"
 #include "hv/synctime_updater.hpp"
 #include "net/nic.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulation.hpp"
 
 namespace tsn::hv {
@@ -48,7 +49,7 @@ struct ClockSyncVmConfig {
 class ClockSyncVm {
  public:
   ClockSyncVm(sim::Simulation& sim, StShmem& st_shmem, time::PhcClock& ecd_tsc,
-              const ClockSyncVmConfig& cfg, std::size_t vm_index);
+              const ClockSyncVmConfig& cfg, std::size_t vm_index, obs::ObsContext obs = {});
 
   ClockSyncVm(const ClockSyncVm&) = delete;
   ClockSyncVm& operator=(const ClockSyncVm&) = delete;
@@ -101,6 +102,7 @@ class ClockSyncVm {
   StShmem& st_shmem_;
   ClockSyncVmConfig cfg_;
   std::size_t vm_index_;
+  obs::ObsContext obs_;
   std::string kernel_version_;
   net::Nic nic_;
 

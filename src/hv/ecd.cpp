@@ -2,14 +2,15 @@
 
 namespace tsn::hv {
 
-Ecd::Ecd(sim::Simulation& sim, const EcdConfig& cfg)
+Ecd::Ecd(sim::Simulation& sim, const EcdConfig& cfg, obs::ObsContext obs)
     : sim_(sim),
       cfg_(cfg),
+      obs_(obs),
       tsc_(sim, cfg.tsc, cfg.name + "/tsc"),
-      monitor_(sim, st_shmem_, tsc_, cfg.monitor, cfg.name + "/monitor") {}
+      monitor_(sim, st_shmem_, tsc_, cfg.monitor, cfg.name + "/monitor", obs) {}
 
 ClockSyncVm& Ecd::add_clock_sync_vm(const ClockSyncVmConfig& cfg) {
-  vms_.push_back(std::make_unique<ClockSyncVm>(sim_, st_shmem_, tsc_, cfg, vms_.size()));
+  vms_.push_back(std::make_unique<ClockSyncVm>(sim_, st_shmem_, tsc_, cfg, vms_.size(), obs_));
   monitor_.add_vm(vms_.back().get());
   return *vms_.back();
 }

@@ -13,6 +13,7 @@
 #include "hv/clock_sync_vm.hpp"
 #include "hv/monitor.hpp"
 #include "hv/st_shmem.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulation.hpp"
 #include "tsn_time/phc_clock.hpp"
 
@@ -27,7 +28,7 @@ struct EcdConfig {
 
 class Ecd {
  public:
-  Ecd(sim::Simulation& sim, const EcdConfig& cfg);
+  Ecd(sim::Simulation& sim, const EcdConfig& cfg, obs::ObsContext obs = {});
 
   Ecd(const Ecd&) = delete;
   Ecd& operator=(const Ecd&) = delete;
@@ -51,6 +52,7 @@ class Ecd {
  private:
   sim::Simulation& sim_;
   EcdConfig cfg_;
+  obs::ObsContext obs_;
   time::PhcClock tsc_;
   StShmem st_shmem_;
   HvMonitor monitor_;

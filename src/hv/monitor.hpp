@@ -14,11 +14,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hv/clock_sync_vm.hpp"
 #include "hv/st_shmem.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulation.hpp"
 #include "tsn_time/phc_clock.hpp"
 
@@ -41,6 +44,8 @@ struct MonitorConfig {
   double vote_threshold_ns = 10'000.0;
 };
 
+/// Snapshot of the monitor's registry-backed counters; kept as a plain
+/// struct so existing `stats().field` call sites read unchanged.
 struct MonitorStats {
   std::uint64_t checks = 0;
   std::uint64_t failures_detected = 0;
@@ -48,12 +53,15 @@ struct MonitorStats {
   std::uint64_t recoveries = 0;
   std::uint64_t param_sanity_failures = 0;
   std::uint64_t vote_exclusions = 0;
+  /// Active VM failed with no healthy VM left to promote; CLOCK_SYNCTIME
+  /// publication is suspended until one recovers. Counted once per episode.
+  std::uint64_t no_successor = 0;
 };
 
 class HvMonitor {
  public:
   HvMonitor(sim::Simulation& sim, StShmem& shmem, time::PhcClock& tsc,
-            const MonitorConfig& cfg, const std::string& name);
+            const MonitorConfig& cfg, const std::string& name, obs::ObsContext obs = {});
 
   HvMonitor(const HvMonitor&) = delete;
   HvMonitor& operator=(const HvMonitor&) = delete;
@@ -64,7 +72,9 @@ class HvMonitor {
   void start();
   void stop();
 
-  const MonitorStats& stats() const { return stats_; }
+  /// Reads the live counters into a plain struct (by value: the backing
+  /// store is the metrics registry, not a member struct).
+  MonitorStats stats() const;
 
   /// (vm index) the monitor declared fail-silent.
   std::function<void(std::size_t)> on_vm_failure;
@@ -80,19 +90,39 @@ class HvMonitor {
 
  private:
   void check();
+  void majority_vote(std::int64_t tsc_now);
+  void bind_metrics(obs::ObsContext obs);
+  void trace(obs::TraceKind kind, std::uint32_t a, std::int64_t v0, std::int64_t v1) const;
 
   sim::Simulation& sim_;
   StShmem& shmem_;
   time::PhcClock& tsc_;
   MonitorConfig cfg_;
   std::string name_;
-  void majority_vote(std::int64_t tsc_now);
 
   std::vector<ClockSyncVm*> vms_;
   std::vector<bool> failed_;
   std::vector<bool> voted_out_;
+  /// Scratch reused across 125 ms ticks so the vote never allocates on the
+  /// steady-state path.
+  std::vector<std::pair<std::size_t, double>> vote_views_;
+  std::vector<double> vote_scratch_;
+  /// True while the "active failed, nobody healthy to promote" episode is
+  /// ongoing; keeps no_successor from counting once per tick.
+  bool no_successor_latched_ = false;
   sim::Simulation::PeriodicHandle periodic_;
-  MonitorStats stats_;
+
+  /// Owned fallback so stats() works when no shared registry is wired in.
+  std::unique_ptr<obs::MetricsRegistry> own_metrics_;
+  obs::Counter* c_checks_ = nullptr;
+  obs::Counter* c_failures_ = nullptr;
+  obs::Counter* c_takeovers_ = nullptr;
+  obs::Counter* c_recoveries_ = nullptr;
+  obs::Counter* c_sanity_failures_ = nullptr;
+  obs::Counter* c_vote_exclusions_ = nullptr;
+  obs::Counter* c_no_successor_ = nullptr;
+  obs::TraceRing* trace_ = nullptr;
+  std::uint16_t trace_src_ = 0;
 };
 
 } // namespace tsn::hv

@@ -10,6 +10,11 @@ SyncTimeUpdater::SyncTimeUpdater(sim::Simulation& sim, time::PhcClock& phc, time
     : sim_(sim), phc_(phc), tsc_(tsc), shmem_(shmem), cfg_(cfg), name_(name),
       servo_(cfg.servo) {}
 
+void SyncTimeUpdater::set_obs(obs::ObsContext ctx) {
+  obs_ = ctx;
+  servo_.attach_obs(obs_, name_ + ".servo");
+}
+
 void SyncTimeUpdater::start(std::size_t vm_index) {
   if (running_) return;
   vm_index_ = vm_index;
@@ -19,6 +24,8 @@ void SyncTimeUpdater::start(std::size_t vm_index) {
   ff_count_ = 0;
   rate_ = 1.0;
   servo_ = gptp::PiServo(cfg_.servo);
+  // The assignment above wiped the servo's obs handles; re-attach.
+  if (obs_) servo_.attach_obs(obs_, name_ + ".servo");
   periodic_ = sim_.every(sim_.now(), cfg_.period_ns, [this](sim::SimTime) { tick(); });
 }
 
@@ -105,7 +112,7 @@ void SyncTimeUpdater::publish(std::int64_t base_tsc, std::int64_t base_sync, dou
   SyncTimeParams p;
   p.base_tsc = base_tsc;
   p.base_sync = base_sync + corruption_ns_;
-  p.rate = rate;
+  p.rate = rate + rate_corruption_;
   p.generation = shmem_.generation();
   p.valid = true;
   // Candidate slot: every running VM's view, for the monitor's vote.

@@ -20,6 +20,7 @@
 
 #include "gptp/servo.hpp"
 #include "hv/st_shmem.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulation.hpp"
 #include "tsn_time/phc_clock.hpp"
 
@@ -60,6 +61,14 @@ class SyncTimeUpdater {
   /// clock). Used to exercise the monitor's 2f+1 majority vote.
   void set_param_corruption(std::int64_t offset_ns) { corruption_ns_ = offset_ns; }
   std::int64_t param_corruption() const { return corruption_ns_; }
+  /// Fault model: publish a rate off by `delta` (e.g. 1e-3 = 1000 ppm).
+  /// Exercises the monitor's parameter sanity check; 0 clears the fault.
+  void set_rate_corruption(double delta) { rate_corruption_ = delta; }
+  double rate_corruption() const { return rate_corruption_; }
+
+  /// Attach observability: the internal phc2sys servo reports under
+  /// `<name>.servo`. Survives restarts (start() re-attaches).
+  void set_obs(obs::ObsContext ctx);
   std::uint64_t publications() const { return publications_; }
   /// Last CLOCK_SYNCTIME-vs-PHC error seen by the feedback servo (ns).
   double last_error_ns() const { return last_error_ns_; }
@@ -93,8 +102,10 @@ class SyncTimeUpdater {
   std::optional<std::pair<std::int64_t, std::int64_t>> ff_anchor_; // (tsc, phc)
   int ff_count_ = 0;
   std::int64_t corruption_ns_ = 0;
+  double rate_corruption_ = 0.0;
 
   std::uint64_t publications_ = 0;
+  obs::ObsContext obs_;
 };
 
 } // namespace tsn::hv

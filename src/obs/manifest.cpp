@@ -1,0 +1,83 @@
+#include "obs/manifest.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/str.hpp"
+
+#ifndef TSN_GIT_SHA
+#define TSN_GIT_SHA "unknown"
+#endif
+
+namespace tsn::obs {
+
+const char* build_git_sha() { return TSN_GIT_SHA; }
+
+namespace {
+
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+void emit_string_map(std::string& out, const char* title,
+                     const std::map<std::string, std::string>& m) {
+  out += util::format("  \"%s\": {", title);
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + json_string(k) + ": " + json_string(v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+}
+
+} // namespace
+
+std::string RunManifest::to_json() const {
+  std::string out = "{\n";
+  out += "  \"tool\": " + json_string(tool) + ",\n";
+  out += util::format("  \"git_sha\": %s,\n", json_string(build_git_sha()).c_str());
+  out += util::format("  \"seed\": %llu,\n", (unsigned long long)seed);
+  out += util::format("  \"replicas\": %zu,\n", replicas);
+  out += util::format("  \"threads\": %zu,\n", threads);
+  emit_string_map(out, "scenario", scenario);
+  emit_string_map(out, "extra", extra);
+  // Indent the metrics object two spaces to nest it.
+  std::string metrics_json = metrics.to_json();
+  std::string indented;
+  indented.reserve(metrics_json.size());
+  for (std::size_t i = 0; i < metrics_json.size(); ++i) {
+    indented += metrics_json[i];
+    if (metrics_json[i] == '\n') indented += "  ";
+  }
+  out += "  \"metrics\": " + indented + "\n";
+  out += "}\n";
+  return out;
+}
+
+void write_manifest(const std::string& path, const RunManifest& m) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) throw std::runtime_error("write_manifest: cannot open " + path);
+  const std::string json = m.to_json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) throw std::runtime_error("write_manifest: short write to " + path);
+}
+
+} // namespace tsn::obs

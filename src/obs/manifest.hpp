@@ -1,0 +1,35 @@
+// Per-run manifest: the machine-checkable record every reproduction
+// binary writes next to its CSVs -- which scenario ran (config key/values
+// + seed), on which code (git SHA), and what the instrumented subsystems
+// counted (metrics snapshot). Later PRs' regression gates diff these
+// instead of eyeballing CSV dumps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace tsn::obs {
+
+/// Short git SHA the binary was configured from ("unknown" outside git).
+const char* build_git_sha();
+
+struct RunManifest {
+  std::string tool;       ///< bench/binary name
+  std::uint64_t seed = 0; ///< base seed (replica i runs seed + i)
+  std::size_t replicas = 1;
+  std::size_t threads = 1;
+  std::map<std::string, std::string> scenario; ///< stringified scenario config
+  std::map<std::string, std::string> extra;    ///< bench-specific scalars
+  MetricsSnapshot metrics;                     ///< merged across replicas
+
+  std::string to_json() const;
+};
+
+/// Serialize and write `m` to `path` (throws std::runtime_error on I/O
+/// failure).
+void write_manifest(const std::string& path, const RunManifest& m);
+
+} // namespace tsn::obs

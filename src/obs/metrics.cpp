@@ -1,0 +1,225 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/str.hpp"
+
+namespace tsn::obs {
+
+std::size_t thread_stripe() {
+  static std::atomic<std::size_t> next{0};
+  static thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return idx;
+}
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const auto& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+LatencyHistogram::LatencyHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("LatencyHistogram: bounds must be sorted");
+  }
+  for (auto& s : stripes_) {
+    s.buckets = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  }
+}
+
+void LatencyHistogram::observe(double v) {
+  // Inclusive upper bounds (first bound >= v), matching the "le" labels
+  // the CSV exporter prints.
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  Stripe& s = stripes_[thread_stripe()];
+  s.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& s : stripes_) total += s.count.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::sum() const {
+  double total = 0.0;
+  for (const auto& s : stripes_) total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<std::uint64_t> LatencyHistogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (const auto& s : stripes_) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_[name];
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name,
+                                             std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.try_emplace(name, std::move(upper_bounds)).first;
+  } else if (it->second.upper_bounds() != upper_bounds) {
+    throw std::invalid_argument("MetricsRegistry: histogram '" + name +
+                                "' re-registered with different bounds");
+  }
+  return it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  for (const auto& [name, c] : counters_) out.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g.value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.upper_bounds = h.upper_bounds();
+    hs.counts = h.bucket_counts();
+    hs.count = h.count();
+    hs.sum = h.sum();
+    out.histograms[name] = hs;
+  }
+  return out;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] += v;
+  for (const auto& [name, h] : other.histograms) {
+    auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms[name] = h;
+      continue;
+    }
+    HistogramSnapshot& mine = it->second;
+    if (mine.upper_bounds != h.upper_bounds) {
+      throw std::invalid_argument("MetricsSnapshot::merge: bucket mismatch for '" + name + "'");
+    }
+    for (std::size_t i = 0; i < mine.counts.size(); ++i) mine.counts[i] += h.counts[i];
+    mine.count += h.count;
+    mine.sum += h.sum;
+  }
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string json_number(double v) {
+  // %.17g round-trips doubles; trim what printf keeps simple.
+  return util::format("%.17g", v);
+}
+
+} // namespace
+
+std::string MetricsSnapshot::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string pad2 = pad + pad;
+  const std::string pad3 = pad2 + pad;
+  std::string out = "{\n";
+
+  auto emit_map = [&](const char* title, const auto& m, auto&& value_fn, bool last) {
+    out += pad + "\"" + title + "\": {";
+    bool first = true;
+    for (const auto& [name, v] : m) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += pad2 + "\"";
+      append_json_escaped(out, name);
+      out += "\": " + value_fn(v);
+    }
+    out += first ? "}" : "\n" + pad + "}";
+    out += last ? "\n" : ",\n";
+  };
+
+  emit_map("counters", counters,
+           [](std::uint64_t v) { return util::format("%llu", (unsigned long long)v); }, false);
+  emit_map("gauges", gauges, [](double v) { return json_number(v); }, false);
+  emit_map(
+      "histograms", histograms,
+      [&](const HistogramSnapshot& h) {
+        std::string s = "{\n" + pad3 + "\"upper_bounds\": [";
+        for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+          if (i) s += ", ";
+          s += json_number(h.upper_bounds[i]);
+        }
+        s += "],\n" + pad3 + "\"counts\": [";
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+          if (i) s += ", ";
+          s += util::format("%llu", (unsigned long long)h.counts[i]);
+        }
+        s += "],\n" + pad3 + "\"count\": " + util::format("%llu", (unsigned long long)h.count);
+        s += ",\n" + pad3 + "\"sum\": " + json_number(h.sum);
+        s += "\n" + pad2 + "}";
+        return s;
+      },
+      true);
+
+  out += "}";
+  return out;
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  std::string out = "kind,name,value\n";
+  for (const auto& [name, v] : counters) {
+    out += util::format("counter,%s,%llu\n", name.c_str(), (unsigned long long)v);
+  }
+  for (const auto& [name, v] : gauges) {
+    out += util::format("gauge,%s,%.17g\n", name.c_str(), v);
+  }
+  for (const auto& [name, h] : histograms) {
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      const std::string bucket = i < h.upper_bounds.size()
+                                     ? util::format("le%.17g", h.upper_bounds[i])
+                                     : std::string("overflow");
+      out += util::format("histogram,%s[%s],%llu\n", name.c_str(), bucket.c_str(),
+                          (unsigned long long)h.counts[i]);
+    }
+    out += util::format("histogram,%s.count,%llu\n", name.c_str(), (unsigned long long)h.count);
+    out += util::format("histogram,%s.sum,%.17g\n", name.c_str(), h.sum);
+  }
+  return out;
+}
+
+MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& parts) {
+  MetricsSnapshot merged;
+  for (const auto& p : parts) merged.merge(p);
+  return merged;
+}
+
+} // namespace tsn::obs

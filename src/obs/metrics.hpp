@@ -1,0 +1,145 @@
+// Lock-cheap metrics registry: named counters, gauges and fixed-bucket
+// latency histograms.
+//
+// Hot-path writes are wait-free relaxed atomics. Counters and histogram
+// buckets are striped across cache-line-padded cells indexed by a
+// per-thread stripe id, so concurrent writers (SweepRunner workers
+// touching a shared sweep-level registry) never contend on a cache line.
+// Within a replica world every component shares the world's registry but
+// runs on one thread, so increments are uncontended by construction.
+//
+// Registration (counter()/gauge()/histogram()) takes a mutex and returns a
+// stable reference: register once at construction time, increment from the
+// hot path. Registering an existing name returns the same metric, which is
+// how several instances of a component can share a total.
+//
+// snapshot() folds the stripes into plain maps (deterministically ordered)
+// that merge, export to JSON/CSV, and diff across runs.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tsn::obs {
+
+inline constexpr std::size_t kStripes = 8;
+
+/// Stable per-thread stripe index in [0, kStripes).
+std::size_t thread_stripe();
+
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void inc(std::uint64_t n = 1) {
+    cells_[thread_stripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const;
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kStripes> cells_;
+};
+
+/// Last-write-wins double value (free-running totals harvested at export
+/// time, queue depths, configuration echoes).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Histogram with fixed bucket upper bounds (the last bucket is the
+/// +inf overflow). Bucket counts are striped like Counter cells; count and
+/// sum ride in the same cells, so observe() is three relaxed adds.
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(std::vector<double> upper_bounds);
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void observe(double v);
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  std::uint64_t count() const;
+  double sum() const;
+  /// Bucket counts folded across stripes; size() == upper_bounds().size()+1.
+  std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  struct alignas(64) Stripe {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets; ///< bounds+1 cells
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+  std::vector<double> bounds_;
+  std::array<Stripe, kStripes> stripes_;
+};
+
+struct HistogramSnapshot {
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> counts; ///< upper_bounds.size()+1 (overflow last)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Plain-data view of a registry, deterministically ordered by name.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Fold `other` in: counters and histograms sum, gauges sum (per-replica
+  /// gauges carry totals, so the merged value is the sweep total). Folding
+  /// per-replica snapshots in submission order is deterministic whatever
+  /// thread count produced them.
+  void merge(const MetricsSnapshot& other);
+
+  std::string to_json(int indent = 2) const;
+  /// "kind,name,value" rows (histograms expand to one row per bucket).
+  std::string to_csv() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create; references stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// The bounds argument only applies on first registration; re-registering
+  /// an existing name with different bounds throws.
+  LatencyHistogram& histogram(const std::string& name, std::vector<double> upper_bounds);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+/// Fold snapshots in order (submission order for sweep replicas).
+MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& parts);
+
+} // namespace tsn::obs

@@ -1,0 +1,27 @@
+// Observability context handed down the construction chain. Both members
+// are nullable: a component given an empty context either skips tracing
+// (trace) or falls back to a private registry (metrics), so unit tests and
+// standalone uses need no setup.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tsn::obs {
+
+struct ObsContext {
+  MetricsRegistry* metrics = nullptr;
+  TraceRing* trace = nullptr;
+
+  explicit operator bool() const { return metrics != nullptr || trace != nullptr; }
+};
+
+/// The per-world observability bundle a Scenario (or test) owns.
+struct Observability {
+  MetricsRegistry metrics;
+  TraceRing trace{8192};
+
+  ObsContext context() { return ObsContext{&metrics, &trace}; }
+};
+
+} // namespace tsn::obs

@@ -1,0 +1,79 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/str.hpp"
+
+namespace tsn::obs {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kGateAcquire: return "gate_acquire";
+    case TraceKind::kAggregate: return "aggregate";
+    case TraceKind::kNoQuorum: return "no_quorum";
+    case TraceKind::kServoState: return "servo_state";
+    case TraceKind::kHeartbeatMiss: return "heartbeat_miss";
+    case TraceKind::kVmRecovery: return "vm_recovery";
+    case TraceKind::kVoteExclusion: return "vote_exclusion";
+    case TraceKind::kTakeover: return "takeover";
+    case TraceKind::kNoSuccessor: return "no_successor";
+    case TraceKind::kPhaseChange: return "phase_change";
+  }
+  return "?";
+}
+
+TraceRing::TraceRing(std::size_t capacity) : buf_(std::max<std::size_t>(1, capacity)) {}
+
+std::uint16_t TraceRing::intern(std::string_view name) {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<std::uint16_t>(i);
+  }
+  if (names_.size() >= UINT16_MAX) throw std::length_error("TraceRing: too many sources");
+  names_.emplace_back(name);
+  return static_cast<std::uint16_t>(names_.size() - 1);
+}
+
+void TraceRing::push(const TraceRecord& r) {
+  buf_[static_cast<std::size_t>(total_ % buf_.size())] = r;
+  ++total_;
+}
+
+std::vector<TraceRecord> TraceRing::snapshot() const {
+  const std::size_t n = size();
+  std::vector<TraceRecord> out;
+  out.reserve(n);
+  const std::uint64_t first = total_ - n;
+  for (std::uint64_t i = first; i < total_; ++i) {
+    out.push_back(buf_[static_cast<std::size_t>(i % buf_.size())]);
+  }
+  return out;
+}
+
+std::string TraceRing::to_json() const {
+  std::string out = "[";
+  bool first = true;
+  for (const TraceRecord& r : snapshot()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    const std::string src = r.source < names_.size() ? names_[r.source] : util::format("#%u", r.source);
+    out += util::format(
+        "  {\"t_ns\": %lld, \"kind\": \"%s\", \"source\": \"%s\", \"a\": %u, "
+        "\"mask\": %u, \"v0\": %.17g, \"v1\": %.17g}",
+        (long long)r.t_ns, to_string(r.kind), src.c_str(), r.a, r.mask, r.v0, r.v1);
+  }
+  out += first ? "]" : "\n]";
+  return out;
+}
+
+std::string TraceRing::to_csv() const {
+  std::string out = "t_ns,kind,source,a,mask,v0,v1\n";
+  for (const TraceRecord& r : snapshot()) {
+    const std::string src = r.source < names_.size() ? names_[r.source] : util::format("#%u", r.source);
+    out += util::format("%lld,%s,%s,%u,%u,%.17g,%.17g\n", (long long)r.t_ns, to_string(r.kind),
+                        src.c_str(), r.a, r.mask, r.v0, r.v1);
+  }
+  return out;
+}
+
+} // namespace tsn::obs

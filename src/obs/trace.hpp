@@ -1,0 +1,87 @@
+// Structured trace ring: typed, fixed-size records of the events the
+// paper's figures annotate and an operator would page on -- gate
+// acquisitions, FTA aggregations (with per-domain validity verdicts),
+// servo state transitions, heartbeat misses, vote exclusions, takeovers.
+//
+// The ring has a fixed capacity and overwrites the oldest record, so its
+// memory stays bounded no matter how long a run lasts; total() minus
+// size() is how many records were overwritten. Component names are
+// interned once into small integer ids, keeping each record POD (32
+// bytes + no heap).
+//
+// One ring per replica world, written from that world's (single) sim
+// thread; the ring is NOT thread-safe by design -- SweepRunner replicas
+// each own their ring, exactly like they own their Simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsn::obs {
+
+enum class TraceKind : std::uint8_t {
+  kGateAcquire,    ///< coordinator won the FTSHMEM aggregation gate
+  kAggregate,      ///< FTA executed; mask = per-domain validity verdicts
+  kNoQuorum,       ///< gate won but too few usable clocks; free-run hold
+  kServoState,     ///< PI servo state transition (a = new State)
+  kHeartbeatMiss,  ///< monitor declared a VM fail-silent (a = vm index)
+  kVmRecovery,     ///< heartbeat returned (a = vm index)
+  kVoteExclusion,  ///< 2f+1 vote excluded a VM (a = vm, v0 = deviation ns)
+  kTakeover,       ///< CLOCK_SYNCTIME moved to a healthy VM (a = new vm)
+  kNoSuccessor,    ///< fail-over wanted but no healthy successor existed
+  kPhaseChange,    ///< startup -> FTA transition (a = new phase)
+};
+
+const char* to_string(TraceKind kind);
+
+struct TraceRecord {
+  std::int64_t t_ns = 0;    ///< component-local timestamp of the event
+  TraceKind kind = TraceKind::kGateAcquire;
+  std::uint16_t source = 0; ///< interned component id (TraceRing::name)
+  std::uint32_t a = 0;      ///< small integer payload (vm index, state, count)
+  std::uint32_t mask = 0;   ///< per-domain validity bitmask (kAggregate/kNoQuorum)
+  double v0 = 0.0;          ///< payload (aggregated offset ns, deviation ns)
+  double v1 = 0.0;          ///< payload (frequency ppb, clocks used)
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 4096);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Register a component name, returning its id; interning the same name
+  /// twice returns the same id.
+  std::uint16_t intern(std::string_view name);
+  const std::string& name(std::uint16_t id) const { return names_.at(id); }
+  std::size_t source_count() const { return names_.size(); }
+
+  void push(const TraceRecord& r);
+
+  std::size_t capacity() const { return buf_.size(); }
+  /// Records currently held (<= capacity).
+  std::size_t size() const { return total_ < buf_.size() ? static_cast<std::size_t>(total_) : buf_.size(); }
+  /// Records pushed over the ring's lifetime.
+  std::uint64_t total() const { return total_; }
+  std::uint64_t dropped() const { return total_ - size(); }
+
+  /// Held records, oldest first.
+  std::vector<TraceRecord> snapshot() const;
+
+  void clear() { total_ = 0; }
+
+  /// JSON array of the held records (names resolved).
+  std::string to_json() const;
+  /// "t_ns,kind,source,a,mask,v0,v1" rows, oldest first.
+  std::string to_csv() const;
+
+ private:
+  std::vector<TraceRecord> buf_;
+  std::uint64_t total_ = 0;
+  std::vector<std::string> names_;
+};
+
+} // namespace tsn::obs

@@ -24,6 +24,7 @@ EventHandle EventQueue::schedule(SimTime at, EventFn fn) {
   heap_.push_back(Entry{at, next_seq_++, slot, gen, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
+  ++stats_.scheduled;
   return EventHandle(this, slot, gen);
 }
 
@@ -31,6 +32,7 @@ void EventQueue::post(SimTime at, EventFn fn) {
   heap_.push_back(Entry{at, next_seq_++, kNoSlot, 0, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
+  ++stats_.posted;
 }
 
 void EventQueue::release_slot(std::uint32_t slot) {
@@ -44,6 +46,7 @@ void EventQueue::cancel_slot(std::uint32_t slot, std::uint32_t gen) {
   if (!slot_pending(slot, gen)) return;
   release_slot(slot);
   --live_;
+  ++stats_.cancelled;
 }
 
 void EventQueue::pop_top() {
@@ -77,6 +80,7 @@ std::optional<EventQueue::Popped> EventQueue::try_pop() {
   Popped out{top.time, std::move(top.fn)};
   heap_.pop_back();
   --live_;
+  ++stats_.fired;
   return out;
 }
 

@@ -44,6 +44,16 @@ class EventHandle {
   std::uint32_t gen_ = 0;
 };
 
+/// Lifetime totals of one queue; plain integers because a queue belongs to
+/// exactly one (replica) thread. Harvested into the metrics registry as
+/// gauges at snapshot time.
+struct QueueStats {
+  std::uint64_t scheduled = 0; ///< schedule() calls (cancellable slab path)
+  std::uint64_t posted = 0;    ///< post() calls (no-handle fast path)
+  std::uint64_t cancelled = 0; ///< successful cancels
+  std::uint64_t fired = 0;     ///< events popped for execution
+};
+
 class EventQueue {
  public:
   EventQueue() { reserve(kDefaultReserve); }
@@ -80,6 +90,8 @@ class EventQueue {
 
   /// Pre-size the heap and the cancellation slab.
   void reserve(std::size_t n);
+
+  const QueueStats& stats() const { return stats_; }
 
  private:
   friend class EventHandle;
@@ -118,6 +130,7 @@ class EventQueue {
   std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
+  QueueStats stats_;
 };
 
 inline void EventHandle::cancel() {

@@ -42,4 +42,8 @@ util::Histogram merge_histograms(const std::vector<util::Histogram>& parts) {
   return merged;
 }
 
+obs::MetricsSnapshot merge_metrics(const std::vector<obs::MetricsSnapshot>& parts) {
+  return obs::merge_snapshots(parts);
+}
+
 } // namespace tsn::sweep

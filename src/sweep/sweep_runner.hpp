@@ -13,6 +13,7 @@
 // pool is spawned and behavior is exactly the sequential legacy loop.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -21,6 +22,7 @@
 
 #include "experiments/event_log.hpp"
 #include "experiments/scenario.hpp"
+#include "obs/obs.hpp"
 #include "sweep/thread_pool.hpp"
 #include "util/histogram.hpp"
 #include "util/series.hpp"
@@ -32,6 +34,10 @@ struct SweepOptions {
   /// Worker threads; 0 = hardware concurrency, 1 = run inline (exact
   /// sequential legacy behavior).
   std::size_t threads = 0;
+  /// Sweep-level observability (replica count, wall time per replica).
+  /// The striped counters/histograms absorb concurrent workers without
+  /// contending; per-world metrics live in each replica's Scenario.
+  obs::ObsContext obs = {};
 };
 
 class SweepRunner {
@@ -49,10 +55,29 @@ class SweepRunner {
       -> std::vector<std::invoke_result_t<Fn&, const experiments::ScenarioConfig&, std::size_t>> {
     using Result = std::invoke_result_t<Fn&, const experiments::ScenarioConfig&, std::size_t>;
     static_assert(!std::is_void_v<Result>, "replica body must return its result");
+    obs::Counter* c_replicas = nullptr;
+    obs::LatencyHistogram* h_wall = nullptr;
+    if (opts_.obs.metrics) {
+      c_replicas = &opts_.obs.metrics->counter("sweep.replicas_run");
+      h_wall = &opts_.obs.metrics->histogram(
+          "sweep.replica_wall_ms",
+          {1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1'000.0, 3'000.0, 10'000.0, 30'000.0});
+    }
+    auto timed = [&](const experiments::ScenarioConfig& cfg, std::size_t i) -> Result {
+      const auto t0 = std::chrono::steady_clock::now();
+      Result r = fn(cfg, i);
+      if (c_replicas) {
+        const std::chrono::duration<double, std::milli> ms =
+            std::chrono::steady_clock::now() - t0;
+        c_replicas->inc();
+        h_wall->observe(ms.count());
+      }
+      return r;
+    };
     std::vector<Result> results(configs.size());
     const std::size_t n_threads = threads();
     if (n_threads <= 1 || configs.size() <= 1) {
-      for (std::size_t i = 0; i < configs.size(); ++i) results[i] = fn(configs[i], i);
+      for (std::size_t i = 0; i < configs.size(); ++i) results[i] = timed(configs[i], i);
       return results;
     }
     std::vector<std::exception_ptr> errors(configs.size());
@@ -61,7 +86,7 @@ class SweepRunner {
       for (std::size_t i = 0; i < configs.size(); ++i) {
         pool.submit([&, i] {
           try {
-            results[i] = fn(configs[i], i);
+            results[i] = timed(configs[i], i);
           } catch (...) {
             errors[i] = std::current_exception();
           }
@@ -101,5 +126,10 @@ util::RunningStats merge_stats(const std::vector<util::RunningStats>& parts);
 /// Fold per-replica histograms (identical binning) in replica order.
 /// Precondition: parts is non-empty.
 util::Histogram merge_histograms(const std::vector<util::Histogram>& parts);
+
+/// Fold per-replica metric snapshots in replica order: counters,
+/// histogram buckets and gauges all sum, so merged totals are identical
+/// whatever thread count produced the parts.
+obs::MetricsSnapshot merge_metrics(const std::vector<obs::MetricsSnapshot>& parts);
 
 } // namespace tsn::sweep

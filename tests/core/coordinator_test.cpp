@@ -267,6 +267,47 @@ TEST(CoordinatorTest, WarmStandbyInheritsServoState) {
   EXPECT_NEAR(phc.freq_adj_ppb(), 4242.0, 1.0);
 }
 
+TEST(CoordinatorTest, NoQuorumStillConsumesTheGateAndTraces) {
+  // A no-quorum interval must advance adjust_last exactly like a
+  // successful aggregation: the gate was won, the interval is spent.
+  // Otherwise every subsequent delivery in the interval would re-run the
+  // (pointless) aggregation attempt.
+  Simulation sim{5};
+  time::PhcClock phc(sim, quiet_phc(), "phc");
+  FtShmem shmem(4);
+  CoordinatorConfig cfg = default_cfg();
+  cfg.skip_startup = true;
+  cfg.validity.freshness_window_ns = 400_ms;
+  obs::TraceRing ring(64);
+  MultiDomainCoordinator coord(sim, phc, shmem, cfg, "c", obs::ObsContext{nullptr, &ring});
+
+  std::int64_t first_gate = -1;
+  sim.at(SimTime(1_s), [&] {
+    const std::int64_t rx = phc.read();
+    coord.on_offset(sample(1, 1.0, rx)); // wins the gate, 1 usable -> skip
+    first_gate = shmem.adjust_last();
+    coord.on_offset(sample(2, 2.0, rx)); // same interval: gate closed
+  });
+  sim.run_until(SimTime(1'100_ms));
+  EXPECT_EQ(coord.stats().aggregations, 0u);
+  EXPECT_EQ(coord.stats().aggregation_skipped_no_quorum, 1u);
+  EXPECT_GT(first_gate, 0);
+  EXPECT_EQ(shmem.adjust_last(), first_gate);
+
+  // One sync interval later the gate opens again and skips again.
+  sim.at(SimTime(1_s + 126_ms), [&] { coord.on_offset(sample(1, 1.0, phc.read())); });
+  sim.run_until(SimTime(1'300_ms));
+  EXPECT_EQ(coord.stats().aggregation_skipped_no_quorum, 2u);
+  EXPECT_EQ(shmem.adjust_last() - first_gate, 126_ms); // advanced to `now`
+
+  // The trace ring recorded both skipped intervals with the usable count.
+  std::vector<std::uint32_t> no_quorum_counts;
+  for (const auto& r : ring.snapshot()) {
+    if (r.kind == obs::TraceKind::kNoQuorum) no_quorum_counts.push_back(r.a);
+  }
+  EXPECT_EQ(no_quorum_counts, (std::vector<std::uint32_t>{1, 2}));
+}
+
 TEST(CoordinatorTest, IgnoresUnknownDomains) {
   CoordinatorConfig cfg = default_cfg();
   cfg.skip_startup = true;

@@ -1,0 +1,72 @@
+// Run manifest: the JSON record every reproduction binary writes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/manifest.hpp"
+
+namespace tsn::obs {
+namespace {
+
+RunManifest sample_manifest() {
+  RunManifest m;
+  m.tool = "unit_test";
+  m.seed = 42;
+  m.replicas = 3;
+  m.threads = 2;
+  m.scenario["num_ecds"] = "4";
+  m.scenario["aggregation"] = "fta";
+  m.extra["peak_ns"] = "10080";
+  MetricsRegistry reg;
+  reg.counter("c11/fta.aggregations").inc(7);
+  reg.gauge("sim.events_executed").set(99.0);
+  m.metrics = reg.snapshot();
+  return m;
+}
+
+TEST(ManifestTest, BuildGitShaIsNonEmpty) {
+  ASSERT_NE(build_git_sha(), nullptr);
+  EXPECT_GT(std::string(build_git_sha()).size(), 0u);
+}
+
+TEST(ManifestTest, JsonContainsEverySection) {
+  const std::string json = sample_manifest().to_json();
+  EXPECT_NE(json.find("\"tool\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"replicas\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"num_ecds\": \"4\""), std::string::npos);
+  EXPECT_NE(json.find("\"peak_ns\": \"10080\""), std::string::npos);
+  EXPECT_NE(json.find("\"c11/fta.aggregations\": 7"), std::string::npos);
+}
+
+TEST(ManifestTest, JsonEscapesSpecialCharacters) {
+  RunManifest m;
+  m.tool = "quo\"te";
+  m.scenario["k"] = "line\nbreak";
+  const std::string json = m.to_json();
+  EXPECT_NE(json.find("quo\\\"te"), std::string::npos);
+  EXPECT_NE(json.find("line\\nbreak"), std::string::npos);
+}
+
+TEST(ManifestTest, WriteManifestRoundTrips) {
+  const std::string path = testing::TempDir() + "manifest_test.json";
+  write_manifest(path, sample_manifest());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), sample_manifest().to_json());
+  std::remove(path.c_str());
+}
+
+TEST(ManifestTest, WriteManifestThrowsOnBadPath) {
+  EXPECT_THROW(write_manifest("/nonexistent-dir/x/y.json", sample_manifest()),
+               std::runtime_error);
+}
+
+} // namespace
+} // namespace tsn::obs

@@ -1,0 +1,149 @@
+// Metrics registry: counters, gauges, fixed-bucket histograms, snapshots
+// and the deterministic merge the sweep-level exporters rely on.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace tsn::obs {
+namespace {
+
+TEST(MetricsTest, CounterStartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(MetricsTest, RegistryReturnsSameCounterForSameName) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  b.inc();
+  EXPECT_EQ(reg.snapshot().counters.at("x"), 2u);
+}
+
+TEST(MetricsTest, GaugeLastWriteWins) {
+  MetricsRegistry reg;
+  reg.gauge("g").set(1.5);
+  reg.gauge("g").set(-3.0);
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauges.at("g"), -3.0);
+}
+
+TEST(MetricsTest, HistogramBucketsCountAndSum) {
+  MetricsRegistry reg;
+  LatencyHistogram& h = reg.histogram("lat", {10.0, 100.0});
+  h.observe(5.0);   // <= 10
+  h.observe(10.0);  // <= 10 (upper bound is inclusive via upper_bound)
+  h.observe(50.0);  // <= 100
+  h.observe(500.0); // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 565.0);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(MetricsTest, HistogramReregisterWithDifferentBoundsThrows) {
+  MetricsRegistry reg;
+  reg.histogram("lat", {1.0, 2.0});
+  EXPECT_NO_THROW(reg.histogram("lat", {1.0, 2.0}));
+  EXPECT_THROW(reg.histogram("lat", {1.0, 3.0}), std::invalid_argument);
+}
+
+TEST(MetricsTest, UnsortedHistogramBoundsRejected) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.histogram("bad", {3.0, 1.0}), std::invalid_argument);
+}
+
+TEST(MetricsTest, ConcurrentIncrementsAreLossless) {
+  // The striped cells must absorb concurrent writers without losing
+  // increments -- this is the property the sweep-level counters lean on.
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hits");
+  LatencyHistogram& h = reg.histogram("ms", {1.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.observe(0.5);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsTest, MergeSumsCountersGaugesAndBuckets) {
+  MetricsRegistry a, b;
+  a.counter("n").inc(3);
+  b.counter("n").inc(4);
+  b.counter("only_b").inc();
+  a.gauge("total").set(10.0);
+  b.gauge("total").set(2.5);
+  a.histogram("lat", {10.0}).observe(5.0);
+  b.histogram("lat", {10.0}).observe(50.0);
+
+  const auto merged = merge_snapshots({a.snapshot(), b.snapshot()});
+  EXPECT_EQ(merged.counters.at("n"), 7u);
+  EXPECT_EQ(merged.counters.at("only_b"), 1u);
+  // Gauges carry per-replica totals, so the merge is the sweep total.
+  EXPECT_DOUBLE_EQ(merged.gauges.at("total"), 12.5);
+  const auto& h = merged.histograms.at("lat");
+  EXPECT_EQ(h.count, 2u);
+  ASSERT_EQ(h.counts.size(), 2u);
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_DOUBLE_EQ(h.sum, 55.0);
+}
+
+TEST(MetricsTest, MergeRejectsMismatchedBuckets) {
+  MetricsRegistry a, b;
+  a.histogram("lat", {10.0}).observe(1.0);
+  b.histogram("lat", {20.0}).observe(1.0);
+  auto snap = a.snapshot();
+  EXPECT_THROW(snap.merge(b.snapshot()), std::invalid_argument);
+}
+
+TEST(MetricsTest, JsonAndCsvExportContainEveryMetric) {
+  MetricsRegistry reg;
+  reg.counter("c11/fta.aggregations").inc(9);
+  reg.gauge("sim.events_executed").set(123.0);
+  reg.histogram("wall_ms", {1.0, 10.0}).observe(3.0);
+  const auto snap = reg.snapshot();
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"c11/fta.aggregations\": 9"), std::string::npos);
+  EXPECT_NE(json.find("sim.events_executed"), std::string::npos);
+  EXPECT_NE(json.find("\"upper_bounds\""), std::string::npos);
+
+  const std::string csv = snap.to_csv();
+  EXPECT_NE(csv.find("counter,c11/fta.aggregations,9"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,sim.events_executed"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,wall_ms.count,1"), std::string::npos);
+}
+
+TEST(MetricsTest, SnapshotOrderIsDeterministic) {
+  MetricsRegistry reg;
+  reg.counter("b");
+  reg.counter("a");
+  reg.counter("c");
+  const auto snap = reg.snapshot();
+  std::vector<std::string> names;
+  for (const auto& [name, v] : snap.counters) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+} // namespace
+} // namespace tsn::obs

@@ -1,0 +1,86 @@
+// Trace ring: bounded memory (overwrite-oldest), name interning and the
+// exporters.
+#include <gtest/gtest.h>
+
+#include "obs/trace.hpp"
+
+namespace tsn::obs {
+namespace {
+
+TraceRecord rec(std::int64_t t, TraceKind kind = TraceKind::kGateAcquire,
+                std::uint16_t src = 0) {
+  TraceRecord r;
+  r.t_ns = t;
+  r.kind = kind;
+  r.source = src;
+  return r;
+}
+
+TEST(TraceTest, InternReturnsStableIds) {
+  TraceRing ring(8);
+  const auto a = ring.intern("c11/fta");
+  const auto b = ring.intern("monitor");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(ring.intern("c11/fta"), a);
+  EXPECT_EQ(ring.name(a), "c11/fta");
+  EXPECT_EQ(ring.source_count(), 2u);
+}
+
+TEST(TraceTest, HoldsRecordsInOrderBeforeWrap) {
+  TraceRing ring(8);
+  for (int i = 0; i < 5; ++i) ring.push(rec(i));
+  EXPECT_EQ(ring.size(), 5u);
+  EXPECT_EQ(ring.total(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(snap[static_cast<std::size_t>(i)].t_ns, i);
+}
+
+TEST(TraceTest, MemoryStaysBoundedAndOldestIsOverwritten) {
+  // The bugfix PR's acceptance gate: a ring must never grow past its
+  // capacity however long the run, and it must drop the OLDEST records.
+  TraceRing ring(4);
+  for (int i = 0; i < 1000; ++i) ring.push(rec(i));
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total(), 1000u);
+  EXPECT_EQ(ring.dropped(), 996u);
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.front().t_ns, 996);
+  EXPECT_EQ(snap.back().t_ns, 999);
+}
+
+TEST(TraceTest, ClearResets) {
+  TraceRing ring(4);
+  for (int i = 0; i < 10; ++i) ring.push(rec(i));
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.total(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(TraceTest, KindNamesAreDistinct) {
+  EXPECT_STREQ(to_string(TraceKind::kGateAcquire), "gate_acquire");
+  EXPECT_STRNE(to_string(TraceKind::kNoQuorum), to_string(TraceKind::kAggregate));
+  EXPECT_STRNE(to_string(TraceKind::kNoSuccessor), to_string(TraceKind::kTakeover));
+}
+
+TEST(TraceTest, CsvAndJsonExportResolveNames) {
+  TraceRing ring(8);
+  const auto src = ring.intern("ecd1/monitor");
+  ring.push(rec(125, TraceKind::kHeartbeatMiss, src));
+  ring.push(rec(250, TraceKind::kTakeover, src));
+
+  const std::string csv = ring.to_csv();
+  EXPECT_NE(csv.find("heartbeat_miss"), std::string::npos);
+  EXPECT_NE(csv.find("ecd1/monitor"), std::string::npos);
+
+  const std::string json = ring.to_json();
+  EXPECT_NE(json.find("\"takeover\""), std::string::npos);
+  EXPECT_NE(json.find("\"t_ns\": 250"), std::string::npos);
+}
+
+} // namespace
+} // namespace tsn::obs

@@ -22,6 +22,7 @@
 #include "faults/attacker.hpp"
 #include "faults/injector.hpp"
 #include "net/pcap.hpp"
+#include "obs/manifest.hpp"
 #include "sweep/sweep_runner.hpp"
 #include "util/config.hpp"
 #include "util/log.hpp"
@@ -49,6 +50,7 @@ struct Replica {
   std::size_t attacks_succeeded = 0;
   std::uint64_t pcap_frames = 0;
   double holds = 0;
+  obs::MetricsSnapshot metrics;
 };
 
 } // namespace
@@ -134,6 +136,7 @@ int main(int argc, char** argv) {
       out.pcap_frames = pcap->frames_written();
     }
     out.holds = experiments::bound_holding_fraction(out.series, cal.bound.pi_ns, cal.gamma_ns);
+    out.metrics = scenario.metrics_snapshot();
     return out;
   };
 
@@ -162,11 +165,13 @@ int main(int argc, char** argv) {
   std::vector<util::TimeSeries> series;
   std::vector<double> holds_parts;
   std::vector<std::size_t> counts;
+  std::vector<obs::MetricsSnapshot> metric_parts;
   Replica sums;
   for (const auto& r : results) {
     series.push_back(r.series);
     holds_parts.push_back(r.holds);
     counts.push_back(r.series.points().size());
+    metric_parts.push_back(r.metrics);
     sums.injector_kills += r.injector_kills;
     sums.injector_gm_kills += r.injector_gm_kills;
     sums.takeovers += r.takeovers;
@@ -206,5 +211,21 @@ int main(int argc, char** argv) {
     return total == 0 ? 1.0 : weighted / static_cast<double>(total);
   }();
   std::printf("\nprecision bound held for %.2f%% of samples\n", 100.0 * held);
+
+  const std::string manifest_path = cli.get_string("manifest", "tsnfta_sim_manifest.json");
+  if (manifest_path != "none") {
+    obs::RunManifest manifest;
+    manifest.tool = "tsnfta_sim";
+    manifest.seed = base.seed;
+    manifest.replicas = results.size();
+    manifest.threads = runner.threads();
+    manifest.scenario = experiments::scenario_kv(base);
+    manifest.metrics = obs::merge_snapshots(metric_parts);
+    manifest.extra["bound_held_fraction"] = util::format("%.6f", held);
+    manifest.extra["takeovers"] = std::to_string(sums.takeovers);
+    manifest.extra["attacks_attempted"] = std::to_string(sums.attacks_attempted);
+    obs::write_manifest(manifest_path, manifest);
+    std::printf("run manifest -> %s (git %s)\n", manifest_path.c_str(), obs::build_git_sha());
+  }
   return 0;
 }
