@@ -1,0 +1,52 @@
+#include "alloc_hook.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace tsn::bench {
+namespace {
+// Plain (non-atomic) on purpose: the bench binary is single-threaded and
+// the counter sits on the hottest path we are measuring.
+std::uint64_t g_allocs = 0;
+} // namespace
+
+bool alloc_hook_active() {
+#ifdef TSN_BENCH_ALLOC_HOOK_DISABLED
+  return false;
+#else
+  return true;
+#endif
+}
+
+std::uint64_t alloc_count() { return g_allocs; }
+
+} // namespace tsn::bench
+
+#ifndef TSN_BENCH_ALLOC_HOOK_DISABLED
+
+namespace {
+void* counted_alloc(std::size_t n) {
+  ++tsn::bench::g_allocs;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+} // namespace
+
+// Replaceable global allocation functions (the sized/aligned variants all
+// funnel through these two on this toolchain, but are provided explicitly
+// so the count stays exact whatever the compiler emits).
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t) { return counted_alloc(n); }
+void* operator new[](std::size_t n, std::align_val_t) { return counted_alloc(n); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+#endif // TSN_BENCH_ALLOC_HOOK_DISABLED

@@ -1,0 +1,34 @@
+// Global operator-new counter for the microbenchmarks.
+//
+// The zero-allocation contract of the hot paths (event dispatch, frame
+// forwarding) is enforced observationally: benchmarks diff this counter
+// around their steady-state loop and report allocs_per_iter, which must
+// read 0.000 for the pooled paths. Linked into the bench binary only —
+// the library itself never sees the hook.
+//
+// Under ASan/TSan the sanitizer runtime interposes the allocator and
+// allocates internally, so the hook deactivates itself and the counters
+// are suppressed rather than reporting noise.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define TSN_BENCH_ALLOC_HOOK_DISABLED 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define TSN_BENCH_ALLOC_HOOK_DISABLED 1
+#endif
+#endif
+
+namespace tsn::bench {
+
+/// True when the replacement operator new is compiled in and counting.
+bool alloc_hook_active();
+
+/// Number of operator new / new[] calls since process start (0 when the
+/// hook is inactive).
+std::uint64_t alloc_count();
+
+} // namespace tsn::bench

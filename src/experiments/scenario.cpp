@@ -19,7 +19,8 @@ const char* redundant_kernel(std::size_t ecd_idx) {
 
 } // namespace
 
-Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg), sim_(cfg.seed) {
+Scenario::Scenario(const ScenarioConfig& cfg)
+    : cfg_(cfg), sim_(cfg.seed), pool_base_(net::FramePool::local().stats()) {
   if (cfg_.num_ecds < 2 || cfg_.gm_kernels.size() < cfg_.num_ecds) {
     throw std::invalid_argument("Scenario: need >= 2 ECDs and a kernel per GM");
   }
@@ -276,6 +277,16 @@ obs::MetricsSnapshot Scenario::metrics_snapshot() {
   obs_.metrics.gauge("sim.events_scheduled").set(static_cast<double>(q.scheduled));
   obs_.metrics.gauge("sim.events_posted").set(static_cast<double>(q.posted));
   obs_.metrics.gauge("sim.events_cancelled").set(static_cast<double>(q.cancelled));
+  obs_.metrics.gauge("sim.wheel_inserts").set(static_cast<double>(q.wheel_inserts));
+  obs_.metrics.gauge("sim.staged_inserts").set(static_cast<double>(q.staged_inserts));
+  obs_.metrics.gauge("sim.heap_spills").set(static_cast<double>(q.heap_spills));
+  obs_.metrics.gauge("sim.cascades").set(static_cast<double>(q.cascades));
+  const auto& p = net::FramePool::local().stats();
+  const std::uint64_t acquired = p.acquired - pool_base_.acquired;
+  const std::uint64_t released = p.released - pool_base_.released;
+  obs_.metrics.gauge("net.frames_acquired").set(static_cast<double>(acquired));
+  obs_.metrics.gauge("net.frames_released").set(static_cast<double>(released));
+  obs_.metrics.gauge("net.frames_in_flight").set(static_cast<double>(acquired - released));
   obs_.metrics.gauge("trace.records_total").set(static_cast<double>(obs_.trace.total()));
   obs_.metrics.gauge("trace.records_dropped").set(static_cast<double>(obs_.trace.dropped()));
   return obs_.metrics.snapshot();

@@ -19,6 +19,7 @@
 #include "hv/ecd.hpp"
 #include "measure/path_delay.hpp"
 #include "measure/precision_probe.hpp"
+#include "net/frame_pool.hpp"
 #include "net/link.hpp"
 #include "net/switch.hpp"
 #include "obs/obs.hpp"
@@ -136,6 +137,12 @@ class Scenario {
 
   ScenarioConfig cfg_;
   sim::Simulation sim_;
+  /// Frame-pool counters at construction. The pool is thread-local and
+  /// outlives scenarios, so only the per-scenario deltas of the
+  /// monotonic counters (acquired/released) are deterministic across
+  /// sweep replicas; absolute totals, high_water and chunk counts carry
+  /// history from whatever ran on this thread before.
+  net::FramePool::Stats pool_base_;
   obs::Observability obs_; ///< must outlive the components holding handles
   std::vector<std::unique_ptr<hv::Ecd>> ecds_;
   std::vector<std::unique_ptr<net::Switch>> switches_;

@@ -5,8 +5,11 @@
 namespace tsn::faults {
 
 void Attacker::start() {
-  for (const auto& step : steps_) {
-    sim_.at(sim::SimTime(step.at_ns), [this, step] { execute(step); });
+  // Capture the step by index: AttackStep (with its CVE string) would not
+  // fit the event queue's inline closure storage, and steps_ is immutable
+  // once scheduled.
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    sim_.at(sim::SimTime(steps_[i].at_ns), [this, i] { execute(steps_[i]); });
   }
 }
 

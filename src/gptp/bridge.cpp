@@ -4,6 +4,22 @@
 #include "util/str.hpp"
 
 namespace tsn::gptp {
+namespace {
+
+Message make_relay_sync_proto() {
+  SyncMessage sync;
+  sync.header.type = MessageType::kSync;
+  sync.header.two_step = true;
+  return sync;
+}
+
+Message make_relay_fup_proto() {
+  FollowUpMessage fup;
+  fup.header.type = MessageType::kFollowUp;
+  return fup;
+}
+
+} // namespace
 
 TimeAwareBridge::TimeAwareBridge(sim::Simulation& sim, net::Switch& sw, const BridgeConfig& cfg,
                                  const std::string& name)
@@ -11,12 +27,14 @@ TimeAwareBridge::TimeAwareBridge(sim::Simulation& sim, net::Switch& sw, const Br
       sw_(sw),
       cfg_(cfg),
       name_(name),
-      identity_(ClockIdentity::from_u64(util::fnv1a64("bridge/" + name))) {
+      identity_(ClockIdentity::from_u64(util::fnv1a64("bridge/" + name))),
+      sync_tpl_(make_relay_sync_proto()),
+      fup_tpl_(make_relay_fup_proto()) {
   for (std::size_t i = 0; i < sw_.port_count(); ++i) {
     link_delay_.push_back(std::make_unique<LinkDelayService>(
         sim, port_identity(i),
-        [this, i](const Message& msg, std::function<void(std::optional<std::int64_t>)> on_tx) {
-          send_on_port(i, msg, std::move(on_tx));
+        [this, i](net::FrameRef frame, LinkDelayService::TxTsFn on_tx) {
+          send_on_port(i, std::move(frame), std::move(on_tx));
         },
         cfg_.link_delay, util::format("%s/P%zu/pdelay", name.c_str(), i)));
   }
@@ -31,20 +49,36 @@ PortIdentity TimeAwareBridge::port_identity(std::size_t port_idx) const {
   return PortIdentity{identity_, static_cast<std::uint16_t>(port_idx + 1)};
 }
 
-void TimeAwareBridge::send_on_port(std::size_t port_idx, const Message& msg,
-                                   std::function<void(std::optional<std::int64_t>)> on_tx) {
-  net::EthernetFrame frame;
-  frame.dst = net::MacAddress::gptp_multicast();
-  frame.src = net::MacAddress::from_u64(identity_.to_u64() & 0xFFFFFFFFFFFF);
-  frame.ethertype = net::kEtherTypePtp;
-  frame.payload = serialize(msg);
+void TimeAwareBridge::send_on_port(std::size_t port_idx, net::FrameRef frame,
+                                   LinkDelayService::TxTsFn on_tx) {
+  frame.writable().src = net::MacAddress::from_u64(identity_.to_u64() & 0xFFFFFFFFFFFF);
   net::TxOptions opts;
   if (on_tx) {
-    opts.on_complete = [on_tx = std::move(on_tx)](const net::TxReport& r) {
+    opts.on_complete = [on_tx = std::move(on_tx)](const net::TxReport& r) mutable {
       on_tx(r.status == net::TxReport::Status::kSent ? r.hw_tx_ts : std::nullopt);
     };
   }
   sw_.send_from_port(port_idx, std::move(frame), std::move(opts));
+}
+
+void TimeAwareBridge::send_message_on_port(std::size_t port_idx, const Message& msg,
+                                           LinkDelayService::TxTsFn on_tx) {
+  net::FrameRef frame = net::FramePool::local().acquire();
+  net::EthernetFrame& eth = frame.writable();
+  eth.dst = net::MacAddress::gptp_multicast();
+  eth.ethertype = net::kEtherTypePtp;
+  serialize_into(msg, eth.payload);
+  send_on_port(port_idx, std::move(frame), std::move(on_tx));
+}
+
+std::uint32_t TimeAwareBridge::alloc_relay_slot() {
+  if (!relay_free_.empty()) {
+    const std::uint32_t slot = relay_free_.back();
+    relay_free_.pop_back();
+    return slot;
+  }
+  relay_ctx_.emplace_back();
+  return static_cast<std::uint32_t>(relay_ctx_.size() - 1);
 }
 
 void TimeAwareBridge::start() {
@@ -120,7 +154,7 @@ void TimeAwareBridge::relay_announce(DomainState& ds, std::size_t ingress,
     if (p == ingress || !sw_.port(p).connected()) continue;
     out.header.source_port = port_identity(p);
     ++counters_.announces_relayed;
-    send_on_port(p, out, {});
+    send_message_on_port(p, out, {});
   }
   (void)ds;
 }
@@ -144,36 +178,53 @@ void TimeAwareBridge::relay_follow_up(DomainState& ds, const FollowUpMessage& fu
     }
   }
   for (std::size_t out_port : egress) {
-    SyncMessage sync;
-    sync.header.type = MessageType::kSync;
-    sync.header.domain = ds.cfg.domain;
-    sync.header.two_step = true;
-    sync.header.source_port = port_identity(out_port);
-    sync.header.sequence_id = pending.seq;
-    sync.header.log_message_interval = fup.header.log_message_interval;
+    sync_tpl_.set_domain(ds.cfg.domain);
+    sync_tpl_.set_source_port(port_identity(out_port));
+    sync_tpl_.set_sequence_id(pending.seq);
+    sync_tpl_.set_log_message_interval(fup.header.log_message_interval);
+
+    const std::uint32_t slot = alloc_relay_slot();
+    RelayCtx& ctx = relay_ctx_[slot];
+    ctx.domain = ds.cfg.domain;
+    ctx.log_interval = fup.header.log_message_interval;
+    ctx.seq = pending.seq;
+    ctx.out_port = out_port;
+    ctx.rx_ts = pending.rx_ts;
+    ctx.base_correction = pending.correction_scaled + fup.header.correction_scaled;
+    ctx.precise_origin = fup.precise_origin;
+    ctx.gm_time_base_indicator = fup.gm_time_base_indicator;
+    ctx.freq_change = fup.scaled_last_gm_freq_change;
+    ctx.rate_ratio = rate_ratio;
+    ctx.upstream_delay_ns = upstream_delay_ns;
 
     ++counters_.syncs_relayed;
-    send_on_port(out_port, sync,
-                 [this, out_port, pending, fup, rate_ratio, upstream_delay_ns,
-                  domain = ds.cfg.domain](std::optional<std::int64_t> tx_ts) {
-                   if (!tx_ts || !started_) return;
-                   // Residence time in the bridge's local clock, plus the
-                   // upstream link delay, both converted to GM time.
-                   const double residence_ns = static_cast<double>(*tx_ts - pending.rx_ts);
-                   const double added_ns = rate_ratio * (residence_ns + upstream_delay_ns);
-
-                   FollowUpMessage out = fup;
-                   out.header.domain = domain;
-                   out.header.source_port = port_identity(out_port);
-                   out.header.sequence_id = pending.seq;
-                   out.header.correction_scaled = pending.correction_scaled +
-                                                  fup.header.correction_scaled +
-                                                  scaled_ns::from_ns(added_ns);
-                   out.cumulative_scaled_rate_offset = rate_offset::from_ratio(rate_ratio);
-                   ++counters_.followups_relayed;
-                   send_on_port(out_port, out, {});
-                 });
+    send_on_port(out_port, make_ptp_frame(sync_tpl_),
+                 LinkDelayService::TxTsFn([this, slot](std::optional<std::int64_t> tx_ts) {
+                   finish_relay(slot, tx_ts);
+                 }));
   }
+}
+
+void TimeAwareBridge::finish_relay(std::uint32_t slot, std::optional<std::int64_t> tx_ts) {
+  const RelayCtx ctx = relay_ctx_[slot];
+  relay_free_.push_back(slot);
+  if (!tx_ts || !started_) return;
+  // Residence time in the bridge's local clock, plus the upstream link
+  // delay, both converted to GM time.
+  const double residence_ns = static_cast<double>(*tx_ts - ctx.rx_ts);
+  const double added_ns = ctx.rate_ratio * (residence_ns + ctx.upstream_delay_ns);
+
+  fup_tpl_.set_domain(ctx.domain);
+  fup_tpl_.set_source_port(port_identity(ctx.out_port));
+  fup_tpl_.set_sequence_id(ctx.seq);
+  fup_tpl_.set_log_message_interval(ctx.log_interval);
+  fup_tpl_.set_correction_scaled(ctx.base_correction + scaled_ns::from_ns(added_ns));
+  fup_tpl_.set_body_timestamp(ctx.precise_origin);
+  fup_tpl_.set_cumulative_scaled_rate_offset(rate_offset::from_ratio(ctx.rate_ratio));
+  fup_tpl_.set_gm_time_base_indicator(ctx.gm_time_base_indicator);
+  fup_tpl_.set_scaled_last_gm_freq_change(ctx.freq_change);
+  ++counters_.followups_relayed;
+  send_on_port(ctx.out_port, make_ptp_frame(fup_tpl_), {});
 }
 
 } // namespace tsn::gptp

@@ -21,6 +21,7 @@
 
 #include "gptp/link_delay.hpp"
 #include "gptp/messages.hpp"
+#include "gptp/msg_template.hpp"
 #include "net/switch.hpp"
 #include "sim/simulation.hpp"
 
@@ -81,11 +82,33 @@ class TimeAwareBridge {
     std::optional<PendingSync> pending;
   };
 
+  // State of one in-flight Sync relay waiting for its egress timestamp.
+  // Kept in a reusable slab so the tx callback captures only (this, slot)
+  // and stays inside the inline callback storage.
+  struct RelayCtx {
+    std::uint8_t domain = 0;
+    std::int8_t log_interval = 0;
+    std::uint16_t seq = 0;
+    std::size_t out_port = 0;
+    std::int64_t rx_ts = 0;
+    std::int64_t base_correction = 0; // upstream Sync + FollowUp corrections
+    Timestamp precise_origin;
+    std::uint16_t gm_time_base_indicator = 0;
+    std::int32_t freq_change = 0;
+    double rate_ratio = 1.0;
+    double upstream_delay_ns = 0.0;
+  };
+
   void on_ptp(std::size_t port_idx, const net::EthernetFrame& frame, const net::RxMeta& meta);
   void relay_follow_up(DomainState& ds, const FollowUpMessage& fup);
+  void finish_relay(std::uint32_t slot, std::optional<std::int64_t> tx_ts);
   void relay_announce(DomainState& ds, std::size_t ingress, const AnnounceMessage& msg);
-  void send_on_port(std::size_t port_idx, const Message& msg,
-                    std::function<void(std::optional<std::int64_t>)> on_tx);
+  /// Hot path: transmit a pooled frame (the bridge's source MAC filled in).
+  void send_on_port(std::size_t port_idx, net::FrameRef frame, LinkDelayService::TxTsFn on_tx);
+  /// Cold path (Announce relay): serialize into a pooled frame first.
+  void send_message_on_port(std::size_t port_idx, const Message& msg,
+                            LinkDelayService::TxTsFn on_tx);
+  std::uint32_t alloc_relay_slot();
   PortIdentity port_identity(std::size_t port_idx) const;
 
   sim::Simulation& sim_;
@@ -97,6 +120,13 @@ class TimeAwareBridge {
   std::map<std::uint8_t, DomainState> domains_;
   BridgeCounters counters_;
   bool started_ = false;
+
+  // Pre-built relay PDU images; every varying field (domain, egress port
+  // identity, seq, correction, timestamps, TLV) is patched per transmission.
+  MessageTemplate sync_tpl_;
+  MessageTemplate fup_tpl_;
+  std::vector<RelayCtx> relay_ctx_;
+  std::vector<std::uint32_t> relay_free_;
 };
 
 } // namespace tsn::gptp

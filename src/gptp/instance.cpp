@@ -5,6 +5,45 @@
 #include "util/log.hpp"
 
 namespace tsn::gptp {
+namespace {
+
+Message make_sync_proto(const InstanceConfig& cfg, const PortIdentity& identity) {
+  SyncMessage sync;
+  sync.header.type = MessageType::kSync;
+  sync.header.domain = cfg.domain;
+  sync.header.two_step = true;
+  sync.header.source_port = identity;
+  sync.header.log_message_interval = -3; // 125 ms
+  return sync;
+}
+
+Message make_fup_proto(const InstanceConfig& cfg, const PortIdentity& identity) {
+  FollowUpMessage fup;
+  fup.header.type = MessageType::kFollowUp;
+  fup.header.domain = cfg.domain;
+  fup.header.source_port = identity;
+  fup.header.log_message_interval = -3;
+  fup.cumulative_scaled_rate_offset = 0; // we are the GM timebase
+  return fup;
+}
+
+Message make_delay_req_proto(const InstanceConfig& cfg, const PortIdentity& identity) {
+  DelayReqMessage req;
+  req.header.type = MessageType::kDelayReq;
+  req.header.domain = cfg.domain;
+  req.header.source_port = identity;
+  return req;
+}
+
+Message make_delay_resp_proto(const InstanceConfig& cfg, const PortIdentity& identity) {
+  DelayRespMessage resp;
+  resp.header.type = MessageType::kDelayResp;
+  resp.header.domain = cfg.domain;
+  resp.header.source_port = identity;
+  return resp;
+}
+
+} // namespace
 
 PtpInstance::PtpInstance(sim::Simulation& sim, net::Nic& nic, LinkDelayService& link_delay,
                          const InstanceConfig& cfg, const std::string& name)
@@ -15,7 +54,11 @@ PtpInstance::PtpInstance(sim::Simulation& sim, net::Nic& nic, LinkDelayService& 
       name_(name),
       identity_{ClockIdentity::from_u64(nic.mac().to_u64()), 1},
       role_(cfg.role),
-      fault_rng_(sim.make_rng("ptp-fault/" + name)) {
+      fault_rng_(sim.make_rng("ptp-fault/" + name)),
+      sync_tpl_(make_sync_proto(cfg, identity_)),
+      fup_tpl_(make_fup_proto(cfg, identity_)),
+      delay_req_tpl_(make_delay_req_proto(cfg, identity_)),
+      delay_resp_tpl_(make_delay_resp_proto(cfg, identity_)) {
   if (cfg_.use_bmca) {
     BmcaEngine::Config bc;
     bc.local.priority1 = cfg_.priority1;
@@ -33,15 +76,24 @@ void PtpInstance::fault(const std::string& kind) {
 }
 
 void PtpInstance::send_message(const Message& msg, std::optional<std::int64_t> launch_time,
-                               std::function<void(const net::TxReport&)> on_complete) {
-  net::EthernetFrame frame;
-  frame.dst = net::MacAddress::gptp_multicast();
-  frame.ethertype = net::kEtherTypePtp;
-  frame.payload = serialize(msg);
+                               net::TxCallback on_complete) {
+  net::FrameRef frame = net::FramePool::local().acquire();
+  net::EthernetFrame& eth = frame.writable();
+  eth.dst = net::MacAddress::gptp_multicast();
+  eth.ethertype = net::kEtherTypePtp;
+  serialize_into(msg, eth.payload);
   net::TxOptions opts;
   opts.launch_time = launch_time;
   opts.on_complete = std::move(on_complete);
   nic_.send(std::move(frame), std::move(opts));
+}
+
+void PtpInstance::send_template(const MessageTemplate& tpl, std::optional<std::int64_t> launch_time,
+                                net::TxCallback on_complete) {
+  net::TxOptions opts;
+  opts.launch_time = launch_time;
+  opts.on_complete = std::move(on_complete);
+  nic_.send(make_ptp_frame(tpl), std::move(opts));
 }
 
 void PtpInstance::start() {
@@ -136,18 +188,12 @@ void PtpInstance::prepare_sync_tx(std::int64_t launch_phc) {
 
 void PtpInstance::transmit_sync(std::int64_t launch_phc) {
   if (!running_ || role_ != PortRole::kMaster) return;
-  SyncMessage sync;
-  sync.header.type = MessageType::kSync;
-  sync.header.domain = cfg_.domain;
-  sync.header.two_step = true;
-  sync.header.source_port = identity_;
-  sync.header.sequence_id = ++sync_seq_;
-  sync.header.log_message_interval = -3; // 125 ms
+  sync_tpl_.set_sequence_id(++sync_seq_);
 
   const std::uint64_t epoch = epoch_;
   const std::uint16_t seq = sync_seq_;
-  send_message(
-      sync, cfg_.align_launch ? std::optional<std::int64_t>(launch_phc) : std::nullopt,
+  send_template(
+      sync_tpl_, cfg_.align_launch ? std::optional<std::int64_t>(launch_phc) : std::nullopt,
       [this, seq, epoch](const net::TxReport& report) {
         if (epoch != epoch_ || !running_) return;
         switch (report.status) {
@@ -177,15 +223,11 @@ void PtpInstance::transmit_sync(std::int64_t launch_phc) {
           schedule_next_sync_tx();
           return;
         }
-        FollowUpMessage fup;
-        fup.header.type = MessageType::kFollowUp;
-        fup.header.domain = cfg_.domain;
-        fup.header.source_port = identity_;
-        fup.header.sequence_id = seq;
-        fup.header.log_message_interval = -3;
-        fup.precise_origin = Timestamp::from_ns(*report.hw_tx_ts + malicious_pot_offset_ns_);
-        fup.cumulative_scaled_rate_offset = 0; // we are the GM timebase
-        send_message(fup, std::nullopt, {});
+        const Timestamp precise_origin =
+            Timestamp::from_ns(*report.hw_tx_ts + malicious_pot_offset_ns_);
+        fup_tpl_.set_sequence_id(seq);
+        fup_tpl_.set_body_timestamp(precise_origin);
+        send_template(fup_tpl_, std::nullopt, {});
         ++counters_.followups_sent;
 
         // The grandmaster's own clock participates in multi-domain
@@ -195,7 +237,7 @@ void PtpInstance::transmit_sync(std::int64_t launch_phc) {
           self.domain = cfg_.domain;
           self.offset_ns = 0.0;
           self.local_rx_ts = *report.hw_tx_ts;
-          self.precise_origin = fup.precise_origin;
+          self.precise_origin = precise_origin;
           self.rate_ratio = 1.0;
           self.sequence_id = seq;
           offset_cb_(self);
@@ -222,32 +264,26 @@ void PtpInstance::handle_message(const Message& msg, std::int64_t rx_ts) {
 
 void PtpInstance::send_delay_req() {
   if (!running_ || role_ != PortRole::kSlave) return;
-  DelayReqMessage req;
-  req.header.type = MessageType::kDelayReq;
-  req.header.domain = cfg_.domain;
-  req.header.source_port = identity_;
-  req.header.sequence_id = ++delay_req_seq_;
+  delay_req_tpl_.set_sequence_id(++delay_req_seq_);
   e2e_t3_.reset();
   const std::uint64_t epoch = epoch_;
-  send_message(req, std::nullopt, [this, epoch, seq = delay_req_seq_](const net::TxReport& r) {
-    if (epoch != epoch_ || !running_) return;
-    if (r.status == net::TxReport::Status::kSent && r.hw_tx_ts && seq == delay_req_seq_) {
-      e2e_t3_ = *r.hw_tx_ts;
-    }
-  });
+  send_template(delay_req_tpl_, std::nullopt,
+                [this, epoch, seq = delay_req_seq_](const net::TxReport& r) {
+                  if (epoch != epoch_ || !running_) return;
+                  if (r.status == net::TxReport::Status::kSent && r.hw_tx_ts &&
+                      seq == delay_req_seq_) {
+                    e2e_t3_ = *r.hw_tx_ts;
+                  }
+                });
 }
 
 void PtpInstance::on_delay_req(const DelayReqMessage& msg, std::int64_t rx_ts) {
   if (role_ != PortRole::kMaster || cfg_.delay_mechanism != DelayMechanism::kE2E) return;
-  DelayRespMessage resp;
-  resp.header.type = MessageType::kDelayResp;
-  resp.header.domain = cfg_.domain;
-  resp.header.source_port = identity_;
-  resp.header.sequence_id = msg.header.sequence_id;
-  resp.receive_timestamp = Timestamp::from_ns(rx_ts);
-  resp.requesting_port = msg.header.source_port;
+  delay_resp_tpl_.set_sequence_id(msg.header.sequence_id);
+  delay_resp_tpl_.set_body_timestamp(Timestamp::from_ns(rx_ts));
+  delay_resp_tpl_.set_requesting_port(msg.header.source_port);
   ++counters_.delay_reqs_answered;
-  send_message(resp, std::nullopt, {});
+  send_template(delay_resp_tpl_, std::nullopt, {});
 }
 
 void PtpInstance::on_delay_resp(const DelayRespMessage& msg) {

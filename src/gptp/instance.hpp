@@ -20,6 +20,7 @@
 #include "gptp/bmca.hpp"
 #include "gptp/link_delay.hpp"
 #include "gptp/messages.hpp"
+#include "gptp/msg_template.hpp"
 #include "gptp/servo.hpp"
 #include "net/nic.hpp"
 #include "sim/simulation.hpp"
@@ -140,8 +141,13 @@ class PtpInstance {
   void deliver_offset(const MasterOffsetSample& sample);
   void check_sync_receipt(sim::SimTime now);
   void schedule_at_phc(std::int64_t target_phc, std::function<void()> fn);
+  /// Cold path (Announce): serialize the message into a pooled frame.
   void send_message(const Message& msg, std::optional<std::int64_t> launch_time,
-                    std::function<void(const net::TxReport&)> on_complete);
+                    net::TxCallback on_complete);
+  /// Hot path (Sync/FollowUp/DelayReq/DelayResp): copy the pre-built,
+  /// freshly patched template image into a pooled frame.
+  void send_template(const MessageTemplate& tpl, std::optional<std::int64_t> launch_time,
+                     net::TxCallback on_complete);
   void send_announce();
   void evaluate_bmca();
   void fault(const std::string& kind);
@@ -160,6 +166,13 @@ class PtpInstance {
   std::int64_t next_boundary_phc_ = 0;
   util::RngStream fault_rng_;
   InstanceFaultModel fault_model_;
+
+  // Pre-built PDU images (fixed fields serialized once at construction;
+  // only seq/timestamps/requesting port are patched per transmission).
+  MessageTemplate sync_tpl_;
+  MessageTemplate fup_tpl_;
+  MessageTemplate delay_req_tpl_;
+  MessageTemplate delay_resp_tpl_;
 
   // Slave state.
   struct PendingSync {

@@ -5,10 +5,45 @@
 #include "util/log.hpp"
 
 namespace tsn::gptp {
+namespace {
+
+Message make_req_proto(const PortIdentity& identity) {
+  PdelayReqMessage req;
+  req.header.type = MessageType::kPdelayReq;
+  req.header.source_port = identity;
+  req.header.log_message_interval = 0;
+  return req;
+}
+
+Message make_resp_proto(const PortIdentity& identity) {
+  PdelayRespMessage resp;
+  resp.header.type = MessageType::kPdelayResp;
+  resp.header.two_step = true;
+  resp.header.source_port = identity;
+  return resp;
+}
+
+Message make_resp_fup_proto(const PortIdentity& identity) {
+  PdelayRespFollowUpMessage fup;
+  fup.header.type = MessageType::kPdelayRespFollowUp;
+  fup.header.source_port = identity;
+  return fup;
+}
+
+} // namespace
 
 LinkDelayService::LinkDelayService(sim::Simulation& sim, PortIdentity identity, SendFn send,
                                    const LinkDelayConfig& cfg, const std::string& name)
-    : sim_(sim), identity_(identity), send_(std::move(send)), cfg_(cfg), name_(name) {}
+    : sim_(sim),
+      identity_(identity),
+      send_(std::move(send)),
+      cfg_(cfg),
+      name_(name),
+      req_tpl_(make_req_proto(identity)),
+      resp_tpl_(make_resp_proto(identity)),
+      resp_fup_tpl_(make_resp_fup_proto(identity)) {
+  nrr_ring_.resize(std::max<std::size_t>(cfg_.nrr_window, 1));
+}
 
 void LinkDelayService::start() {
   if (periodic_.active()) return;
@@ -26,7 +61,8 @@ void LinkDelayService::send_request() {
     // Previous exchange never completed (lost frame or dead neighbor).
     if (++consecutive_misses_ >= cfg_.lost_responses_allowed) {
       valid_ = false;
-      nrr_history_.clear();
+      nrr_head_ = 0;
+      nrr_count_ = 0;
     }
   }
   exchange_open_ = true;
@@ -35,38 +71,28 @@ void LinkDelayService::send_request() {
   t3_.reset();
   t4_.reset();
 
-  PdelayReqMessage req;
-  req.header.type = MessageType::kPdelayReq;
-  req.header.source_port = identity_;
-  req.header.sequence_id = ++seq_;
-  req.header.log_message_interval = 0;
-  send_(req, [this, seq = seq_](std::optional<std::int64_t> tx_ts) {
-    if (tx_ts && seq == seq_) t1_ = *tx_ts;
-  });
+  req_tpl_.set_sequence_id(++seq_);
+  send_(make_ptp_frame(req_tpl_), TxTsFn([this, seq = seq_](std::optional<std::int64_t> tx_ts) {
+          if (tx_ts && seq == seq_) t1_ = *tx_ts;
+        }));
 }
 
 void LinkDelayService::on_message(const Message& msg, std::int64_t rx_ts) {
   if (const auto* req = std::get_if<PdelayReqMessage>(&msg)) {
     // ---- Responder: reply with t2 then t3.
-    responder_t2_ = rx_ts;
-    PdelayRespMessage resp;
-    resp.header.type = MessageType::kPdelayResp;
-    resp.header.two_step = true;
-    resp.header.source_port = identity_;
-    resp.header.sequence_id = req->header.sequence_id;
-    resp.request_receipt = Timestamp::from_ns(rx_ts);
-    resp.requesting_port = req->header.source_port;
-    send_(resp, [this, hdr = resp.header, requesting = resp.requesting_port](
-                    std::optional<std::int64_t> tx_ts) {
-      if (!tx_ts) return;
-      PdelayRespFollowUpMessage fup;
-      fup.header = hdr;
-      fup.header.type = MessageType::kPdelayRespFollowUp;
-      fup.header.two_step = false;
-      fup.response_origin = Timestamp::from_ns(*tx_ts);
-      fup.requesting_port = requesting;
-      send_(fup, {});
-    });
+    const std::uint16_t seq = req->header.sequence_id;
+    const PortIdentity requesting = req->header.source_port;
+    resp_tpl_.set_sequence_id(seq);
+    resp_tpl_.set_body_timestamp(Timestamp::from_ns(rx_ts));
+    resp_tpl_.set_requesting_port(requesting);
+    send_(make_ptp_frame(resp_tpl_),
+          TxTsFn([this, seq, requesting](std::optional<std::int64_t> tx_ts) {
+            if (!tx_ts) return;
+            resp_fup_tpl_.set_sequence_id(seq);
+            resp_fup_tpl_.set_body_timestamp(Timestamp::from_ns(*tx_ts));
+            resp_fup_tpl_.set_requesting_port(requesting);
+            send_(make_ptp_frame(resp_fup_tpl_), {});
+          }));
     return;
   }
 
@@ -98,10 +124,15 @@ void LinkDelayService::complete_exchange() {
 
   // Neighbor rate ratio across the sample window: remote elapsed / local
   // elapsed between the oldest retained exchange and this one.
-  nrr_history_.emplace_back(*t3_, *t4_);
-  while (nrr_history_.size() > cfg_.nrr_window) nrr_history_.pop_front();
-  if (nrr_history_.size() >= 2) {
-    const auto& [t3_old, t4_old] = nrr_history_.front();
+  const std::size_t window = nrr_ring_.size();
+  nrr_ring_[(nrr_head_ + nrr_count_) % window] = {*t3_, *t4_};
+  if (nrr_count_ < window) {
+    ++nrr_count_;
+  } else {
+    nrr_head_ = (nrr_head_ + 1) % window; // overwrote the oldest sample
+  }
+  if (nrr_count_ >= 2) {
+    const auto& [t3_old, t4_old] = nrr_ring_[nrr_head_];
     const double remote_elapsed = static_cast<double>(*t3_ - t3_old);
     const double local_elapsed = static_cast<double>(*t4_ - t4_old);
     if (local_elapsed > 0) neighbor_rate_ratio_ = remote_elapsed / local_elapsed;

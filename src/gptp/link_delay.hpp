@@ -4,16 +4,25 @@
 // domains on that port, mirroring 802.1AS-2020's CMLDS. It measures:
 //   * meanLinkDelay: one-way propagation delay in the local timebase
 //   * neighborRateRatio: d(neighbor clock)/d(local clock)
+//
+// Transmission is allocation-free in steady state: the three Pdelay PDUs
+// are pre-serialized once as MessageTemplates and only the per-exchange
+// fields (sequenceId, timestamps, requesting port) are patched before the
+// image is copied into a pooled frame.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "gptp/messages.hpp"
+#include "gptp/msg_template.hpp"
+#include "net/frame_pool.hpp"
 #include "sim/simulation.hpp"
+#include "util/inline_fn.hpp"
 
 namespace tsn::gptp {
 
@@ -29,9 +38,13 @@ struct LinkDelayConfig {
 
 class LinkDelayService {
  public:
-  /// `send` transmits a serialized gPTP message out of the port and reports
-  /// the egress HW timestamp (or nullopt on failure) once it left.
-  using SendFn = std::function<void(const Message&, std::function<void(std::optional<std::int64_t>)>)>;
+  /// Egress-timestamp delivery: invoked once the frame left the port with
+  /// the HW tx timestamp, or nullopt on failure. Rides the event queue, so
+  /// it uses inline no-allocation storage (move-only, small captures).
+  using TxTsFn = util::InlineFunction<void(std::optional<std::int64_t>), 32>;
+  /// `send` transmits a pooled gPTP frame out of the port. The callback may
+  /// be empty when the sender does not need the egress timestamp.
+  using SendFn = std::function<void(net::FrameRef, TxTsFn)>;
 
   LinkDelayService(sim::Simulation& sim, PortIdentity identity, SendFn send,
                    const LinkDelayConfig& cfg, const std::string& name);
@@ -63,6 +76,12 @@ class LinkDelayService {
   std::string name_;
   sim::Simulation::PeriodicHandle periodic_;
 
+  // Pre-built PDU images; per transmission only seq/timestamps/requesting
+  // port are patched.
+  MessageTemplate req_tpl_;
+  MessageTemplate resp_tpl_;
+  MessageTemplate resp_fup_tpl_;
+
   // Initiator state for the in-flight exchange.
   std::uint16_t seq_ = 0;
   std::optional<std::int64_t> t1_; // our PdelayReq egress
@@ -72,11 +91,11 @@ class LinkDelayService {
   bool exchange_open_ = false;
   int consecutive_misses_ = 0;
 
-  // Rate ratio estimation history: (t3, t4) of completed exchanges.
-  std::deque<std::pair<std::int64_t, std::int64_t>> nrr_history_;
-
-  // Responder state.
-  std::optional<std::int64_t> responder_t2_;
+  // Rate ratio estimation history: (t3, t4) of the last nrr_window completed
+  // exchanges in a fixed ring (preallocated; no steady-state churn).
+  std::vector<std::pair<std::int64_t, std::int64_t>> nrr_ring_;
+  std::size_t nrr_head_ = 0;  // index of the oldest retained sample
+  std::size_t nrr_count_ = 0;
 
   bool valid_ = false;
   double mean_link_delay_ns_ = 0.0;

@@ -1,6 +1,7 @@
 #include "gptp/messages.hpp"
 
 #include "gptp/wire.hpp"
+#include "net/frame.hpp"
 
 namespace tsn::gptp {
 namespace {
@@ -21,7 +22,8 @@ std::uint8_t control_field(MessageType type) {
   }
 }
 
-void write_header(ByteWriter& w, const MessageHeader& h) {
+template <class Buf>
+void write_header(BasicByteWriter<Buf>& w, const MessageHeader& h) {
   w.u8(static_cast<std::uint8_t>((kTransportSpecific << 4) |
                                  static_cast<std::uint8_t>(h.type)));
   w.u8(kVersionPtp);
@@ -57,24 +59,26 @@ bool read_header(ByteReader& r, MessageHeader& h) {
   return r.ok();
 }
 
-void finish(std::vector<std::uint8_t>& buf) {
-  ByteWriter w(buf);
-  w.patch_u16(2, static_cast<std::uint16_t>(buf.size()));
-}
+// Appends at the current end of `out`; the messageLength field is patched
+// relative to `base`, so serialization composes with non-empty buffers.
+template <class Buf>
+struct SerializerT {
+  Buf& out;
+  std::size_t base;
 
-struct Serializer {
-  std::vector<std::uint8_t> buf;
-
-  std::vector<std::uint8_t> operator()(const SyncMessage& m) {
-    ByteWriter w(buf);
-    write_header(w, m.header);
-    w.zeros(10); // reserved originTimestamp
-    finish(buf);
-    return std::move(buf);
+  void finish(BasicByteWriter<Buf>& w) {
+    w.patch_u16(base + 2, static_cast<std::uint16_t>(out.size() - base));
   }
 
-  std::vector<std::uint8_t> operator()(const FollowUpMessage& m) {
-    ByteWriter w(buf);
+  void operator()(const SyncMessage& m) {
+    BasicByteWriter<Buf> w(out);
+    write_header(w, m.header);
+    w.zeros(10); // reserved originTimestamp
+    finish(w);
+  }
+
+  void operator()(const FollowUpMessage& m) {
+    BasicByteWriter<Buf> w(out);
     write_header(w, m.header);
     w.timestamp(m.precise_origin);
     // Follow_Up information TLV (802.1AS 11.4.4.3).
@@ -86,55 +90,49 @@ struct Serializer {
     w.u16(m.gm_time_base_indicator);
     w.zeros(12); // lastGmPhaseChange
     w.i32(m.scaled_last_gm_freq_change);
-    finish(buf);
-    return std::move(buf);
+    finish(w);
   }
 
-  std::vector<std::uint8_t> operator()(const PdelayReqMessage& m) {
-    ByteWriter w(buf);
+  void operator()(const PdelayReqMessage& m) {
+    BasicByteWriter<Buf> w(out);
     write_header(w, m.header);
     w.zeros(20); // reserved
-    finish(buf);
-    return std::move(buf);
+    finish(w);
   }
 
-  std::vector<std::uint8_t> operator()(const DelayReqMessage& m) {
-    ByteWriter w(buf);
+  void operator()(const DelayReqMessage& m) {
+    BasicByteWriter<Buf> w(out);
     write_header(w, m.header);
     w.zeros(10); // originTimestamp (zero: HW timestamping)
-    finish(buf);
-    return std::move(buf);
+    finish(w);
   }
 
-  std::vector<std::uint8_t> operator()(const DelayRespMessage& m) {
-    ByteWriter w(buf);
+  void operator()(const DelayRespMessage& m) {
+    BasicByteWriter<Buf> w(out);
     write_header(w, m.header);
     w.timestamp(m.receive_timestamp);
     w.port_identity(m.requesting_port);
-    finish(buf);
-    return std::move(buf);
+    finish(w);
   }
 
-  std::vector<std::uint8_t> operator()(const PdelayRespMessage& m) {
-    ByteWriter w(buf);
+  void operator()(const PdelayRespMessage& m) {
+    BasicByteWriter<Buf> w(out);
     write_header(w, m.header);
     w.timestamp(m.request_receipt);
     w.port_identity(m.requesting_port);
-    finish(buf);
-    return std::move(buf);
+    finish(w);
   }
 
-  std::vector<std::uint8_t> operator()(const PdelayRespFollowUpMessage& m) {
-    ByteWriter w(buf);
+  void operator()(const PdelayRespFollowUpMessage& m) {
+    BasicByteWriter<Buf> w(out);
     write_header(w, m.header);
     w.timestamp(m.response_origin);
     w.port_identity(m.requesting_port);
-    finish(buf);
-    return std::move(buf);
+    finish(w);
   }
 
-  std::vector<std::uint8_t> operator()(const AnnounceMessage& m) {
-    ByteWriter w(buf);
+  void operator()(const AnnounceMessage& m) {
+    BasicByteWriter<Buf> w(out);
     write_header(w, m.header);
     w.zeros(10); // originTimestamp (reserved in 802.1AS)
     w.u16(0);    // currentUtcOffset
@@ -152,8 +150,7 @@ struct Serializer {
       w.u16(static_cast<std::uint16_t>(8 * m.path_trace.size()));
       for (const auto& id : m.path_trace) w.clock_identity(id);
     }
-    finish(buf);
-    return std::move(buf);
+    finish(w);
   }
 };
 
@@ -256,11 +253,21 @@ MessageHeader& header_of(Message& msg) {
 }
 
 std::vector<std::uint8_t> serialize(const Message& msg) {
-  return std::visit(Serializer{}, msg);
+  std::vector<std::uint8_t> out;
+  serialize_into(msg, out);
+  return out;
 }
 
-std::optional<Message> parse(const std::vector<std::uint8_t>& bytes) {
-  ByteReader r(bytes);
+void serialize_into(const Message& msg, std::vector<std::uint8_t>& out) {
+  std::visit(SerializerT<std::vector<std::uint8_t>>{out, out.size()}, msg);
+}
+
+void serialize_into(const Message& msg, net::Payload& out) {
+  std::visit(SerializerT<net::Payload>{out, out.size()}, msg);
+}
+
+std::optional<Message> parse(const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size);
   MessageHeader h;
   if (!read_header(r, h)) return std::nullopt;
   return parse_body(r, h);

@@ -13,6 +13,10 @@
 
 #include "gptp/types.hpp"
 
+namespace tsn::net {
+class Payload; // net/frame.hpp
+}
+
 namespace tsn::gptp {
 
 enum class MessageType : std::uint8_t {
@@ -105,7 +109,17 @@ MessageHeader& header_of(Message& msg);
 /// Serialize to the exact wire representation.
 std::vector<std::uint8_t> serialize(const Message& msg);
 
+/// Append the wire representation to an existing buffer. The Payload
+/// overload is the hot path: writes straight into a pooled frame's inline
+/// storage, no intermediate vector.
+void serialize_into(const Message& msg, std::vector<std::uint8_t>& out);
+void serialize_into(const Message& msg, net::Payload& out);
+
 /// Parse from wire bytes; nullopt on malformed/truncated/unknown input.
-std::optional<Message> parse(const std::vector<std::uint8_t>& bytes);
+std::optional<Message> parse(const std::uint8_t* data, std::size_t size);
+template <class C>
+std::optional<Message> parse(const C& bytes) {
+  return parse(bytes.data(), bytes.size());
+}
 
 } // namespace tsn::gptp

@@ -12,14 +12,10 @@ PtpStack::PtpStack(sim::Simulation& sim, net::Nic& nic, const LinkDelayConfig& l
       name_(name),
       link_delay_(
           sim, PortIdentity{ClockIdentity::from_u64(nic.mac().to_u64()), 1},
-          [this](const Message& msg, std::function<void(std::optional<std::int64_t>)> on_tx) {
-            net::EthernetFrame frame;
-            frame.dst = net::MacAddress::gptp_multicast();
-            frame.ethertype = net::kEtherTypePtp;
-            frame.payload = serialize(msg);
+          [this](net::FrameRef frame, LinkDelayService::TxTsFn on_tx) {
             net::TxOptions opts;
             if (on_tx) {
-              opts.on_complete = [on_tx = std::move(on_tx)](const net::TxReport& r) {
+              opts.on_complete = [on_tx = std::move(on_tx)](const net::TxReport& r) mutable {
                 on_tx(r.status == net::TxReport::Status::kSent ? r.hw_tx_ts : std::nullopt);
               };
             }

@@ -2,51 +2,6 @@
 
 namespace tsn::gptp {
 
-void ByteWriter::u16(std::uint16_t v) {
-  u8(static_cast<std::uint8_t>(v >> 8));
-  u8(static_cast<std::uint8_t>(v));
-}
-
-void ByteWriter::u32(std::uint32_t v) {
-  u16(static_cast<std::uint16_t>(v >> 16));
-  u16(static_cast<std::uint16_t>(v));
-}
-
-void ByteWriter::u48(std::uint64_t v) {
-  u16(static_cast<std::uint16_t>(v >> 32));
-  u32(static_cast<std::uint32_t>(v));
-}
-
-void ByteWriter::u64(std::uint64_t v) {
-  u32(static_cast<std::uint32_t>(v >> 32));
-  u32(static_cast<std::uint32_t>(v));
-}
-
-void ByteWriter::bytes(const std::uint8_t* data, std::size_t n) {
-  out_.insert(out_.end(), data, data + n);
-}
-
-void ByteWriter::zeros(std::size_t n) { out_.insert(out_.end(), n, 0); }
-
-void ByteWriter::timestamp(const Timestamp& ts) {
-  u48(ts.seconds);
-  u32(ts.nanoseconds);
-}
-
-void ByteWriter::clock_identity(const ClockIdentity& id) {
-  bytes(id.bytes().data(), id.bytes().size());
-}
-
-void ByteWriter::port_identity(const PortIdentity& id) {
-  clock_identity(id.clock);
-  u16(id.port);
-}
-
-void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
-  out_[offset] = static_cast<std::uint8_t>(v >> 8);
-  out_[offset + 1] = static_cast<std::uint8_t>(v);
-}
-
 bool ByteReader::take(std::size_t n) {
   if (!ok_ || pos_ + n > size_) {
     ok_ = false;

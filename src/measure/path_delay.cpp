@@ -37,7 +37,7 @@ void PathDelayMeter::sweep() {
       frame.dst = dst.nic->mac();
       frame.ethertype = kEtherTypePathProbe;
       if (vlan_id_ != 0) frame.vlan = net::VlanTag{vlan_id_, 0};
-      gptp::ByteWriter w(frame.payload);
+      gptp::BasicByteWriter<net::Payload> w(frame.payload);
       w.u32(i);
       w.i64(sim_.now().ns());
       w.zeros(34); // pad to a plausible probe size

@@ -56,7 +56,7 @@ void PrecisionProbe::send_probe() {
   frame.dst = measurement_group();
   frame.ethertype = kEtherTypePrecisionProbe;
   frame.vlan = net::VlanTag{cfg_.vlan_id, 6};
-  gptp::ByteWriter w(frame.payload);
+  gptp::BasicByteWriter<net::Payload> w(frame.payload);
   w.u32(seq);
   w.zeros(42);
   sender_.send(std::move(frame));

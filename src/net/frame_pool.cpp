@@ -1,0 +1,52 @@
+#include "net/frame_pool.hpp"
+
+namespace tsn::net {
+
+FramePool& FramePool::local() {
+  static thread_local FramePool pool;
+  return pool;
+}
+
+void FramePool::grow() {
+  chunks_.push_back(std::make_unique<FrameBuf[]>(kChunk));
+  FrameBuf* chunk = chunks_.back().get();
+  for (std::size_t i = 0; i < kChunk; ++i) {
+    chunk[i].pool_ = this;
+    chunk[i].next_free_ = free_head_;
+    free_head_ = &chunk[i];
+  }
+  ++stats_.chunks;
+  stats_.buffers += kChunk;
+}
+
+FrameRef FramePool::acquire() {
+  if (free_head_ == nullptr) grow();
+  FrameBuf* b = free_head_;
+  free_head_ = b->next_free_;
+  ++stats_.acquired;
+  ++stats_.in_use;
+  if (stats_.in_use > stats_.high_water) stats_.high_water = stats_.in_use;
+  return FrameRef(b);
+}
+
+FrameRef FramePool::adopt(EthernetFrame&& f) {
+  FrameRef ref = acquire();
+  ref.writable() = std::move(f);
+  return ref;
+}
+
+void FramePool::release(FrameBuf* b) {
+  // Return the buffer pristine: shed any heap-spilled payload so pooled
+  // buffers stay at their inline footprint.
+  b->frame_.payload.reset();
+  b->frame_.vlan.reset();
+  b->frame_.ethertype = 0;
+  b->frame_.dst = MacAddress();
+  b->frame_.src = MacAddress();
+  b->next_free_ = free_head_;
+  free_head_ = b;
+  ++stats_.released;
+  --stats_.in_use;
+}
+
+} // namespace tsn::net

@@ -1,0 +1,142 @@
+// Pooled, intrusively refcounted frame buffers for the zero-copy path.
+//
+// A frame travels NIC -> link -> switch -> link -> NIC, historically being
+// copied (header + payload) into a fresh closure at every hop and once per
+// egress port on multicast fan-out. FrameBuf makes the frame a shared
+// immutable object: propagation passes an 8-byte FrameRef, fan-out bumps a
+// refcount, and the buffer returns to its pool when the last reference
+// drops. Steady state allocates nothing — buffers are recycled through a
+// free list and the 96-byte inline payload absorbs every gPTP PDU.
+//
+// Ownership rules:
+//   - The producer acquires a buffer, fills `writable()` while it holds
+//     the only reference, and hands the FrameRef to Port::transmit.
+//   - From that point the frame is immutable; everyone downstream reads
+//     through `const EthernetFrame&`.
+//   - The pool is thread-local (one replica = one thread), so refcounts
+//     are plain integers and release needs no synchronization. FrameRefs
+//     must not cross threads; the sweep runner never does.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace tsn::net {
+
+class FramePool;
+
+class FrameBuf {
+ public:
+  const EthernetFrame& frame() const { return frame_; }
+
+ private:
+  friend class FramePool;
+  friend class FrameRef;
+  EthernetFrame frame_;
+  std::uint32_t refs_ = 0;
+  FramePool* pool_ = nullptr;
+  FrameBuf* next_free_ = nullptr;
+};
+
+/// Intrusive smart pointer to a pooled frame. Copy = refcount bump;
+/// destruction of the last reference recycles the buffer.
+class FrameRef {
+ public:
+  FrameRef() = default;
+  FrameRef(const FrameRef& o) noexcept : buf_(o.buf_) {
+    if (buf_) ++buf_->refs_;
+  }
+  FrameRef(FrameRef&& o) noexcept : buf_(o.buf_) { o.buf_ = nullptr; }
+  FrameRef& operator=(const FrameRef& o) noexcept {
+    if (this != &o) {
+      release();
+      buf_ = o.buf_;
+      if (buf_) ++buf_->refs_;
+    }
+    return *this;
+  }
+  FrameRef& operator=(FrameRef&& o) noexcept {
+    if (this != &o) {
+      release();
+      buf_ = o.buf_;
+      o.buf_ = nullptr;
+    }
+    return *this;
+  }
+  ~FrameRef() { release(); }
+
+  explicit operator bool() const { return buf_ != nullptr; }
+  const EthernetFrame& operator*() const { return buf_->frame_; }
+  const EthernetFrame* operator->() const { return &buf_->frame_; }
+
+  /// Mutable access, only legal while this is the sole reference (the
+  /// producer filling a freshly acquired buffer before transmission).
+  EthernetFrame& writable() {
+    assert(buf_ != nullptr && buf_->refs_ == 1 &&
+           "frames are immutable once shared");
+    return buf_->frame_;
+  }
+
+  std::uint32_t use_count() const { return buf_ ? buf_->refs_ : 0; }
+  void reset() { release(); }
+
+ private:
+  friend class FramePool;
+  explicit FrameRef(FrameBuf* b) noexcept : buf_(b) { ++b->refs_; }
+  void release() noexcept;
+  FrameBuf* buf_ = nullptr;
+};
+
+class FramePool {
+ public:
+  /// Buffers added per growth step.
+  static constexpr std::size_t kChunk = 64;
+
+  struct Stats {
+    std::uint64_t acquired = 0;  ///< total acquire()/adopt() calls
+    std::uint64_t released = 0;  ///< buffers returned to the free list
+    std::uint64_t chunks = 0;    ///< growth steps (kChunk buffers each)
+    std::size_t buffers = 0;     ///< total buffers owned by the pool
+    std::size_t in_use = 0;      ///< currently referenced buffers
+    std::size_t high_water = 0;  ///< max simultaneous in_use
+  };
+
+  FramePool() = default;
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+
+  /// The calling thread's pool. One replica runs on one thread, so every
+  /// frame of a simulation world comes from (and returns to) this pool.
+  static FramePool& local();
+
+  /// A fresh buffer holding a default (empty-payload) frame; sole reference.
+  FrameRef acquire();
+
+  /// Move an existing frame into a pooled buffer (compat shim for the
+  /// EthernetFrame-based send/transmit overloads).
+  FrameRef adopt(EthernetFrame&& f);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend class FrameRef;
+  void release(FrameBuf* b);
+  void grow();
+
+  std::vector<std::unique_ptr<FrameBuf[]>> chunks_;
+  FrameBuf* free_head_ = nullptr;
+  Stats stats_;
+};
+
+inline void FrameRef::release() noexcept {
+  if (buf_ == nullptr) return;
+  if (--buf_->refs_ == 0) buf_->pool_->release(buf_);
+  buf_ = nullptr;
+}
+
+} // namespace tsn::net

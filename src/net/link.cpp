@@ -33,12 +33,13 @@ std::int64_t Link::draw_delay(bool from_a) {
   return std::max(d, m.base_ns / 2);
 }
 
-void Link::transmit_from(Port& from, const EthernetFrame& frame) {
+void Link::transmit_from(Port& from, const FrameRef& frame) {
   Port& to = peer_of(from);
   const bool from_a = (&from == &a_);
-  const std::int64_t ser = serialization_ns(frame);
+  const std::int64_t ser = serialization_ns(*frame);
   const std::int64_t delay = ser + draw_delay(from_a);
-  sim_.after(delay, [&to, frame, ser] { to.deliver(frame, ser); });
+  Port* dst = &to;
+  sim_.after(delay, [dst, frame, ser] { dst->deliver(frame, ser); });
 }
 
 } // namespace tsn::net

@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "net/frame.hpp"
+#include "net/frame_pool.hpp"
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
 
@@ -40,8 +41,9 @@ class Link {
   Link& operator=(const Link&) = delete;
 
   /// Called by a Port: propagate `frame` to the opposite end. `from` must be
-  /// one of the two endpoints.
-  void transmit_from(Port& from, const EthernetFrame& frame);
+  /// one of the two endpoints. The frame is shared, not copied: delivery
+  /// captures a FrameRef.
+  void transmit_from(Port& from, const FrameRef& frame);
 
   Port& peer_of(Port& end) const;
 

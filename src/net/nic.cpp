@@ -18,12 +18,12 @@ void Nic::set_rx_handler(std::uint16_t ethertype, RxHandler handler) {
   rx_handlers_[ethertype] = std::move(handler);
 }
 
-void Nic::send(EthernetFrame frame, TxOptions opts) {
+void Nic::send(FrameRef frame, TxOptions opts) {
   if (!up_) {
     if (opts.on_complete) opts.on_complete(TxReport{TxReport::Status::kPortDown, std::nullopt});
     return;
   }
-  frame.src = mac_;
+  frame.writable().src = mac_;
   port_.transmit(std::move(frame), std::move(opts));
 }
 
@@ -37,10 +37,10 @@ bool Nic::accepts(const EthernetFrame& frame) const {
   return false;
 }
 
-void Nic::handle_frame(Port& /*ingress*/, const EthernetFrame& frame, const RxMeta& meta) {
-  if (!up_ || !accepts(frame)) return;
-  auto it = rx_handlers_.find(frame.ethertype);
-  if (it != rx_handlers_.end()) it->second(frame, meta);
+void Nic::handle_frame(Port& /*ingress*/, const FrameRef& frame, const RxMeta& meta) {
+  if (!up_ || !accepts(*frame)) return;
+  auto it = rx_handlers_.find(frame->ethertype);
+  if (it != rx_handlers_.end()) it->second(*frame, meta);
 }
 
 } // namespace tsn::net

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "net/frame.hpp"
+#include "net/frame_pool.hpp"
 #include "net/port.hpp"
 #include "sim/simulation.hpp"
 #include "tsn_time/phc_clock.hpp"
@@ -33,8 +34,13 @@ class Nic : public FrameSink {
   /// Register a receive handler for one EtherType (replaces any previous).
   void set_rx_handler(std::uint16_t ethertype, RxHandler handler);
 
-  /// Transmit with the source MAC filled in.
-  void send(EthernetFrame frame, TxOptions opts = {});
+  /// Transmit a pooled frame with the source MAC filled in. The caller
+  /// must hold the sole reference (the frame is still being produced).
+  void send(FrameRef frame, TxOptions opts = {});
+  /// Convenience overload: wraps the frame into the thread-local pool.
+  void send(EthernetFrame frame, TxOptions opts = {}) {
+    send(FramePool::local().adopt(std::move(frame)), std::move(opts));
+  }
 
   /// Administratively bring the NIC up/down (used for VM failure: a dead VM
   /// neither sends nor acknowledges frames).
@@ -44,7 +50,7 @@ class Nic : public FrameSink {
   /// Subscribe to an additional multicast group address.
   void join_multicast(MacAddress group) { multicast_groups_[group.to_u64()] = true; }
 
-  void handle_frame(Port& ingress, const EthernetFrame& frame, const RxMeta& meta) override;
+  void handle_frame(Port& ingress, const FrameRef& frame, const RxMeta& meta) override;
 
  private:
   bool accepts(const EthernetFrame& frame) const;

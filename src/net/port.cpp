@@ -1,5 +1,6 @@
 #include "net/port.hpp"
 
+#include <cmath>
 #include <utility>
 
 #include "net/link.hpp"
@@ -10,38 +11,60 @@ namespace tsn::net {
 Port::Port(sim::Simulation& sim, std::string name, time::PhcClock* phc)
     : sim_(sim), name_(std::move(name)), phc_(phc) {}
 
-void Port::launch_now(const EthernetFrame& frame, const TxCallback& cb) {
+void Port::launch_now(const FrameRef& frame, TxCallback& cb) {
   if (!up_ || link_ == nullptr) {
     if (cb) cb(TxReport{TxReport::Status::kPortDown, std::nullopt});
     return;
   }
   link_->transmit_from(*this, frame);
-  if (tap_) tap_(frame, /*is_tx=*/true);
+  if (tap_) tap_(*frame, /*is_tx=*/true);
   TxReport report{TxReport::Status::kSent, std::nullopt};
   if (phc_ != nullptr) report.hw_tx_ts = phc_->hw_timestamp();
   if (cb) cb(report);
 }
 
-void Port::schedule_launch(EthernetFrame frame, std::int64_t launch_time, TxCallback cb) {
+void Port::schedule_launch(FrameRef frame, std::int64_t launch_time, TxCallback cb) {
+  std::uint32_t slot;
+  if (!etf_free_.empty()) {
+    slot = etf_free_.back();
+    etf_free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(etf_pending_.size());
+    etf_pending_.emplace_back();
+  }
+  PendingLaunch& p = etf_pending_[slot];
+  p.frame = std::move(frame);
+  p.launch_time = launch_time;
+  p.cb = std::move(cb);
+  const std::int64_t remaining_phc = launch_time - phc_->read();
+  arm_launch(slot, remaining_phc);
+}
+
+void Port::arm_launch(std::uint32_t slot, std::int64_t remaining_phc) {
   // The hardware launches when its own counter reaches launch_time, so
   // convert the remaining PHC nanoseconds to true time with the counter's
   // current rate and re-check on wake (the rate may wander in between).
-  const std::int64_t now_phc = phc_->read();
-  const std::int64_t remaining_phc = launch_time - now_phc;
-  if (remaining_phc <= 0) {
-    launch_now(frame, cb);
-    return;
-  }
   const double rate = phc_->effective_rate();
   const auto remaining_true = static_cast<std::int64_t>(
       std::llround(static_cast<double>(remaining_phc) / rate));
   sim_.after(std::max<std::int64_t>(remaining_true, 1),
-             [this, frame = std::move(frame), launch_time, cb = std::move(cb)]() mutable {
-               schedule_launch(std::move(frame), launch_time, std::move(cb));
-             });
+             [this, slot] { fire_launch(slot); });
 }
 
-void Port::transmit(EthernetFrame frame, TxOptions opts) {
+void Port::fire_launch(std::uint32_t slot) {
+  PendingLaunch& p = etf_pending_[slot];
+  const std::int64_t remaining_phc = p.launch_time - phc_->read();
+  if (remaining_phc > 0) {
+    arm_launch(slot, remaining_phc);
+    return;
+  }
+  FrameRef frame = std::move(p.frame);
+  TxCallback cb = std::move(p.cb);
+  etf_free_.push_back(slot);
+  launch_now(frame, cb);
+}
+
+void Port::transmit(FrameRef frame, TxOptions opts) {
   if (!opts.launch_time || phc_ == nullptr) {
     launch_now(frame, opts.on_complete);
     return;
@@ -61,9 +84,9 @@ void Port::transmit(EthernetFrame frame, TxOptions opts) {
   schedule_launch(std::move(frame), lt, std::move(opts.on_complete));
 }
 
-void Port::deliver(const EthernetFrame& frame, std::int64_t serialization_ns) {
+void Port::deliver(const FrameRef& frame, std::int64_t serialization_ns) {
   if (!up_ || sink_ == nullptr) return; // silently dropped, like a downed NIC
-  if (tap_) tap_(frame, /*is_tx=*/false);
+  if (tap_) tap_(*frame, /*is_tx=*/false);
   RxMeta meta;
   meta.true_rx_time = sim_.now();
   if (phc_ != nullptr) {

@@ -5,17 +5,25 @@
 // immediate transmission or an ETF ("earliest txtime first") launch-time
 // queue driven by the port's PHC, modelling the Linux ETF qdisc + the Intel
 // i210 LaunchTime feature the paper uses for synchronous Sync transmission.
+//
+// Frames travel as pooled FrameRefs: a transmit hands the port a shared
+// immutable buffer, every hop downstream (link propagation, switch
+// residence, fan-out) passes the 8-byte reference instead of copying the
+// frame. The EthernetFrame-by-value overloads remain as a convenience shim
+// (tests, cold paths) and wrap the frame into the thread-local pool.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "net/frame.hpp"
+#include "net/frame_pool.hpp"
 #include "sim/simulation.hpp"
 #include "tsn_time/phc_clock.hpp"
+#include "util/inline_fn.hpp"
 
 namespace tsn::net {
 
@@ -36,7 +44,7 @@ struct RxMeta {
 class FrameSink {
  public:
   virtual ~FrameSink() = default;
-  virtual void handle_frame(Port& ingress, const EthernetFrame& frame, const RxMeta& meta) = 0;
+  virtual void handle_frame(Port& ingress, const FrameRef& frame, const RxMeta& meta) = 0;
 };
 
 /// Outcome reported to the transmitter once the frame leaves the port (or
@@ -52,7 +60,9 @@ struct TxReport {
   std::optional<std::int64_t> hw_tx_ts;
 };
 
-using TxCallback = std::function<void(const TxReport&)>;
+/// Completion callbacks ride the event queue, so they use the same inline
+/// no-allocation storage as event closures (move-only as a consequence).
+using TxCallback = util::InlineFunction<void(const TxReport&), 48>;
 
 struct TxOptions {
   /// ETF launch time in the port's PHC timebase; nullopt = send immediately.
@@ -93,7 +103,11 @@ class Port {
 
   /// Queue a frame for transmission. With a launch time, the frame leaves
   /// when the port PHC reaches it (ETF); otherwise it leaves immediately.
-  void transmit(EthernetFrame frame, TxOptions opts = {});
+  void transmit(FrameRef frame, TxOptions opts = {});
+  /// Convenience overload: wraps the frame into the thread-local pool.
+  void transmit(EthernetFrame frame, TxOptions opts = {}) {
+    transmit(FramePool::local().adopt(std::move(frame)), std::move(opts));
+  }
 
   /// Optional traffic tap (e.g. a pcap tracer): called for every frame the
   /// port actually puts on the wire (direction=true) or fully receives
@@ -104,11 +118,22 @@ class Port {
   /// Called by the Link when a frame fully arrives at this port.
   /// `serialization_ns` is the frame's time on the wire, used to back-date
   /// the HW rx timestamp to the start-of-frame delimiter.
-  void deliver(const EthernetFrame& frame, std::int64_t serialization_ns = 0);
+  void deliver(const FrameRef& frame, std::int64_t serialization_ns = 0);
 
  private:
-  void launch_now(const EthernetFrame& frame, const TxCallback& cb);
-  void schedule_launch(EthernetFrame frame, std::int64_t launch_time, TxCallback cb);
+  void launch_now(const FrameRef& frame, TxCallback& cb);
+  void schedule_launch(FrameRef frame, std::int64_t launch_time, TxCallback cb);
+  void arm_launch(std::uint32_t slot, std::int64_t remaining_phc);
+  void fire_launch(std::uint32_t slot);
+
+  // ETF frames waiting for their launch time live in a small reusable
+  // slab; the scheduled event captures only (this, slot), keeping the
+  // closure well inside EventFn's inline storage.
+  struct PendingLaunch {
+    FrameRef frame;
+    std::int64_t launch_time = 0;
+    TxCallback cb;
+  };
 
   sim::Simulation& sim_;
   std::string name_;
@@ -118,6 +143,8 @@ class Port {
   EtfConfig etf_;
   Tap tap_;
   bool up_ = true;
+  std::vector<PendingLaunch> etf_pending_;
+  std::vector<std::uint32_t> etf_free_;
 };
 
 } // namespace tsn::net

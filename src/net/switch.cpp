@@ -53,41 +53,50 @@ std::int64_t Switch::draw_residence_ns() {
   return std::max<std::int64_t>(d, cfg_.residence_base_ns / 2);
 }
 
-void Switch::forward(std::size_t ingress_idx, const EthernetFrame& frame) {
-  const std::uint16_t vid = frame.vlan ? frame.vlan->vid : 0;
-  std::set<std::size_t> egress;
-  auto it = fdb_.find({vid, frame.dst.to_u64()});
+void Switch::forward_to(std::size_t out_idx, const FrameRef& frame) {
+  const std::int64_t residence = draw_residence_ns();
+  Port* out = ports_[out_idx].get();
+  // Fan-out shares the buffer: one refcount bump per egress port, no copy.
+  sim_.after(residence, [out, frame] {
+    if (out->connected()) out->transmit(frame);
+  });
+}
+
+void Switch::forward(std::size_t ingress_idx, const FrameRef& frame) {
+  const std::uint16_t vid = frame->vlan ? frame->vlan->vid : 0;
+  const std::uint64_t dst = frame->dst.to_u64();
+  auto it = fdb_.find({vid, dst});
   if (it != fdb_.end()) {
-    egress = it->second;
-  } else {
-    if (cfg_.drop_unknown_unicast) return; // strict static forwarding
-    // Unknown destination: flood within the VLAN.
-    for (std::size_t i = 0; i < ports_.size(); ++i) {
-      if (is_member(vid, i)) egress.insert(i);
+    for (std::size_t out_idx : it->second) {
+      if (out_idx == ingress_idx || !is_member(vid, out_idx)) continue;
+      forward_to(out_idx, frame);
     }
+    return;
   }
-  for (std::size_t out_idx : egress) {
+  if (cfg_.drop_unknown_unicast) return; // strict static forwarding
+  // Unknown destination: flood within the VLAN.
+  for (std::size_t out_idx = 0; out_idx < ports_.size(); ++out_idx) {
     if (out_idx == ingress_idx || !is_member(vid, out_idx)) continue;
-    const std::int64_t residence = draw_residence_ns();
-    Port* out = ports_[out_idx].get();
-    sim_.after(residence, [out, frame] {
-      if (out->connected()) out->transmit(frame);
-    });
+    forward_to(out_idx, frame);
   }
 }
 
-void Switch::send_from_port(std::size_t port_idx, EthernetFrame frame, TxOptions opts) {
+void Switch::send_from_port(std::size_t port_idx, FrameRef frame, TxOptions opts) {
   ports_.at(port_idx)->transmit(std::move(frame), std::move(opts));
 }
 
-void Switch::handle_frame(Port& ingress, const EthernetFrame& frame, const RxMeta& meta) {
+void Switch::send_from_port(std::size_t port_idx, EthernetFrame frame, TxOptions opts) {
+  send_from_port(port_idx, FramePool::local().adopt(std::move(frame)), std::move(opts));
+}
+
+void Switch::handle_frame(Port& ingress, const FrameRef& frame, const RxMeta& meta) {
   const std::size_t idx = index_of(ingress);
-  if (frame.ethertype == kEtherTypePtp) {
+  if (frame->ethertype == kEtherTypePtp) {
     // A time-aware bridge terminates PTP (link-local); a PTP-unaware
     // ("dumb") switch without one just forwards the frames -- the setting
     // the plain IEEE 1588 E2E mechanism is designed for.
     if (ptp_sink_) {
-      ptp_sink_(idx, frame, meta);
+      ptp_sink_(idx, *frame, meta);
       return;
     }
   }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/frame.hpp"
+#include "net/frame_pool.hpp"
 #include "net/port.hpp"
 #include "sim/simulation.hpp"
 #include "tsn_time/phc_clock.hpp"
@@ -63,9 +64,10 @@ class Switch : public FrameSink {
 
   /// Originate a frame from one of the switch's ports (used by the
   /// time-aware bridge stack to send its own Sync/Pdelay messages).
+  void send_from_port(std::size_t port_idx, FrameRef frame, TxOptions opts = {});
   void send_from_port(std::size_t port_idx, EthernetFrame frame, TxOptions opts = {});
 
-  void handle_frame(Port& ingress, const EthernetFrame& frame, const RxMeta& meta) override;
+  void handle_frame(Port& ingress, const FrameRef& frame, const RxMeta& meta) override;
 
   /// Residence delay draw (exposed for tests).
   std::int64_t draw_residence_ns();
@@ -73,7 +75,8 @@ class Switch : public FrameSink {
  private:
   std::size_t index_of(const Port& p) const;
   bool is_member(std::uint16_t vid, std::size_t port_idx) const;
-  void forward(std::size_t ingress_idx, const EthernetFrame& frame);
+  void forward(std::size_t ingress_idx, const FrameRef& frame);
+  void forward_to(std::size_t out_idx, const FrameRef& frame);
 
   sim::Simulation& sim_;
   SwitchConfig cfg_;

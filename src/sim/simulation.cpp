@@ -24,32 +24,31 @@ EventHandle Simulation::after(std::int64_t delay_ns, EventFn fn) {
   return queue_.schedule(now_ + delay_ns, std::move(fn));
 }
 
-void Simulation::schedule_periodic(SimTime when, std::int64_t period_ns,
-                                   std::shared_ptr<bool> alive,
-                                   std::shared_ptr<std::function<void(SimTime)>> fn) {
-  queue_.post(when, [this, when, period_ns, alive, fn]() {
-    if (!*alive) return;
-    (*fn)(when);
-    if (*alive) schedule_periodic(when + period_ns, period_ns, alive, fn);
+void Simulation::schedule_periodic(SimTime when, PeriodicHandle::Task* task) {
+  queue_.post(when, [this, when, task]() {
+    if (!task->alive) return;
+    task->fn(when);
+    if (task->alive) schedule_periodic(when + task->period_ns, task);
   });
 }
 
 Simulation::PeriodicHandle Simulation::every(SimTime first, std::int64_t period_ns,
                                              std::function<void(SimTime)> fn) {
   assert(period_ns > 0);
+  periodic_.push_back(std::make_unique<PeriodicHandle::Task>(
+      PeriodicHandle::Task{std::move(fn), period_ns, true}));
   PeriodicHandle handle;
-  handle.alive_ = std::make_shared<bool>(true);
-  schedule_periodic(first, period_ns, handle.alive_,
-                    std::make_shared<std::function<void(SimTime)>>(std::move(fn)));
+  handle.task_ = periodic_.back().get();
+  schedule_periodic(first, handle.task_);
   return handle;
 }
 
 std::uint64_t Simulation::run_until(SimTime limit) {
   std::uint64_t n = 0;
   stop_requested_ = false;
-  while (!queue_.empty() && !stop_requested_) {
-    if (queue_.next_time() > limit) break;
-    auto popped = queue_.try_pop();
+  while (!stop_requested_) {
+    // One ordered lookup per event instead of empty()+next_time()+pop.
+    auto popped = queue_.try_pop_at_or_before(limit);
     if (!popped) break;
     assert(popped->time >= now_);
     now_ = popped->time;

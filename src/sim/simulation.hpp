@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <string_view>
+#include <vector>
 
 #include "sim/event_queue.hpp"
 #include "sim/sim_time.hpp"
@@ -36,16 +37,23 @@ class Simulation {
   EventHandle after(std::int64_t delay_ns, EventFn fn);
 
   /// Schedule `fn` every `period_ns`, first firing at `first`. The callback
-  /// may call EventHandle::cancel() on the returned handle to stop; the
-  /// handle stays valid for the lifetime of the periodic task.
+  /// may call cancel() on the returned handle to stop. Tasks live in a
+  /// slab owned by the Simulation, so each fire re-posts a 24-byte closure
+  /// with no reference-count traffic; like EventHandle, a PeriodicHandle
+  /// must not outlive its Simulation.
   class PeriodicHandle {
    public:
-    void cancel() { if (alive_) *alive_ = false; }
-    bool active() const { return alive_ && *alive_; }
+    void cancel() { if (task_) task_->alive = false; }
+    bool active() const { return task_ && task_->alive; }
 
    private:
     friend class Simulation;
-    std::shared_ptr<bool> alive_;
+    struct Task {
+      std::function<void(SimTime)> fn;
+      std::int64_t period_ns = 0;
+      bool alive = false;
+    };
+    Task* task_ = nullptr;
   };
   PeriodicHandle every(SimTime first, std::int64_t period_ns, std::function<void(SimTime)> fn);
 
@@ -61,12 +69,11 @@ class Simulation {
   EventQueue& queue() { return queue_; }
 
  private:
-  void schedule_periodic(SimTime when, std::int64_t period_ns,
-                         std::shared_ptr<bool> alive,
-                         std::shared_ptr<std::function<void(SimTime)>> fn);
+  void schedule_periodic(SimTime when, PeriodicHandle::Task* task);
 
   SimTime now_ = SimTime::zero();
   EventQueue queue_;
+  std::vector<std::unique_ptr<PeriodicHandle::Task>> periodic_;
   std::uint64_t master_seed_;
   std::uint64_t events_executed_ = 0;
   bool stop_requested_ = false;

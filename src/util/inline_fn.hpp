@@ -1,0 +1,124 @@
+// InlineFunction: a move-only, type-erased callable with fixed inline
+// storage and no heap allocation, ever.
+//
+// std::function's small-object optimisation on libstdc++ only covers 16
+// bytes, so nearly every closure the simulator builds (periodic reposts,
+// frame deliveries, ETF launches) used to heap-allocate on construction
+// and again on every move through the event queue. InlineFunction trades
+// generality for a hard guarantee: the capture either fits the inline
+// buffer or the program does not compile.
+//
+// Contract (enforced by static_assert at every construction site):
+//   - sizeof(callable)  <= Capacity
+//   - alignof(callable) <= alignof(std::max_align_t)
+//   - the callable is nothrow-move-constructible (moves happen inside
+//     the event queue where throwing would corrupt the heap/wheel)
+//
+// Unlike std::function it supports move-only captures (FrameRef,
+// unique_ptr, another InlineFunction), which is what lets the zero-copy
+// frame path thread ownership through scheduled events.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tsn::util {
+
+template <typename Signature, std::size_t Capacity = 64>
+class InlineFunction; // primary left undefined; see the R(Args...) partial.
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  static constexpr std::size_t kCapacity = Capacity;
+
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {} // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) { // NOLINT(google-explicit-constructor)
+    static_assert(sizeof(D) <= Capacity,
+                  "closure capture exceeds InlineFunction inline storage; "
+                  "shrink the capture (e.g. capture an index instead of the "
+                  "object) or raise the Capacity parameter");
+    static_assert(alignof(D) <= alignof(std::max_align_t),
+                  "over-aligned captures are not supported");
+    static_assert(std::is_nothrow_move_constructible_v<D>,
+                  "captures must be nothrow-move-constructible: moves happen "
+                  "inside the event queue where throwing would corrupt it");
+    ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+    ops_ = &kOpsFor<D>;
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept {
+    if (other.ops_) {
+      other.ops_->relocate(other.storage_, storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this == &other) return *this;
+    reset();
+    if (other.ops_) {
+      other.ops_->relocate(other.storage_, storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  InlineFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* src, void* dst) noexcept; // move-construct + destroy src
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static constexpr Ops kOpsFor{
+      [](void* s, Args&&... args) -> R {
+        return (*static_cast<D*>(s))(std::forward<Args>(args)...);
+      },
+      [](void* src, void* dst) noexcept {
+        D* from = static_cast<D*>(src);
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* s) noexcept { static_cast<D*>(s)->~D(); },
+  };
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+};
+
+} // namespace tsn::util

@@ -1,0 +1,149 @@
+// MessageTemplate must produce byte-identical images to the generic
+// serializer for every patchable field combination: the templates ARE the
+// wire encoder on the hot path, so any offset drift would silently corrupt
+// PDUs.
+#include "gptp/msg_template.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gptp/messages.hpp"
+
+namespace tsn::gptp {
+namespace {
+
+PortIdentity port_id(std::uint64_t clock, std::uint16_t port) {
+  return PortIdentity{ClockIdentity::from_u64(clock), port};
+}
+
+std::vector<std::uint8_t> image_of(const MessageTemplate& tpl) {
+  return std::vector<std::uint8_t>(tpl.data(), tpl.data() + tpl.size());
+}
+
+TEST(MsgTemplateTest, SyncMatchesSerializer) {
+  SyncMessage proto;
+  proto.header.type = MessageType::kSync;
+  proto.header.domain = 3;
+  proto.header.two_step = true;
+  proto.header.source_port = port_id(0xAABB, 1);
+  proto.header.log_message_interval = -3;
+  MessageTemplate tpl{Message{proto}};
+
+  proto.header.sequence_id = 0x1234;
+  tpl.set_sequence_id(0x1234);
+  EXPECT_EQ(image_of(tpl), serialize(Message{proto}));
+}
+
+TEST(MsgTemplateTest, FollowUpMatchesSerializerForEveryPatchedField) {
+  FollowUpMessage proto;
+  proto.header.type = MessageType::kFollowUp;
+  proto.header.domain = 1;
+  proto.header.source_port = port_id(0xCC01, 2);
+  proto.header.log_message_interval = -3;
+  MessageTemplate tpl{Message{proto}};
+
+  proto.header.sequence_id = 77;
+  tpl.set_sequence_id(77);
+  proto.header.correction_scaled = scaled_ns::from_ns(12345.5);
+  tpl.set_correction_scaled(proto.header.correction_scaled);
+  proto.header.domain = 5;
+  tpl.set_domain(5);
+  proto.header.log_message_interval = -2;
+  tpl.set_log_message_interval(-2);
+  proto.header.source_port = port_id(0xDD02, 4);
+  tpl.set_source_port(proto.header.source_port);
+  proto.precise_origin = Timestamp::from_ns(987'654'321'012LL);
+  tpl.set_body_timestamp(proto.precise_origin);
+  proto.cumulative_scaled_rate_offset = rate_offset::from_ratio(1.0000421);
+  tpl.set_cumulative_scaled_rate_offset(proto.cumulative_scaled_rate_offset);
+  proto.gm_time_base_indicator = 0xBEEF;
+  tpl.set_gm_time_base_indicator(0xBEEF);
+  proto.scaled_last_gm_freq_change = -123456;
+  tpl.set_scaled_last_gm_freq_change(-123456);
+  EXPECT_EQ(image_of(tpl), serialize(Message{proto}));
+}
+
+TEST(MsgTemplateTest, PdelayTrioMatchesSerializer) {
+  const PortIdentity self = port_id(0xFACE, 1);
+  const PortIdentity requester = port_id(0xB0B0, 9);
+
+  PdelayReqMessage req;
+  req.header.type = MessageType::kPdelayReq;
+  req.header.source_port = self;
+  MessageTemplate req_tpl{Message{req}};
+  req.header.sequence_id = 42;
+  req_tpl.set_sequence_id(42);
+  EXPECT_EQ(image_of(req_tpl), serialize(Message{req}));
+
+  PdelayRespMessage resp;
+  resp.header.type = MessageType::kPdelayResp;
+  resp.header.two_step = true;
+  resp.header.source_port = self;
+  MessageTemplate resp_tpl{Message{resp}};
+  resp.header.sequence_id = 42;
+  resp_tpl.set_sequence_id(42);
+  resp.request_receipt = Timestamp::from_ns(1'000'000'555LL);
+  resp_tpl.set_body_timestamp(resp.request_receipt);
+  resp.requesting_port = requester;
+  resp_tpl.set_requesting_port(requester);
+  EXPECT_EQ(image_of(resp_tpl), serialize(Message{resp}));
+
+  PdelayRespFollowUpMessage fup;
+  fup.header.type = MessageType::kPdelayRespFollowUp;
+  fup.header.source_port = self;
+  MessageTemplate fup_tpl{Message{fup}};
+  fup.header.sequence_id = 42;
+  fup_tpl.set_sequence_id(42);
+  fup.response_origin = Timestamp::from_ns(1'000'001'777LL);
+  fup_tpl.set_body_timestamp(fup.response_origin);
+  fup.requesting_port = requester;
+  fup_tpl.set_requesting_port(requester);
+  EXPECT_EQ(image_of(fup_tpl), serialize(Message{fup}));
+}
+
+TEST(MsgTemplateTest, DelayReqRespMatchSerializer) {
+  DelayReqMessage req;
+  req.header.type = MessageType::kDelayReq;
+  req.header.domain = 2;
+  req.header.source_port = port_id(0x1111, 1);
+  MessageTemplate req_tpl{Message{req}};
+  req.header.sequence_id = 9;
+  req_tpl.set_sequence_id(9);
+  EXPECT_EQ(image_of(req_tpl), serialize(Message{req}));
+
+  DelayRespMessage resp;
+  resp.header.type = MessageType::kDelayResp;
+  resp.header.domain = 2;
+  resp.header.source_port = port_id(0x2222, 1);
+  MessageTemplate resp_tpl{Message{resp}};
+  resp.header.sequence_id = 9;
+  resp_tpl.set_sequence_id(9);
+  resp.receive_timestamp = Timestamp::from_ns(444'555'666LL);
+  resp_tpl.set_body_timestamp(resp.receive_timestamp);
+  resp.requesting_port = port_id(0x1111, 1);
+  resp_tpl.set_requesting_port(resp.requesting_port);
+  EXPECT_EQ(image_of(resp_tpl), serialize(Message{resp}));
+}
+
+TEST(MsgTemplateTest, PatchedFramesRoundTripThroughParse) {
+  FollowUpMessage proto;
+  proto.header.type = MessageType::kFollowUp;
+  proto.header.domain = 7;
+  proto.header.source_port = port_id(0xABCD, 3);
+  MessageTemplate tpl{Message{proto}};
+  tpl.set_sequence_id(1000);
+  tpl.set_body_timestamp(Timestamp::from_ns(123'456'789LL));
+
+  net::FrameRef frame = make_ptp_frame(tpl);
+  EXPECT_EQ(frame->dst, net::MacAddress::gptp_multicast());
+  EXPECT_EQ(frame->ethertype, net::kEtherTypePtp);
+  const auto msg = parse(frame->payload);
+  ASSERT_TRUE(msg.has_value());
+  const auto* fup = std::get_if<FollowUpMessage>(&*msg);
+  ASSERT_NE(fup, nullptr);
+  EXPECT_EQ(fup->header.sequence_id, 1000);
+  EXPECT_EQ(fup->header.domain, 7);
+  EXPECT_EQ(fup->precise_origin.to_ns(), 123'456'789LL);
+}
+
+} // namespace
+} // namespace tsn::gptp

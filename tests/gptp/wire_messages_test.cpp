@@ -204,7 +204,7 @@ TEST(MessagesTest, TruncatedInputRejected) {
 }
 
 TEST(MessagesTest, EmptyAndGarbageRejected) {
-  EXPECT_FALSE(parse({}).has_value());
+  EXPECT_FALSE(parse(std::vector<std::uint8_t>{}).has_value());
   EXPECT_FALSE(parse(std::vector<std::uint8_t>(44, 0xFF)).has_value());
 }
 

@@ -1,0 +1,130 @@
+#include "net/frame_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tsn::net {
+namespace {
+
+TEST(FramePoolTest, AcquireGivesPristineSoleReference) {
+  FramePool pool;
+  FrameRef f = pool.acquire();
+  ASSERT_TRUE(f);
+  EXPECT_EQ(f.use_count(), 1u);
+  EXPECT_TRUE(f->payload.empty());
+  EXPECT_FALSE(f->vlan.has_value());
+  EXPECT_EQ(pool.stats().acquired, 1u);
+  EXPECT_EQ(pool.stats().in_use, 1u);
+  EXPECT_EQ(pool.stats().buffers, FramePool::kChunk);
+}
+
+TEST(FramePoolTest, ReleaseRecyclesBufferNoNewAllocation) {
+  FramePool pool;
+  const EthernetFrame* addr;
+  {
+    FrameRef f = pool.acquire();
+    addr = &*f;
+  }
+  EXPECT_EQ(pool.stats().released, 1u);
+  EXPECT_EQ(pool.stats().in_use, 0u);
+  FrameRef g = pool.acquire();
+  // Free-list recycling: the same buffer comes back, no growth step.
+  EXPECT_EQ(&*g, addr);
+  EXPECT_EQ(pool.stats().chunks, 1u);
+}
+
+TEST(FramePoolTest, GrowsByChunkWhenExhausted) {
+  FramePool pool;
+  std::vector<FrameRef> live;
+  for (std::size_t i = 0; i < FramePool::kChunk + 1; ++i) {
+    live.push_back(pool.acquire());
+  }
+  EXPECT_EQ(pool.stats().chunks, 2u);
+  EXPECT_EQ(pool.stats().buffers, 2 * FramePool::kChunk);
+  EXPECT_EQ(pool.stats().in_use, FramePool::kChunk + 1);
+  EXPECT_EQ(pool.stats().high_water, FramePool::kChunk + 1);
+  // All buffers are distinct objects.
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    for (std::size_t j = i + 1; j < live.size(); ++j) {
+      EXPECT_NE(&*live[i], &*live[j]);
+    }
+  }
+  live.clear();
+  EXPECT_EQ(pool.stats().in_use, 0u);
+  EXPECT_EQ(pool.stats().released, FramePool::kChunk + 1);
+}
+
+TEST(FramePoolTest, RefcountUnderMulticastFanout) {
+  // A switch fanning one frame out to N egress ports copies the FrameRef N
+  // times; the payload bytes must be shared, not duplicated, and the buffer
+  // must only return to the pool when the last port drops it.
+  FramePool pool;
+  FrameRef original = pool.acquire();
+  original.writable().payload = {1, 2, 3, 4};
+  const std::uint8_t* bytes = original->payload.data();
+
+  std::vector<FrameRef> ports(8, original);
+  EXPECT_EQ(original.use_count(), 9u);
+  for (const FrameRef& p : ports) {
+    EXPECT_EQ(p->payload.data(), bytes); // zero-copy: same storage
+  }
+  ports.clear();
+  EXPECT_EQ(original.use_count(), 1u);
+  EXPECT_EQ(pool.stats().released, 0u);
+  original.reset();
+  EXPECT_EQ(pool.stats().released, 1u);
+  EXPECT_EQ(pool.stats().in_use, 0u);
+}
+
+TEST(FramePoolTest, MoveDoesNotTouchRefcount) {
+  FramePool pool;
+  FrameRef a = pool.acquire();
+  FrameRef b = std::move(a);
+  EXPECT_FALSE(a); // NOLINT(bugprone-use-after-move) — moved-from is empty
+  EXPECT_EQ(b.use_count(), 1u);
+  EXPECT_EQ(pool.stats().released, 0u);
+}
+
+TEST(FramePoolTest, AdoptPreservesFrameContents) {
+  FramePool pool;
+  EthernetFrame f;
+  f.ethertype = kEtherTypePtp;
+  f.payload = {9, 8, 7};
+  FrameRef r = pool.adopt(std::move(f));
+  EXPECT_EQ(r->ethertype, kEtherTypePtp);
+  EXPECT_EQ(r->payload, (std::vector<std::uint8_t>{9, 8, 7}));
+  EXPECT_EQ(r.use_count(), 1u);
+}
+
+TEST(FramePoolTest, RecycledBufferIsPristineEvenAfterHeapSpill) {
+  FramePool pool;
+  const EthernetFrame* addr;
+  {
+    FrameRef f = pool.acquire();
+    EthernetFrame& w = f.writable();
+    w.vlan = VlanTag{5, 3};
+    w.payload.resize(3 * Payload::kInlineCapacity); // force heap spill
+    EXPECT_TRUE(w.payload.is_heap());
+    addr = &*f;
+  }
+  FrameRef g = pool.acquire();
+  ASSERT_EQ(&*g, addr);
+  // The recycled frame is back at its default, inline-storage state.
+  EXPECT_TRUE(g->payload.empty());
+  EXPECT_FALSE(g->payload.is_heap());
+  EXPECT_FALSE(g->vlan.has_value());
+  EXPECT_EQ(g->ethertype, 0);
+}
+
+TEST(FramePoolTest, LocalPoolIsPerThreadSingleton) {
+  FramePool& a = FramePool::local();
+  FramePool& b = FramePool::local();
+  EXPECT_EQ(&a, &b);
+  const std::uint64_t before = a.stats().acquired;
+  { FrameRef f = a.acquire(); }
+  EXPECT_EQ(a.stats().acquired, before + 1);
+}
+
+} // namespace
+} // namespace tsn::net

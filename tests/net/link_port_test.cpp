@@ -136,7 +136,7 @@ TEST(NicTest, TxTimestampDelivered) {
     ASSERT_EQ(r.status, TxReport::Status::kSent);
     tx_ts = r.hw_tx_ts;
   };
-  t.sim.at(SimTime(1_s), [&] { t.a.send(frame_to(t.b.mac()), opts); });
+  t.sim.at(SimTime(1_s), [&] { t.a.send(frame_to(t.b.mac()), std::move(opts)); });
   t.sim.run_until(SimTime(2_s));
   ASSERT_TRUE(tx_ts.has_value());
   EXPECT_NEAR(static_cast<double>(*tx_ts), 1e9, 2.0);
@@ -161,7 +161,7 @@ TEST(EtfTest, LaunchTimeHonored) {
   });
   TxOptions opts;
   opts.launch_time = 100'000; // PHC time == true time for the quiet model
-  t.a.send(frame_to(t.b.mac()), opts);
+  t.a.send(frame_to(t.b.mac()), std::move(opts));
   t.sim.run_until(SimTime(1_ms));
   EXPECT_NEAR(static_cast<double>(rx_time), 100'000 + 672 + 500, 3.0);
 }
@@ -175,7 +175,7 @@ TEST(EtfTest, PastLaunchTimeIsDeadlineMiss) {
   opts.on_complete = [&](const TxReport& r) {
     missed = (r.status == TxReport::Status::kDeadlineMissed);
   };
-  t.a.send(frame_to(t.b.mac()), opts);
+  t.a.send(frame_to(t.b.mac()), std::move(opts));
   EXPECT_TRUE(missed);
 }
 
@@ -187,7 +187,7 @@ TEST(EtfTest, FarFutureLaunchTimeInvalid) {
   opts.on_complete = [&](const TxReport& r) {
     invalid = (r.status == TxReport::Status::kInvalidLaunch);
   };
-  t.a.send(frame_to(t.b.mac()), opts);
+  t.a.send(frame_to(t.b.mac()), std::move(opts));
   EXPECT_TRUE(invalid);
 }
 
@@ -207,7 +207,7 @@ TEST(EtfTest, LaunchTimeTracksDriftingPhc) {
   });
   TxOptions opts;
   opts.launch_time = 100'000'000; // 100 ms on a's PHC
-  a.send(frame_to(b.mac()), opts);
+  a.send(frame_to(b.mac()), std::move(opts));
   sim.run_until(SimTime(1_s));
   ASSERT_GT(rx_time, 0);
   const std::int64_t launch_true = rx_time - 672 - 0;

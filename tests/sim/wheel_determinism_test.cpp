@@ -1,0 +1,202 @@
+// The timing-wheel front-end must be observationally identical to a plain
+// (time, insertion-seq) priority queue: same pop order for any interleaving
+// of schedules, posts, cancels and pops, across every internal boundary
+// (level-0/1/2 buckets, the heap spill, and the staged behind-cursor list).
+// The sweep byte-identity contract rides on this.
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace tsn::sim {
+namespace {
+
+constexpr std::int64_t kL0 = 1ll << 12; // level-0 bucket span (ns)
+constexpr std::int64_t kL1 = 1ll << 21; // level-1 bucket span
+constexpr std::int64_t kL2 = 1ll << 30; // level-2 bucket span
+
+// Regression: an activation that ends exactly on a level-1 bucket boundary
+// rolls the cursor into the next bucket without cascading it; the scan then
+// started past the cursor's own bucket and stranded its entries forever.
+TEST(WheelDeterminismTest, EventSurvivesCursorRollAcrossL1Boundary) {
+  EventQueue q;
+  std::vector<int> order;
+  // Last level-0 bucket of level-1 bucket 0, then level-1 bucket 1.
+  q.schedule(SimTime(kL1 - 100), [&] { order.push_back(1); });
+  q.schedule(SimTime(kL1 + 5000), [&] { order.push_back(2); });
+  while (auto e = q.try_pop()) e->fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WheelDeterminismTest, EventSurvivesCursorRollAcrossL2Boundary) {
+  EventQueue q;
+  std::vector<int> order;
+  // Last level-0 bucket of the last level-1 bucket of level-2 bucket 0,
+  // then level-2 bucket 1.
+  q.schedule(SimTime(kL2 - 100), [&] { order.push_back(1); });
+  q.schedule(SimTime(kL2 + 5000), [&] { order.push_back(2); });
+  while (auto e = q.try_pop()) e->fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WheelDeterminismTest, PeriodicSurvivesEveryBucketBoundary) {
+  // A reschedule-on-fire periodic whose period forces the cursor across
+  // every level-0 boundary alignment, including exact L1/L2 roll-overs.
+  EventQueue q;
+  std::int64_t fires = 0;
+  std::int64_t t = 0;
+  const std::int64_t period = kL0 - 1; // drifts through all alignments
+  struct Tick {
+    EventQueue* q;
+    std::int64_t* fires;
+    std::int64_t* t;
+    std::int64_t period;
+    void operator()() const {
+      ++*fires;
+      *t += period;
+      if (*fires < 3000) {
+        auto self = *this;
+        q->post(SimTime(*t), EventFn(self));
+      }
+    }
+  };
+  q.post(SimTime(t), EventFn(Tick{&q, &fires, &t, period}));
+  while (auto e = q.try_pop()) e->fn();
+  EXPECT_EQ(fires, 3000);
+}
+
+// Randomized differential test against a brute-force reference model.
+TEST(WheelDeterminismTest, MatchesReferenceModelUnderRandomLoad) {
+  struct RefEv {
+    std::int64_t time;
+    std::uint64_t seq;
+    int id;
+    bool cancelled = false;
+  };
+
+  std::mt19937_64 rng(0xC0FFEE);
+  EventQueue q;
+  std::vector<RefEv> ref;
+  std::vector<std::pair<int, EventHandle>> handles;
+  std::vector<int> popped;
+  std::vector<int> expected;
+  std::uint64_t seq = 0;
+  int next_id = 0;
+  std::int64_t now = 0;
+
+  auto ref_min = [&]() -> RefEv* {
+    RefEv* best = nullptr;
+    for (auto& e : ref) {
+      if (e.cancelled) continue;
+      if (!best || e.time < best->time ||
+          (e.time == best->time && e.seq < best->seq)) {
+        best = &e;
+      }
+    }
+    return best;
+  };
+
+  auto random_time = [&]() -> std::int64_t {
+    // Mix of near-cursor (staged / level-0), mid-range (level-1/2) and
+    // beyond-horizon (heap spill) targets, all >= the last popped time.
+    switch (rng() % 6) {
+      case 0: return now;                                        // tie / staged
+      case 1: return now + static_cast<std::int64_t>(rng() % kL0);
+      case 2: return now + static_cast<std::int64_t>(rng() % kL1);
+      case 3: return now + static_cast<std::int64_t>(rng() % kL2);
+      case 4: return now + static_cast<std::int64_t>(rng() % (400ll * kL2));
+      default: // exact bucket boundaries, the historical failure mode
+        return (now / kL1 + 1 + static_cast<std::int64_t>(rng() % 3)) * kL1 -
+               static_cast<std::int64_t>(rng() % 2);
+    }
+  };
+
+  for (int op = 0; op < 6000; ++op) {
+    const std::uint64_t r = rng() % 10;
+    if (r < 5) {
+      const std::int64_t t = random_time();
+      const int id = next_id++;
+      if (rng() % 3 == 0) {
+        q.post(SimTime(t), [&popped, id] { popped.push_back(id); });
+      } else {
+        handles.emplace_back(
+            id, q.schedule(SimTime(t), [&popped, id] { popped.push_back(id); }));
+      }
+      ref.push_back(RefEv{t, seq++, id});
+    } else if (r < 6 && !handles.empty()) {
+      const std::size_t k = rng() % handles.size();
+      handles[k].second.cancel();
+      for (auto& e : ref) {
+        if (e.id == handles[k].first) e.cancelled = true;
+      }
+      handles.erase(handles.begin() + static_cast<std::ptrdiff_t>(k));
+    } else {
+      RefEv* want = ref_min();
+      auto got = q.try_pop();
+      ASSERT_EQ(got.has_value(), want != nullptr) << "op " << op;
+      if (!got) continue;
+      got->fn();
+      ASSERT_EQ(got->time.ns(), want->time) << "op " << op;
+      ASSERT_EQ(popped.back(), want->id) << "op " << op;
+      expected.push_back(want->id);
+      now = want->time;
+      want->cancelled = true; // consumed
+    }
+  }
+  // Drain both to the end.
+  while (RefEv* want = ref_min()) {
+    auto got = q.try_pop();
+    ASSERT_TRUE(got.has_value());
+    got->fn();
+    ASSERT_EQ(got->time.ns(), want->time);
+    ASSERT_EQ(popped.back(), want->id);
+    expected.push_back(want->id);
+    want->cancelled = true;
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(popped, expected);
+}
+
+TEST(WheelDeterminismTest, PurgeDeadReclaimsCancelledHeads) {
+  EventQueue q;
+  // Cancelled entries at the heap front and in the activated window are
+  // reclaimed eagerly by purge_dead() without firing anything.
+  auto far = q.schedule(SimTime(600ll * kL2), [] {});  // heap spill
+  auto near = q.schedule(SimTime(10), [] {});
+  q.schedule(SimTime(20), [] {});
+  near.cancel();
+  far.cancel();
+  q.purge_dead();
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.live_size(), 1u);
+  auto e = q.try_pop();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->time, SimTime(20));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WheelDeterminismTest, TryPopAtOrBeforeRespectsLimit) {
+  EventQueue q;
+  q.schedule(SimTime(100), [] {});
+  q.schedule(SimTime(kL1 + 100), [] {});
+  EXPECT_FALSE(q.try_pop_at_or_before(SimTime(99)).has_value());
+  auto a = q.try_pop_at_or_before(SimTime(100));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->time, SimTime(100));
+  // The limit must not pop the far event early...
+  EXPECT_FALSE(q.try_pop_at_or_before(SimTime(kL1)).has_value());
+  // ...and the refusal must not have lost it.
+  auto b = q.try_pop_at_or_before(SimTime(kL1 + 100));
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->time, SimTime(kL1 + 100));
+}
+
+} // namespace
+} // namespace tsn::sim

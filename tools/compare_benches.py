@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files benchmark-by-benchmark.
+
+Usage:
+    tools/compare_benches.py BASELINE.json CANDIDATE.json [--threshold PCT]
+
+Prints a per-benchmark table of real-time deltas (positive = candidate is
+slower). Exits non-zero when any benchmark regressed by more than
+--threshold percent (default 10), so CI can flag perf drift; benchmarks
+present in only one file are reported but never fail the comparison.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        # Aggregate runs (mean/median/stddev) would double-count; keep the
+        # plain iteration entries only.
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        out[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="fail when any benchmark is more than PCT%% slower (default 10)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    names = sorted(set(base) | set(cand))
+    width = max((len(n) for n in names), default=4)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'candidate':>12}  {'delta':>8}")
+
+    regressions = []
+    for name in names:
+        if name not in base:
+            print(f"{name:<{width}}  {'-':>12}  {cand[name][0]:>12.1f}  {'new':>8}")
+            continue
+        if name not in cand:
+            print(f"{name:<{width}}  {base[name][0]:>12.1f}  {'-':>12}  {'gone':>8}")
+            continue
+        b, bu = base[name]
+        c, cu = cand[name]
+        if bu != cu:
+            print(f"{name:<{width}}  unit mismatch ({bu} vs {cu})", file=sys.stderr)
+            regressions.append((name, float("inf")))
+            continue
+        delta = (c - b) / b * 100.0 if b else 0.0
+        print(f"{name:<{width}}  {b:>12.1f}  {c:>12.1f}  {delta:>+7.1f}%")
+        if delta > args.threshold:
+            regressions.append((name, delta))
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed more than "
+            f"{args.threshold:.1f}%:",
+            file=sys.stderr,
+        )
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1f}%", file=sys.stderr)
+        return 1
+    print(f"\nno regression beyond {args.threshold:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,16 +2,40 @@
 # Run the google-benchmark microbenchmarks and record BENCH_micro.json at
 # the repo root (the baseline perf PRs diff against).
 #
-# Usage: tools/run_benches.sh [build-dir]
+# Recording is Release-only: numbers from Debug / unspecified builds are
+# dominated by assertion and iterator overhead and would poison the
+# baseline. Pass --allow-non-release to run anyway (results are NOT
+# written to BENCH_micro.json in that case, only printed).
+#
+# Usage: tools/run_benches.sh [--allow-non-release] [build-dir]
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
+
+allow_non_release=0
+if [ "${1:-}" = "--allow-non-release" ]; then
+  allow_non_release=1
+  shift
+fi
 build_dir=${1:-"$repo_root/build"}
 
 if [ ! -x "$build_dir/bench/micro_benchmarks" ]; then
   echo "building micro_benchmarks in $build_dir..."
   cmake -S "$repo_root" -B "$build_dir" >/dev/null
   cmake --build "$build_dir" --target micro_benchmarks -j >/dev/null
+fi
+
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt" 2>/dev/null || true)
+if [ "$build_type" != "Release" ]; then
+  echo "warning: $build_dir is CMAKE_BUILD_TYPE='${build_type:-<unset>}', not Release." >&2
+  if [ "$allow_non_release" -ne 1 ]; then
+    echo "refusing to record BENCH_micro.json from a non-Release build." >&2
+    echo "configure with -DCMAKE_BUILD_TYPE=Release, or pass --allow-non-release" >&2
+    echo "to run without recording." >&2
+    exit 1
+  fi
+  echo "running without recording (--allow-non-release)." >&2
+  exec "$build_dir/bench/micro_benchmarks"
 fi
 
 "$build_dir/bench/micro_benchmarks" \
