@@ -1,0 +1,353 @@
+#include "check/fuzz.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "experiments/harness.hpp"
+#include "sweep/sweep_runner.hpp"
+#include "util/rng.hpp"
+#include "util/str.hpp"
+
+namespace tsn::check {
+
+namespace {
+
+/// Odd nanosecond values never collide with the 125 ms periodic grid
+/// (monitor ticks, sync intervals), so replay-mode kills land at unique
+/// event-queue timestamps and the randomized and scripted runs order
+/// identically.
+std::int64_t odd_ns(std::int64_t v) { return v | 1; }
+
+} // namespace
+
+FuzzCase derive_case(std::uint64_t master_seed, std::uint64_t index, std::int64_t duration_ns) {
+  util::RngStream rng(master_seed, util::format("fuzz-case-%llu", (unsigned long long)index));
+
+  FuzzCase c;
+  c.master_seed = master_seed;
+  c.index = index;
+  c.duration_ns = duration_ns;
+
+  experiments::ScenarioConfig& s = c.scenario;
+  s.seed = rng.engine()();
+
+  // Topology: f = 1 with N in [4, 6] most of the time; occasionally the
+  // f = 2 configuration, which needs N = 7 (the FTA requires N > 3f).
+  if (rng.chance(0.2)) {
+    s.fta_f = 2;
+    s.num_ecds = 7;
+  } else {
+    s.fta_f = 1;
+    s.num_ecds = static_cast<std::size_t>(rng.uniform_int(4, 6));
+  }
+  s.gm_kernels.assign(s.num_ecds, "4.19.1");
+
+  // Clock and network randomization. Drift is capped at 12 ppm so Gamma =
+  // 2 * rmax * S stays <= 3 us and the analytic bound Pi stays clear of
+  // the 10 us validity threshold -- beyond that, losing quorum is the
+  // *correct* behavior and every case would "fail" by design.
+  s.max_drift_ppm = rng.uniform(2.0, 12.0);
+  s.wander_sigma_ppm = rng.uniform(0.001, 0.004);
+  s.nic_ts_jitter_ns = rng.uniform(4.0, 40.0);
+  s.initial_phase_range_ns = rng.uniform(10'000.0, 100'000.0);
+  s.host_link_jitter_ns = rng.uniform(5.0, 40.0);
+  s.mesh_link_jitter_ns = rng.uniform(20.0, 120.0);
+  s.switch_residence_jitter_ns = rng.uniform(40.0, 200.0);
+
+  // Fault profile: aggressive enough that a two-minute window sees several
+  // GM fail-overs and standby losses, spaced so the warm-reboot
+  // reconvergence window (~20 s) fits between kills of the same node.
+  faults::InjectorConfig& inj = c.injector;
+  inj.gm_kill_period_ns = odd_ns(rng.uniform_int(12'000'000'000LL, 30'000'000'000LL));
+  inj.gm_downtime_ns = odd_ns(rng.uniform_int(5'000'000'000LL, 20'000'000'000LL));
+  inj.standby_kills_per_hour = rng.uniform(20.0, 90.0);
+  inj.standby_min_gap_ns = odd_ns(rng.uniform_int(8'000'000'000LL, 20'000'000'000LL));
+  inj.standby_downtime_ns = odd_ns(rng.uniform_int(5'000'000'000LL, 20'000'000'000LL));
+  return c;
+}
+
+CaseResult run_case(const FuzzCase& c) {
+  CaseResult out;
+  out.index = c.index;
+  out.case_seed = c.scenario.seed;
+  try {
+    experiments::Scenario scenario(c.scenario);
+    experiments::ExperimentHarness harness(scenario);
+    harness.bring_up();
+    out.brought_up = true;
+    const auto cal = harness.calibrate();
+    out.bound_ns = cal.bound.pi_ns;
+
+    InvariantSuite suite(scenario);
+    SuiteParams sp;
+    sp.bound_ns = cal.bound.pi_ns;
+    suite.add_default_invariants(sp);
+
+    faults::FaultInjector injector(scenario.sim(), scenario.ecd_ptrs(), c.injector);
+    suite.observe(injector);
+    suite.arm();
+    if (!c.replay.empty()) {
+      injector.run(c.replay);
+    } else {
+      injector.start();
+    }
+
+    const std::int64_t t0 = scenario.sim().now().ns();
+    scenario.sim().run_until(sim::SimTime(t0 + c.duration_ns));
+    suite.finalize();
+
+    out.summary = suite.summary();
+    out.violations = suite.violations();
+    out.injector_stats = injector.stats();
+    out.events = injector.events();
+  } catch (const std::exception& e) {
+    out.summary = util::format("bringup-failed: %s", e.what());
+  }
+  return out;
+}
+
+CampaignResult run_campaign(const CampaignConfig& cfg) {
+  sweep::SweepRunner runner({.threads = cfg.threads});
+  CampaignResult out;
+  out.cases = runner.run_indexed(cfg.num_cases, [&cfg](std::size_t i) {
+    return run_case(derive_case(cfg.master_seed, i, cfg.duration_ns));
+  });
+  for (const CaseResult& r : out.cases) {
+    if (r.failed()) ++out.failures;
+  }
+  return out;
+}
+
+std::string CampaignResult::summary_text() const {
+  std::string out;
+  for (const CaseResult& r : cases) {
+    out += util::format("case %llu seed=%llu kills=%llu %s\n", (unsigned long long)r.index,
+                        (unsigned long long)r.case_seed,
+                        (unsigned long long)r.injector_stats.total_kills, r.summary.c_str());
+  }
+  out += util::format("campaign: %zu cases, %zu failing\n", cases.size(), failures);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Replay files.
+
+namespace {
+
+const char* method_name(core::AggregationMethod m) {
+  switch (m) {
+    case core::AggregationMethod::kMedian: return "median";
+    case core::AggregationMethod::kMean: return "mean";
+    case core::AggregationMethod::kFta: break;
+  }
+  return "fta";
+}
+
+core::AggregationMethod parse_method(const std::string& name) {
+  if (name == "median") return core::AggregationMethod::kMedian;
+  if (name == "mean") return core::AggregationMethod::kMean;
+  if (name == "fta") return core::AggregationMethod::kFta;
+  throw std::runtime_error("replay: unknown aggregation '" + name + "'");
+}
+
+} // namespace
+
+std::string replay_to_text(const FuzzCase& c) {
+  const experiments::ScenarioConfig& s = c.scenario;
+  const faults::InjectorConfig& inj = c.injector;
+  std::string out = "# tsnfta_fuzz replay -- self-contained failing (or corpus) case\n";
+  out += util::format("master_seed=%llu\n", (unsigned long long)c.master_seed);
+  out += util::format("index=%llu\n", (unsigned long long)c.index);
+  out += util::format("duration_ns=%lld\n", (long long)c.duration_ns);
+  out += util::format("seed=%llu\n", (unsigned long long)s.seed);
+  out += util::format("num_ecds=%zu\n", s.num_ecds);
+  out += util::format("fta_f=%d\n", s.fta_f);
+  out += util::format("aggregation=%s\n", method_name(s.aggregation));
+  out += util::format("max_drift_ppm=%.17g\n", s.max_drift_ppm);
+  out += util::format("wander_sigma_ppm=%.17g\n", s.wander_sigma_ppm);
+  out += util::format("nic_ts_jitter_ns=%.17g\n", s.nic_ts_jitter_ns);
+  out += util::format("initial_phase_range_ns=%.17g\n", s.initial_phase_range_ns);
+  out += util::format("host_link_delay_ns=%lld\n", (long long)s.host_link_delay_ns);
+  out += util::format("host_link_jitter_ns=%.17g\n", s.host_link_jitter_ns);
+  out += util::format("mesh_link_delay_ns=%lld\n", (long long)s.mesh_link_delay_ns);
+  out += util::format("mesh_link_jitter_ns=%.17g\n", s.mesh_link_jitter_ns);
+  out += util::format("switch_residence_ns=%lld\n", (long long)s.switch_residence_ns);
+  out += util::format("switch_residence_jitter_ns=%.17g\n", s.switch_residence_jitter_ns);
+  out += util::format("sync_interval_ns=%lld\n", (long long)s.sync_interval_ns);
+  out += util::format("validity_threshold_ns=%.17g\n", s.validity_threshold_ns);
+  out += util::format("startup_threshold_ns=%.17g\n", s.startup_threshold_ns);
+  out += util::format("startup_consecutive=%d\n", s.startup_consecutive);
+  out += util::format("synctime_period_ns=%lld\n", (long long)s.synctime_period_ns);
+  out += util::format("synctime_feed_forward=%d\n", s.synctime_feed_forward ? 1 : 0);
+  out += util::format("gm_mutual_sync=%d\n", s.gm_mutual_sync ? 1 : 0);
+  out += util::format("measurement_ecd=%zu\n", s.measurement_ecd);
+  out += util::format("gm_kill_period_ns=%lld\n", (long long)inj.gm_kill_period_ns);
+  out += util::format("gm_downtime_ns=%lld\n", (long long)inj.gm_downtime_ns);
+  out += util::format("standby_kills_per_hour=%.17g\n", inj.standby_kills_per_hour);
+  out += util::format("standby_min_gap_ns=%lld\n", (long long)inj.standby_min_gap_ns);
+  out += util::format("standby_downtime_ns=%lld\n", (long long)inj.standby_downtime_ns);
+  out += util::format("replay_raw=%d\n", c.replay.raw ? 1 : 0);
+  for (std::size_t i = 0; i < c.replay.faults.size(); ++i) {
+    const faults::ScheduledFault& f = c.replay.faults[i];
+    out += util::format("fault%zu=%lld,%zu,%zu,%lld\n", i, (long long)f.at_ns, f.ecd, f.vm,
+                        (long long)f.downtime_ns);
+  }
+  return out;
+}
+
+FuzzCase replay_from_text(const std::string& text) {
+  std::map<std::string, std::string> kv;
+  std::vector<std::pair<std::size_t, faults::ScheduledFault>> faults;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) throw std::runtime_error("replay: bad line '" + line + "'");
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key.rfind("fault", 0) == 0 && key.size() > 5) {
+      std::size_t ordinal = 0;
+      for (std::size_t i = 5; i < key.size(); ++i) {
+        if (key[i] < '0' || key[i] > '9') throw std::runtime_error("replay: bad key '" + key + "'");
+        ordinal = ordinal * 10 + static_cast<std::size_t>(key[i] - '0');
+      }
+      faults::ScheduledFault f;
+      long long at = 0, down = 0;
+      unsigned long long ecd = 0, vm = 0;
+      if (std::sscanf(value.c_str(), "%lld,%llu,%llu,%lld", &at, &ecd, &vm, &down) != 4) {
+        throw std::runtime_error("replay: bad fault '" + value + "'");
+      }
+      f.at_ns = at;
+      f.ecd = static_cast<std::size_t>(ecd);
+      f.vm = static_cast<std::size_t>(vm);
+      f.downtime_ns = down;
+      faults.emplace_back(ordinal, f);
+    } else {
+      kv[key] = value;
+    }
+  }
+
+  auto get_i = [&](const char* key, std::int64_t def) {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : static_cast<std::int64_t>(std::stoll(it->second));
+  };
+  auto get_u = [&](const char* key, std::uint64_t def) {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : static_cast<std::uint64_t>(std::stoull(it->second));
+  };
+  auto get_d = [&](const char* key, double def) {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : std::stod(it->second);
+  };
+
+  FuzzCase c;
+  c.master_seed = get_u("master_seed", c.master_seed);
+  c.index = get_u("index", c.index);
+  c.duration_ns = get_i("duration_ns", c.duration_ns);
+
+  experiments::ScenarioConfig& s = c.scenario;
+  s.seed = get_u("seed", s.seed);
+  s.num_ecds = static_cast<std::size_t>(get_i("num_ecds", (std::int64_t)s.num_ecds));
+  s.fta_f = static_cast<int>(get_i("fta_f", s.fta_f));
+  if (kv.count("aggregation")) s.aggregation = parse_method(kv["aggregation"]);
+  s.max_drift_ppm = get_d("max_drift_ppm", s.max_drift_ppm);
+  s.wander_sigma_ppm = get_d("wander_sigma_ppm", s.wander_sigma_ppm);
+  s.nic_ts_jitter_ns = get_d("nic_ts_jitter_ns", s.nic_ts_jitter_ns);
+  s.initial_phase_range_ns = get_d("initial_phase_range_ns", s.initial_phase_range_ns);
+  s.host_link_delay_ns = get_i("host_link_delay_ns", s.host_link_delay_ns);
+  s.host_link_jitter_ns = get_d("host_link_jitter_ns", s.host_link_jitter_ns);
+  s.mesh_link_delay_ns = get_i("mesh_link_delay_ns", s.mesh_link_delay_ns);
+  s.mesh_link_jitter_ns = get_d("mesh_link_jitter_ns", s.mesh_link_jitter_ns);
+  s.switch_residence_ns = get_i("switch_residence_ns", s.switch_residence_ns);
+  s.switch_residence_jitter_ns = get_d("switch_residence_jitter_ns", s.switch_residence_jitter_ns);
+  s.sync_interval_ns = get_i("sync_interval_ns", s.sync_interval_ns);
+  s.validity_threshold_ns = get_d("validity_threshold_ns", s.validity_threshold_ns);
+  s.startup_threshold_ns = get_d("startup_threshold_ns", s.startup_threshold_ns);
+  s.startup_consecutive = static_cast<int>(get_i("startup_consecutive", s.startup_consecutive));
+  s.synctime_period_ns = get_i("synctime_period_ns", s.synctime_period_ns);
+  s.synctime_feed_forward = get_i("synctime_feed_forward", s.synctime_feed_forward ? 1 : 0) != 0;
+  s.gm_mutual_sync = get_i("gm_mutual_sync", s.gm_mutual_sync ? 1 : 0) != 0;
+  s.measurement_ecd = static_cast<std::size_t>(get_i("measurement_ecd", (std::int64_t)s.measurement_ecd));
+  s.gm_kernels.assign(s.num_ecds, "4.19.1");
+
+  faults::InjectorConfig& inj = c.injector;
+  inj.gm_kill_period_ns = get_i("gm_kill_period_ns", inj.gm_kill_period_ns);
+  inj.gm_downtime_ns = get_i("gm_downtime_ns", inj.gm_downtime_ns);
+  inj.standby_kills_per_hour = get_d("standby_kills_per_hour", inj.standby_kills_per_hour);
+  inj.standby_min_gap_ns = get_i("standby_min_gap_ns", inj.standby_min_gap_ns);
+  inj.standby_downtime_ns = get_i("standby_downtime_ns", inj.standby_downtime_ns);
+
+  c.replay.raw = get_i("replay_raw", 0) != 0;
+  std::sort(faults.begin(), faults.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [ordinal, f] : faults) c.replay.faults.push_back(f);
+  return c;
+}
+
+void write_replay(const std::string& path, const FuzzCase& c) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("replay: cannot write " + path);
+  out << replay_to_text(c);
+}
+
+FuzzCase load_replay(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("replay: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return replay_from_text(buf.str());
+}
+
+faults::ReplaySchedule schedule_from_events(const std::vector<faults::InjectionEvent>& events) {
+  faults::ReplaySchedule schedule;
+  for (const faults::InjectionEvent& ev : events) {
+    if (ev.is_reboot) continue;
+    schedule.faults.push_back(
+        faults::ScheduledFault{ev.at_ns, ev.ecd_idx, ev.vm_idx, ev.downtime_ns});
+  }
+  return schedule;
+}
+
+ShrinkOutcome shrink_case(const FuzzCase& c, std::size_t max_tests) {
+  ShrinkOutcome out;
+  out.minimized = c;
+
+  const CaseResult base = run_case(c);
+  if (!base.brought_up || base.violations.empty()) return out; // nothing to shrink
+  out.target_invariant = base.violations.front().invariant;
+  const std::string& target = out.target_invariant;
+
+  auto fails_with = [&target](const CaseResult& r) {
+    for (const Violation& v : r.violations) {
+      if (v.invariant == target) return true;
+    }
+    return false;
+  };
+
+  // Script the randomized run so the schedule becomes an editable list,
+  // then confirm the scripted twin still shows the same violation class.
+  FuzzCase scripted = c;
+  if (scripted.replay.empty()) {
+    scripted.replay = schedule_from_events(base.events);
+    out.minimized = scripted;
+    if (!fails_with(run_case(scripted))) return out; // timing divergence: report un-shrunk
+  }
+  out.reproduced = true;
+
+  auto oracle = [&](const std::vector<faults::ScheduledFault>& candidate) {
+    FuzzCase t = scripted;
+    t.replay.faults = candidate;
+    return fails_with(run_case(t));
+  };
+  out.minimized = scripted;
+  out.minimized.replay.faults = ddmin(scripted.replay.faults, oracle, &out.stats, max_tests);
+  return out;
+}
+
+} // namespace tsn::check

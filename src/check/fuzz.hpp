@@ -1,0 +1,122 @@
+// Randomized fault-campaign fuzzing (DESIGN.md §8).
+//
+// A FuzzCase is a complete, self-contained experiment: a randomized
+// testbed topology (node count, tolerated faults f, drift, PDV) plus a
+// randomized fault-injection profile, all derived deterministically from
+// (master_seed, index) through util::RngStream. run_case() boots the
+// world, calibrates the analytic precision bound, attaches the
+// InvariantSuite and lets the fault injector loose; the verdict is the
+// suite's violation list.
+//
+// On a violation the case serializes to a replay file -- a key=value text
+// that reconstructs the exact world with the exact fault schedule -- and
+// shrink_case() delta-debugs the schedule down to the minimal failing
+// kill sequence. Replay files under tests/corpus/ double as a regression
+// suite.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/invariant.hpp"
+#include "check/shrink.hpp"
+#include "experiments/scenario.hpp"
+#include "faults/injector.hpp"
+
+namespace tsn::check {
+
+struct FuzzCase {
+  std::uint64_t master_seed = 1;
+  std::uint64_t index = 0;
+  std::int64_t duration_ns = 120'000'000'000LL; ///< fault phase after bring-up
+  experiments::ScenarioConfig scenario;
+  faults::InjectorConfig injector;
+  /// Non-empty: run this scripted schedule instead of the randomized
+  /// injector (replay / shrink / synthetic-violation mode).
+  faults::ReplaySchedule replay;
+};
+
+/// Derive case `index` of the campaign keyed by `master_seed`. Pure: the
+/// same pair always yields the same case, independent of thread or call
+/// order. Parameter ranges are chosen so a healthy implementation passes
+/// (e.g. drift is capped so Gamma stays well inside the validity
+/// threshold); see DESIGN.md §8 for the ranges and why.
+FuzzCase derive_case(std::uint64_t master_seed, std::uint64_t index,
+                     std::int64_t duration_ns = 120'000'000'000LL);
+
+struct CaseResult {
+  std::uint64_t index = 0;
+  std::uint64_t case_seed = 0; ///< the ScenarioConfig seed actually used
+  bool brought_up = false;     ///< initial synchronization converged
+  double bound_ns = 0.0;       ///< calibrated Pi
+  std::string summary;         ///< InvariantSuite::summary() or "bringup-failed: ..."
+  std::vector<Violation> violations;
+  faults::InjectorStats injector_stats;
+  std::vector<faults::InjectionEvent> events; ///< for schedule extraction
+
+  bool failed() const { return !brought_up || !violations.empty(); }
+};
+
+/// Build the world described by `c`, run it with the invariant suite
+/// attached, and return the verdict. Never throws: construction or
+/// bring-up errors are reported as a failed result.
+CaseResult run_case(const FuzzCase& c);
+
+struct CampaignConfig {
+  std::uint64_t master_seed = 1;
+  std::size_t num_cases = 64;
+  std::size_t threads = 1;
+  std::int64_t duration_ns = 120'000'000'000LL;
+};
+
+struct CampaignResult {
+  std::vector<CaseResult> cases; ///< index order
+  std::size_t failures = 0;
+
+  /// Deterministic verdict table: one line per case plus a totals line.
+  /// Byte-identical for any thread count (results are assembled in index
+  /// order and each case is a sealed deterministic world).
+  std::string summary_text() const;
+};
+
+CampaignResult run_campaign(const CampaignConfig& cfg);
+
+// ---------------------------------------------------------------------------
+// Replay files.
+
+/// Serialize a case to self-contained "key=value" text (one key per
+/// line, faults as "faultK=at_ns,ecd,vm,downtime_ns").
+std::string replay_to_text(const FuzzCase& c);
+/// Parse replay text; throws std::runtime_error on malformed input.
+FuzzCase replay_from_text(const std::string& text);
+void write_replay(const std::string& path, const FuzzCase& c);
+/// Throws std::runtime_error if the file cannot be read or parsed.
+FuzzCase load_replay(const std::string& path);
+
+/// Extract the scripted schedule equivalent to an observed run: the kill
+/// events with their realized times and downtimes (reboots are implied).
+faults::ReplaySchedule schedule_from_events(const std::vector<faults::InjectionEvent>& events);
+
+// ---------------------------------------------------------------------------
+// Shrinking.
+
+struct ShrinkOutcome {
+  FuzzCase minimized;
+  ShrinkStats stats;
+  /// False if the scripted re-run of the original failure did not
+  /// reproduce the violation (timing divergence); `minimized` is then the
+  /// un-shrunk scripted case for manual inspection.
+  bool reproduced = false;
+  std::string target_invariant; ///< the violation class being preserved
+};
+
+/// Minimize a failing case's fault schedule with ddmin. If the case was a
+/// randomized run (empty replay), its observed kill events are first
+/// converted to a scripted schedule and the failure re-verified. The
+/// oracle preserves the first violation's invariant class. Each oracle
+/// test is a full scenario run; `max_tests` bounds the budget.
+ShrinkOutcome shrink_case(const FuzzCase& c, std::size_t max_tests = 128);
+
+} // namespace tsn::check

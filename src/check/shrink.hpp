@@ -1,0 +1,82 @@
+// Delta debugging (ddmin, Zeller & Hildebrandt 2002): reduce a failing
+// input to a locally-minimal subsequence that still fails.
+//
+// The fuzzer uses it to shrink a violating fault schedule -- typically
+// dozens of randomized kills -- down to the few that actually matter, so
+// the checked-in replay file IS the explanation of the bug. The algorithm
+// is generic over the item type and the oracle: `still_fails(candidate)`
+// must re-run the system under test deterministically (same seed, same
+// config) with only the candidate subset applied.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace tsn::check {
+
+struct ShrinkStats {
+  std::size_t initial_size = 0;
+  std::size_t final_size = 0;
+  std::size_t tests_run = 0; ///< oracle invocations (each one a full re-run)
+};
+
+/// Minimize `items` under `still_fails`. The input is assumed to fail
+/// (callers should verify once before shrinking; ddmin itself never tests
+/// the full input). Returns a 1-minimal subsequence: removing any single
+/// remaining chunk at the finest granularity makes the failure disappear.
+/// `max_tests` bounds the oracle budget; on exhaustion the best-so-far
+/// reduction is returned.
+template <typename T, typename Pred>
+std::vector<T> ddmin(std::vector<T> items, Pred&& still_fails, ShrinkStats* stats = nullptr,
+                     std::size_t max_tests = 10'000) {
+  ShrinkStats local;
+  local.initial_size = items.size();
+
+  auto test = [&](const std::vector<T>& candidate) {
+    ++local.tests_run;
+    return still_fails(candidate);
+  };
+
+  std::size_t granularity = 2;
+  while (items.size() >= 2 && local.tests_run < max_tests) {
+    const std::size_t n = std::min(granularity, items.size());
+    const std::size_t chunk = (items.size() + n - 1) / n;
+    bool reduced = false;
+
+    // Try each complement (input minus one chunk), largest reduction first.
+    for (std::size_t start = 0; start < items.size() && local.tests_run < max_tests;
+         start += chunk) {
+      const std::size_t end = std::min(start + chunk, items.size());
+      std::vector<T> complement;
+      complement.reserve(items.size() - (end - start));
+      complement.insert(complement.end(), items.begin(), items.begin() + start);
+      complement.insert(complement.end(), items.begin() + end, items.end());
+      if (complement.empty()) continue;
+      if (test(complement)) {
+        items = std::move(complement);
+        granularity = granularity > 2 ? granularity - 1 : 2;
+        reduced = true;
+        break;
+      }
+    }
+
+    if (!reduced) {
+      if (n >= items.size()) break; // finest granularity, nothing removable
+      granularity = std::min(items.size(), granularity * 2);
+    }
+  }
+
+  // Try the empty-adjacent case ddmin's complement loop skips: a single
+  // surviving item might itself be unnecessary (failure needs zero items
+  // -- e.g. an oracle that mis-fires on healthy runs).
+  if (items.size() == 1 && local.tests_run < max_tests) {
+    if (test(std::vector<T>{})) items.clear();
+  }
+
+  local.final_size = items.size();
+  if (stats) *stats = local;
+  return items;
+}
+
+} // namespace tsn::check

@@ -103,7 +103,10 @@ void Scenario::build_ecds() {
 
 void Scenario::build_network() {
   net::SwitchConfig scfg;
-  scfg.port_count = 6;
+  // Ports 0-1 host the two VMs; 2..N mesh to the other switches. The
+  // paper's 4-ECD testbed uses the integrated 6-port switch; larger
+  // fuzzed topologies (up to N=7 for f=2) need num_ecds+1 ports.
+  scfg.port_count = std::max<std::size_t>(6, cfg_.num_ecds + 1);
   scfg.residence_base_ns = cfg_.switch_residence_ns;
   scfg.residence_jitter_ns = cfg_.switch_residence_jitter_ns;
   scfg.drop_unknown_unicast = true; // the mesh has loops: no flooding

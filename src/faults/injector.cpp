@@ -18,12 +18,19 @@ bool FaultInjector::peer_running(std::size_t ecd_idx, std::size_t vm_idx) const 
   return false;
 }
 
+void FaultInjector::notify(const InjectionEvent& ev) {
+  events_.push_back(ev);
+  if (on_event) on_event(ev);
+  for (auto& listener : listeners_) listener(ev);
+}
+
 void FaultInjector::kill(std::size_t ecd_idx, std::size_t vm_idx, bool gm_schedule,
-                         std::int64_t downtime_ns) {
+                         std::int64_t downtime_ns, bool raw) {
+  if (ecd_idx >= ecds_.size() || vm_idx >= ecds_[ecd_idx]->vm_count()) return;
   hv::ClockSyncVm& vm = ecds_[ecd_idx]->vm(vm_idx);
-  if (spared_.count(&vm) > 0) return;
+  if (!replay_mode_ && spared_.count(&vm) > 0) return;
   if (!vm.running()) return;
-  if (!peer_running(ecd_idx, vm_idx)) {
+  if (!raw && !peer_running(ecd_idx, vm_idx)) {
     // Both VMs of a node failing simultaneously would violate the
     // fail-silent fault hypothesis; the paper's tool avoided it too.
     ++stats_.skipped_fault_hypothesis;
@@ -32,26 +39,33 @@ void FaultInjector::kill(std::size_t ecd_idx, std::size_t vm_idx, bool gm_schedu
   const bool was_gm = vm.is_gm();
   vm.shutdown();
   ++stats_.total_kills;
+  ++stats_.pending_reboots;
   if (gm_schedule || was_gm) {
     ++stats_.gm_kills;
   } else {
     ++stats_.standby_kills;
   }
-  InjectionEvent ev{sim_.now().ns(), vm.name(), was_gm, false};
-  events_.push_back(ev);
-  if (on_event) on_event(ev);
+  InjectionEvent ev{sim_.now().ns(), vm.name(), was_gm, false, ecd_idx, vm_idx, downtime_ns};
+  notify(ev);
 
   sim_.after(downtime_ns, [this, ecd_idx, vm_idx] {
     hv::ClockSyncVm& target = ecds_[ecd_idx]->vm(vm_idx);
     target.boot(/*first_boot=*/false);
-    InjectionEvent reboot{sim_.now().ns(), target.name(), target.is_gm(), true};
-    events_.push_back(reboot);
-    if (on_event) on_event(reboot);
+    ++stats_.reboots;
+    --stats_.pending_reboots;
+    InjectionEvent reboot{sim_.now().ns(), target.name(), target.is_gm(), true,
+                          ecd_idx, vm_idx, 0};
+    notify(reboot);
   });
 }
 
 void FaultInjector::schedule_gm_round(std::uint64_t round) {
-  const std::int64_t at = static_cast<std::int64_t>(round + 1) * cfg_.gm_kill_period_ns;
+  // Relative to start(): an injector attached after a long bring-up must
+  // not "catch up" on rounds whose absolute times already passed (that
+  // would burst-kill every GM at once, violating the one-failure-per-
+  // period cadence the schedule promises).
+  const std::int64_t at =
+      start_ns_ + static_cast<std::int64_t>(round + 1) * cfg_.gm_kill_period_ns;
   sim_.at(sim::SimTime(at), [this, round] {
     const std::size_t ecd_idx = round % ecds_.size();
     // The GM duty sits on VM 0 of each ECD (static configuration).
@@ -83,8 +97,19 @@ void FaultInjector::schedule_standby(std::size_t ecd_idx) {
 }
 
 void FaultInjector::start() {
+  start_ns_ = sim_.now().ns();
   schedule_gm_round(0);
   for (std::size_t i = 0; i < ecds_.size(); ++i) schedule_standby(i);
+}
+
+void FaultInjector::run(const ReplaySchedule& schedule) {
+  replay_mode_ = true;
+  for (const ScheduledFault& f : schedule.faults) {
+    const bool raw = schedule.raw;
+    sim_.at(sim::SimTime(f.at_ns), [this, f, raw] {
+      kill(f.ecd, f.vm, /*gm_schedule=*/false, f.downtime_ns, raw);
+    });
+  }
 }
 
 } // namespace tsn::faults

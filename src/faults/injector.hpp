@@ -9,6 +9,12 @@
 //     fail-silent fault hypothesis);
 //   * each killed VM reboots after a configurable downtime and rejoins
 //     warm (FTA phase).
+//
+// Beyond the paper's tool, the injector can also execute a scripted
+// ReplaySchedule: an explicit list of (time, ecd, vm, downtime) kills.
+// That is how the campaign fuzzer replays and delta-debugs a failing
+// fault sequence, and -- with `raw` set -- how the invariant tests
+// deliberately violate the fault hypothesis to prove the oracles fire.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +47,9 @@ struct InjectionEvent {
   std::string vm;
   bool was_gm = false;   ///< the killed VM hosts a grandmaster
   bool is_reboot = false;
+  std::size_t ecd_idx = 0; ///< index into the injector's ECD vector
+  std::size_t vm_idx = 0;  ///< VM index within that ECD
+  std::int64_t downtime_ns = 0; ///< scheduled downtime (kill events only)
 };
 
 struct InjectorStats {
@@ -48,6 +57,35 @@ struct InjectorStats {
   std::uint64_t gm_kills = 0;
   std::uint64_t standby_kills = 0;
   std::uint64_t skipped_fault_hypothesis = 0; ///< peer already down
+  /// Reboots that actually executed. A kill always schedules exactly one
+  /// reboot, so total_kills == reboots + pending_reboots at all times --
+  /// the conservation identity the invariant oracle checks. Reboots whose
+  /// fire time lies beyond the end of the run simply stay pending instead
+  /// of silently vanishing from the accounting.
+  std::uint64_t reboots = 0;
+  std::uint64_t pending_reboots = 0; ///< kills whose reboot has not fired yet
+};
+
+/// One scripted fail-silent fault: shut VM `vm` of ECD `ecd` down at
+/// `at_ns` and boot it again `downtime_ns` later.
+struct ScheduledFault {
+  std::int64_t at_ns = 0;
+  std::size_t ecd = 0;
+  std::size_t vm = 0;
+  std::int64_t downtime_ns = 60'000'000'000LL;
+};
+
+/// A deterministic, self-contained fault schedule (fuzz replay files,
+/// shrinker candidates, synthetic invariant-violation tests).
+struct ReplaySchedule {
+  std::vector<ScheduledFault> faults;
+  /// Raw mode bypasses the fail-silent fault-hypothesis guard (and the
+  /// spare list), so a schedule can deliberately take both VMs of a node
+  /// down at once. Only the invariant tests should want this.
+  bool raw = false;
+
+  bool empty() const { return faults.empty(); }
+  std::size_t size() const { return faults.size(); }
 };
 
 class FaultInjector {
@@ -58,16 +96,28 @@ class FaultInjector {
   /// must stay alive to produce the precision series).
   void spare(const hv::ClockSyncVm* vm) { spared_.insert(vm); }
 
+  /// Start the paper's randomized schedule.
   void start();
+
+  /// Execute a scripted schedule instead (kills at exact times). The
+  /// fault-hypothesis guard still applies unless `schedule.raw`; the
+  /// spare list never applies (a replay must reproduce its recording).
+  void run(const ReplaySchedule& schedule);
 
   const InjectorStats& stats() const { return stats_; }
   const std::vector<InjectionEvent>& events() const { return events_; }
   std::function<void(const InjectionEvent&)> on_event;
+  /// Additional observers (the invariant suite subscribes here without
+  /// clobbering an experiment's own on_event hook).
+  void add_listener(std::function<void(const InjectionEvent&)> fn) {
+    listeners_.push_back(std::move(fn));
+  }
 
  private:
   bool peer_running(std::size_t ecd_idx, std::size_t vm_idx) const;
   void kill(std::size_t ecd_idx, std::size_t vm_idx, bool gm_schedule,
-            std::int64_t downtime_ns);
+            std::int64_t downtime_ns, bool raw = false);
+  void notify(const InjectionEvent& ev);
   void schedule_gm_round(std::uint64_t round);
   void schedule_standby(std::size_t ecd_idx);
 
@@ -78,6 +128,9 @@ class FaultInjector {
   util::RngStream rng_;
   InjectorStats stats_;
   std::vector<InjectionEvent> events_;
+  std::vector<std::function<void(const InjectionEvent&)>> listeners_;
+  bool replay_mode_ = false;
+  std::int64_t start_ns_ = 0; ///< when start() armed the randomized schedule
 };
 
 } // namespace tsn::faults

@@ -50,6 +50,17 @@ std::vector<TraceRecord> TraceRing::snapshot() const {
   return out;
 }
 
+std::uint64_t TraceRing::read_since(std::uint64_t& cursor, std::vector<TraceRecord>& out) const {
+  if (cursor > total_) cursor = total_; // the ring was clear()ed since the last read
+  const std::uint64_t first_retained = total_ - size();
+  const std::uint64_t lost = cursor < first_retained ? first_retained - cursor : 0;
+  for (std::uint64_t i = std::max(cursor, first_retained); i < total_; ++i) {
+    out.push_back(buf_[static_cast<std::size_t>(i % buf_.size())]);
+  }
+  cursor = total_;
+  return lost;
+}
+
 std::string TraceRing::to_json() const {
   std::string out = "[";
   bool first = true;

@@ -71,6 +71,14 @@ class TraceRing {
   /// Held records, oldest first.
   std::vector<TraceRecord> snapshot() const;
 
+  /// Incremental subscription: append every record pushed after `cursor`
+  /// (a previous total() value; 0 reads from the start) to `out`, oldest
+  /// first, and advance `cursor` to total(). Returns how many records were
+  /// overwritten before they could be read -- 0 whenever the consumer
+  /// keeps up with the ring (the invariant suite polls well inside one
+  /// ring turnover).
+  std::uint64_t read_since(std::uint64_t& cursor, std::vector<TraceRecord>& out) const;
+
   void clear() { total_ = 0; }
 
   /// JSON array of the held records (names resolved).

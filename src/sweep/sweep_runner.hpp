@@ -100,6 +100,43 @@ class SweepRunner {
     return results;
   }
 
+  /// Run `fn(i)` for i in [0, count) and return the results in index
+  /// order — the ScenarioConfig-free variant for workloads (like the fuzz
+  /// campaign) whose replicas derive their whole world from an index. The
+  /// same determinism contract applies: `fn` must not touch shared
+  /// mutable state, results are merged in index order, and the first
+  /// replica exception is rethrown after the sweep completes.
+  template <typename Fn>
+  auto run_indexed(std::size_t count, Fn&& fn)
+      -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+    using Result = std::invoke_result_t<Fn&, std::size_t>;
+    static_assert(!std::is_void_v<Result>, "replica body must return its result");
+    std::vector<Result> results(count);
+    const std::size_t n_threads = threads();
+    if (n_threads <= 1 || count <= 1) {
+      for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+      return results;
+    }
+    std::vector<std::exception_ptr> errors(count);
+    {
+      ThreadPool pool(n_threads);
+      for (std::size_t i = 0; i < count; ++i) {
+        pool.submit([&, i] {
+          try {
+            results[i] = fn(i);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        });
+      }
+      pool.wait_idle();
+    }
+    for (auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    return results;
+  }
+
  private:
   SweepOptions opts_;
 };

@@ -1,0 +1,62 @@
+// Regression corpus: every checked-in replay under tests/corpus/ must run
+// clean. The corpus holds interesting stress cases promoted from fuzz
+// campaigns (high-f topologies, kill storms, near-quorum-loss schedules,
+// former findings fixed in-tree) -- a violation here means a resilience
+// property regressed.
+#include "check/fuzz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#ifndef TSN_CORPUS_DIR
+#error "TSN_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace tsn::check {
+namespace {
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(TSN_CORPUS_DIR)) {
+    if (entry.path().extension() == ".replay") paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+TEST(CorpusTest, CorpusIsNotEmpty) {
+  EXPECT_GE(corpus_files().size(), 8u) << "expected a seeded corpus in " << TSN_CORPUS_DIR;
+}
+
+class CorpusReplayTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorpusReplayTest, RunsClean) {
+  const std::string& path = GetParam();
+  FuzzCase c;
+  ASSERT_NO_THROW(c = load_replay(path)) << path;
+  const CaseResult r = run_case(c);
+  EXPECT_FALSE(r.failed()) << path << ": " << r.summary;
+  for (const Violation& v : r.violations) {
+    ADD_FAILURE() << path << " [" << v.invariant << "] t=" << v.t_ns / 1'000'000
+                  << " ms: " << v.message;
+  }
+}
+
+std::string corpus_test_name(const ::testing::TestParamInfo<std::string>& info) {
+  std::string stem = std::filesystem::path(info.param).stem().string();
+  for (char& ch : stem) {
+    if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+  }
+  return stem;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CorpusReplayTest, ::testing::ValuesIn(corpus_files()),
+                         corpus_test_name);
+
+} // namespace
+} // namespace tsn::check

@@ -1,0 +1,103 @@
+// Determinism properties of the fuzz campaign: the verdict table must be
+// byte-identical whatever thread count ran it, case derivation must be a
+// pure function of (master_seed, index), and replay files must round-trip
+// losslessly.
+#include "check/fuzz.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsn::check {
+namespace {
+
+constexpr std::int64_t kSec = 1'000'000'000LL;
+
+TEST(FuzzDeterminismTest, CampaignSummaryIsByteIdenticalAcrossThreadCounts) {
+  CampaignConfig cfg;
+  cfg.master_seed = 11;
+  cfg.num_cases = 6;
+  cfg.duration_ns = 45 * kSec;
+
+  cfg.threads = 1;
+  const CampaignResult serial = run_campaign(cfg);
+  cfg.threads = 4;
+  const CampaignResult parallel = run_campaign(cfg);
+
+  EXPECT_EQ(serial.summary_text(), parallel.summary_text());
+  EXPECT_EQ(serial.failures, parallel.failures);
+  ASSERT_EQ(serial.cases.size(), parallel.cases.size());
+  for (std::size_t i = 0; i < serial.cases.size(); ++i) {
+    EXPECT_EQ(serial.cases[i].summary, parallel.cases[i].summary) << "case " << i;
+    EXPECT_EQ(serial.cases[i].injector_stats.total_kills,
+              parallel.cases[i].injector_stats.total_kills)
+        << "case " << i;
+    EXPECT_EQ(serial.cases[i].events.size(), parallel.cases[i].events.size()) << "case " << i;
+  }
+}
+
+TEST(FuzzDeterminismTest, DeriveCaseIsPure) {
+  const FuzzCase a = derive_case(5, 3);
+  const FuzzCase b = derive_case(5, 3);
+  EXPECT_EQ(replay_to_text(a), replay_to_text(b));
+
+  // Different indices (and different master seeds) give different worlds.
+  const FuzzCase c = derive_case(5, 4);
+  const FuzzCase d = derive_case(6, 3);
+  EXPECT_NE(replay_to_text(a), replay_to_text(c));
+  EXPECT_NE(replay_to_text(a), replay_to_text(d));
+}
+
+TEST(FuzzDeterminismTest, RerunningTheSameCaseGivesTheSameVerdict) {
+  const FuzzCase c = derive_case(11, 2, 45 * kSec);
+  const CaseResult r1 = run_case(c);
+  const CaseResult r2 = run_case(c);
+  EXPECT_EQ(r1.summary, r2.summary);
+  EXPECT_EQ(r1.bound_ns, r2.bound_ns);
+  EXPECT_EQ(r1.injector_stats.total_kills, r2.injector_stats.total_kills);
+  ASSERT_EQ(r1.events.size(), r2.events.size());
+  for (std::size_t i = 0; i < r1.events.size(); ++i) {
+    EXPECT_EQ(r1.events[i].at_ns, r2.events[i].at_ns) << "event " << i;
+  }
+}
+
+TEST(FuzzDeterminismTest, ReplayTextRoundTripsLosslessly) {
+  // A randomized case...
+  const FuzzCase original = derive_case(7, 1, 60 * kSec);
+  const std::string text = replay_to_text(original);
+  const FuzzCase parsed = replay_from_text(text);
+  EXPECT_EQ(replay_to_text(parsed), text);
+  EXPECT_EQ(parsed.scenario.seed, original.scenario.seed);
+  EXPECT_EQ(parsed.scenario.num_ecds, original.scenario.num_ecds);
+  EXPECT_EQ(parsed.scenario.fta_f, original.scenario.fta_f);
+  EXPECT_EQ(parsed.duration_ns, original.duration_ns);
+
+  // ...and a scripted one with an explicit fault schedule.
+  FuzzCase scripted = original;
+  scripted.replay.raw = true;
+  scripted.replay.faults.push_back({45 * kSec + 1, 0, 0, 20 * kSec});
+  scripted.replay.faults.push_back({47 * kSec + 1, 2, 1, 15 * kSec});
+  const std::string stext = replay_to_text(scripted);
+  const FuzzCase sparsed = replay_from_text(stext);
+  EXPECT_EQ(replay_to_text(sparsed), stext);
+  ASSERT_EQ(sparsed.replay.size(), 2u);
+  EXPECT_TRUE(sparsed.replay.raw);
+  EXPECT_EQ(sparsed.replay.faults[0].at_ns, 45 * kSec + 1);
+  EXPECT_EQ(sparsed.replay.faults[1].ecd, 2u);
+  EXPECT_EQ(sparsed.replay.faults[1].downtime_ns, 15 * kSec);
+}
+
+TEST(FuzzDeterminismTest, ScriptedReplayMatchesTheRandomizedRun) {
+  // The scripted twin extracted from a randomized run must execute the
+  // same kill sequence when replayed.
+  const FuzzCase c = derive_case(11, 0, 45 * kSec);
+  const CaseResult live = run_case(c);
+  ASSERT_TRUE(live.brought_up);
+
+  FuzzCase scripted = c;
+  scripted.replay = schedule_from_events(live.events);
+  const CaseResult replayed = run_case(scripted);
+  EXPECT_EQ(replayed.summary, live.summary);
+  EXPECT_EQ(replayed.injector_stats.total_kills, live.injector_stats.total_kills);
+}
+
+} // namespace
+} // namespace tsn::check

@@ -1,0 +1,427 @@
+// Each oracle must fire on a synthetically violated stream and stay
+// silent on a healthy one -- unit-level first (records fed by hand, no
+// world), then integration-level through a real scenario run.
+#include <gtest/gtest.h>
+
+#include "check/fuzz.hpp"
+#include "check/invariant.hpp"
+
+namespace tsn::check {
+namespace {
+
+constexpr std::int64_t kSec = 1'000'000'000LL;
+
+struct CollectSink : ViolationSink {
+  std::vector<Violation> got;
+  void report(Violation v) override { got.push_back(std::move(v)); }
+  std::size_t count(const std::string& inv) const {
+    std::size_t n = 0;
+    for (const auto& v : got) {
+      if (v.invariant == inv) ++n;
+    }
+    return n;
+  }
+};
+
+obs::TraceRecord rec(std::int64_t t_ns, obs::TraceKind kind, std::uint16_t source,
+                     std::uint32_t a = 0, std::uint32_t mask = 0, double v0 = 0.0) {
+  obs::TraceRecord r;
+  r.t_ns = t_ns;
+  r.kind = kind;
+  r.source = source;
+  r.a = a;
+  r.mask = mask;
+  r.v0 = v0;
+  return r;
+}
+
+faults::InjectionEvent kill_ev(std::int64_t t_ns, const std::string& vm, std::size_t ecd,
+                               std::size_t vm_idx, std::int64_t downtime_ns = 20 * kSec) {
+  return faults::InjectionEvent{t_ns, vm, false, false, ecd, vm_idx, downtime_ns};
+}
+
+faults::InjectionEvent reboot_ev(std::int64_t t_ns, const std::string& vm, std::size_t ecd,
+                                 std::size_t vm_idx) {
+  return faults::InjectionEvent{t_ns, vm, false, true, ecd, vm_idx, 0};
+}
+
+// ---------------------------------------------------------------------------
+// PrecisionBoundInvariant
+
+TEST(PrecisionBoundTest, FiresOncePostConvergenceExceedance) {
+  obs::TraceRing ring;
+  const auto src = ring.intern("c11/fta");
+  CollectSink sink;
+  PrecisionBoundInvariant inv({10'000.0, 1.0, 3, 20 * kSec});
+  inv.bind(&sink);
+
+  for (int i = 0; i < 3; ++i) {
+    inv.on_trace(rec((i + 1) * kSec, obs::TraceKind::kAggregate, src, 3, 0b111, 5'000.0), ring);
+  }
+  EXPECT_TRUE(sink.got.empty()) << "converging aggregates must not be judged";
+
+  inv.on_trace(rec(4 * kSec, obs::TraceKind::kAggregate, src, 3, 0b111, 15'000.0), ring);
+  ASSERT_EQ(sink.count("precision-bound"), 1u);
+  EXPECT_NE(sink.got[0].message.find("c11"), std::string::npos);
+
+  // Demoted after the report: the very next exceedance is part of the same
+  // episode, not a second violation.
+  inv.on_trace(rec(5 * kSec, obs::TraceKind::kAggregate, src, 3, 0b111, 15'000.0), ring);
+  EXPECT_EQ(sink.count("precision-bound"), 1u);
+}
+
+TEST(PrecisionBoundTest, SilentOnHealthyStream) {
+  obs::TraceRing ring;
+  const auto src = ring.intern("c11/fta");
+  CollectSink sink;
+  PrecisionBoundInvariant inv({10'000.0, 1.25, 3, 20 * kSec});
+  inv.bind(&sink);
+  for (int i = 0; i < 50; ++i) {
+    inv.on_trace(rec(i * kSec, obs::TraceKind::kAggregate, src, 3, 0b111,
+                     (i % 2 ? 1.0 : -1.0) * 8'000.0),
+                 ring);
+    inv.on_sample(i * kSec);
+  }
+  inv.finalize(50 * kSec);
+  EXPECT_TRUE(sink.got.empty());
+}
+
+TEST(PrecisionBoundTest, RebootMustReconvergeWithinDeadline) {
+  obs::TraceRing ring;
+  const auto src = ring.intern("c21/fta");
+  CollectSink sink;
+  PrecisionBoundInvariant inv({10'000.0, 1.0, 3, 20 * kSec});
+  inv.bind(&sink);
+  for (int i = 0; i < 3; ++i) {
+    inv.on_trace(rec((i + 1) * kSec, obs::TraceKind::kAggregate, src, 3, 0b111, 1'000.0), ring);
+  }
+  inv.on_injection(kill_ev(10 * kSec, "c21", 1, 0));
+  // Down: post-reboot transients above the bound are NOT violations...
+  inv.on_injection(reboot_ev(30 * kSec, "c21", 1, 0));
+  inv.on_trace(rec(31 * kSec, obs::TraceKind::kAggregate, src, 3, 0b111, 90'000.0), ring);
+  inv.on_sample(35 * kSec);
+  EXPECT_TRUE(sink.got.empty());
+  // ...but never reconverging is.
+  inv.on_sample(30 * kSec + 20 * kSec + 1);
+  ASSERT_EQ(sink.count("precision-bound"), 1u);
+  EXPECT_NE(sink.got[0].message.find("(re)converge"), std::string::npos);
+}
+
+TEST(PrecisionBoundTest, RebootReconvergedInTimeIsSilent) {
+  obs::TraceRing ring;
+  const auto src = ring.intern("c21/fta");
+  CollectSink sink;
+  PrecisionBoundInvariant inv({10'000.0, 1.0, 3, 20 * kSec});
+  inv.bind(&sink);
+  inv.on_injection(kill_ev(10 * kSec, "c21", 1, 0));
+  inv.on_injection(reboot_ev(30 * kSec, "c21", 1, 0));
+  for (int i = 0; i < 3; ++i) {
+    inv.on_trace(rec(31 * kSec + i * kSec, obs::TraceKind::kAggregate, src, 3, 0b111, 2'000.0),
+                 ring);
+  }
+  inv.on_sample(60 * kSec);
+  inv.finalize(120 * kSec);
+  EXPECT_TRUE(sink.got.empty());
+}
+
+// ---------------------------------------------------------------------------
+// FailoverLatencyInvariant
+
+TEST(FailoverLatencyTest, TakeoverWithinDeadlineIsSilent) {
+  obs::TraceRing ring;
+  const auto mon = ring.intern("ecd1/monitor");
+  CollectSink sink;
+  FailoverLatencyInvariant inv(1, 1 * kSec);
+  inv.bind(&sink);
+  inv.on_injection(kill_ev(10 * kSec, "c11", 0, 0));
+  inv.on_trace(rec(10 * kSec + 500'000'000, obs::TraceKind::kTakeover, mon, 1), ring);
+  inv.on_sample(20 * kSec);
+  inv.finalize(30 * kSec);
+  EXPECT_TRUE(sink.got.empty());
+}
+
+TEST(FailoverLatencyTest, UnansweredKillFires) {
+  obs::TraceRing ring;
+  ring.intern("ecd1/monitor");
+  CollectSink sink;
+  FailoverLatencyInvariant inv(1, 1 * kSec);
+  inv.bind(&sink);
+  inv.on_injection(kill_ev(10 * kSec, "c11", 0, 0));
+  inv.on_sample(10 * kSec + 900'000'000);
+  EXPECT_TRUE(sink.got.empty());
+  inv.on_sample(10 * kSec + 1'100'000'000);
+  ASSERT_EQ(sink.count("failover-latency"), 1u);
+  EXPECT_NE(sink.got[0].message.find("unanswered"), std::string::npos);
+}
+
+TEST(FailoverLatencyTest, LateTakeoverFires) {
+  obs::TraceRing ring;
+  const auto mon = ring.intern("ecd1/monitor");
+  CollectSink sink;
+  FailoverLatencyInvariant inv(1, 1 * kSec);
+  inv.bind(&sink);
+  inv.on_injection(kill_ev(10 * kSec, "c11", 0, 0));
+  inv.on_trace(rec(13 * kSec, obs::TraceKind::kTakeover, mon, 1), ring);
+  EXPECT_EQ(sink.count("failover-latency"), 1u);
+}
+
+TEST(FailoverLatencyTest, TracksActiveVmAcrossTakeovers) {
+  obs::TraceRing ring;
+  const auto mon = ring.intern("ecd1/monitor");
+  CollectSink sink;
+  FailoverLatencyInvariant inv(1, 1 * kSec);
+  inv.bind(&sink);
+  inv.on_injection(kill_ev(10 * kSec, "c11", 0, 0));
+  inv.on_trace(rec(10 * kSec + 300'000'000, obs::TraceKind::kTakeover, mon, 1), ring);
+  // VM 1 is now active: a kill of rebooted-but-standby VM 0 needs no answer.
+  inv.on_injection(reboot_ev(30 * kSec, "c11", 0, 0));
+  inv.on_injection(kill_ev(40 * kSec, "c11", 0, 0));
+  inv.on_sample(50 * kSec);
+  EXPECT_TRUE(sink.got.empty());
+  // But a kill of the new active VM 1 does.
+  inv.on_injection(kill_ev(60 * kSec, "c12", 0, 1));
+  inv.on_sample(70 * kSec);
+  EXPECT_EQ(sink.count("failover-latency"), 1u);
+}
+
+TEST(FailoverLatencyTest, NoSuccessorAnswersThePendingKill) {
+  obs::TraceRing ring;
+  const auto mon = ring.intern("ecd1/monitor");
+  CollectSink sink;
+  FailoverLatencyInvariant inv(1, 1 * kSec);
+  inv.bind(&sink);
+  inv.on_injection(kill_ev(10 * kSec, "c11", 0, 0));
+  inv.on_trace(rec(10 * kSec + 400'000'000, obs::TraceKind::kNoSuccessor, mon, 0), ring);
+  inv.on_sample(30 * kSec);
+  EXPECT_TRUE(sink.got.empty());
+}
+
+TEST(FailoverLatencyTest, MonitorSourceParsing) {
+  EXPECT_EQ(monitor_source_ecd("ecd1/monitor"), std::size_t{0});
+  EXPECT_EQ(monitor_source_ecd("ecd12/monitor"), std::size_t{11});
+  EXPECT_FALSE(monitor_source_ecd("c11/fta").has_value());
+  EXPECT_FALSE(monitor_source_ecd("ecd0/monitor").has_value());
+  EXPECT_FALSE(monitor_source_ecd("ecdX/monitor").has_value());
+  EXPECT_FALSE(monitor_source_ecd("ecd1/tsc").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// SynctimeMonotonicityInvariant
+
+TEST(SynctimeMonotonicityTest, BackwardStepBeyondToleranceFires) {
+  CollectSink sink;
+  std::int64_t value = 100 * kSec;
+  SynctimeMonotonicityInvariant inv(1, 50'000.0,
+                                    [&](std::size_t) { return std::optional<std::int64_t>(value); });
+  inv.bind(&sink);
+  inv.on_sample(1 * kSec);
+  value += kSec;
+  inv.on_sample(2 * kSec);
+  EXPECT_TRUE(sink.got.empty());
+  value -= 200'000; // 200 us backwards, tolerance 50 us
+  inv.on_sample(3 * kSec);
+  ASSERT_EQ(sink.count("synctime-monotonic"), 1u);
+  EXPECT_NE(sink.got[0].message.find("backwards"), std::string::npos);
+}
+
+TEST(SynctimeMonotonicityTest, SmallFailoverStepWithinToleranceIsSilent) {
+  CollectSink sink;
+  std::int64_t value = 100 * kSec;
+  SynctimeMonotonicityInvariant inv(1, 50'000.0,
+                                    [&](std::size_t) { return std::optional<std::int64_t>(value); });
+  inv.bind(&sink);
+  inv.on_sample(1 * kSec);
+  value -= 20'000; // a fail-over step inside the tolerance
+  inv.on_sample(2 * kSec);
+  value += kSec;
+  inv.on_sample(3 * kSec);
+  EXPECT_TRUE(sink.got.empty());
+}
+
+TEST(SynctimeMonotonicityTest, UnpublishedClockIsSkipped) {
+  CollectSink sink;
+  SynctimeMonotonicityInvariant inv(1, 50'000.0,
+                                    [](std::size_t) { return std::optional<std::int64_t>{}; });
+  inv.bind(&sink);
+  inv.on_sample(1 * kSec);
+  inv.on_sample(2 * kSec);
+  EXPECT_TRUE(sink.got.empty());
+}
+
+// ---------------------------------------------------------------------------
+// FaultHypothesisInvariant
+
+TEST(FaultHypothesisTest, DoubleKillFires) {
+  CollectSink sink;
+  FaultHypothesisInvariant inv(2, 2);
+  inv.bind(&sink);
+  inv.on_injection(kill_ev(10 * kSec, "c11", 0, 0));
+  EXPECT_TRUE(sink.got.empty());
+  inv.on_injection(kill_ev(12 * kSec, "c12", 0, 1));
+  ASSERT_EQ(sink.count("fault-hypothesis"), 1u);
+  EXPECT_NE(sink.got[0].message.find("ecd1"), std::string::npos);
+}
+
+TEST(FaultHypothesisTest, SequentialKillsWithRebootBetweenAreSilent) {
+  CollectSink sink;
+  FaultHypothesisInvariant inv(2, 2);
+  inv.bind(&sink);
+  inv.on_injection(kill_ev(10 * kSec, "c11", 0, 0));
+  inv.on_injection(reboot_ev(30 * kSec, "c11", 0, 0));
+  inv.on_injection(kill_ev(31 * kSec, "c12", 0, 1));
+  inv.on_injection(reboot_ev(51 * kSec, "c12", 0, 1));
+  // Kills on different nodes may overlap freely.
+  inv.on_injection(kill_ev(60 * kSec, "c11", 0, 0));
+  inv.on_injection(kill_ev(60 * kSec, "c21", 1, 0));
+  EXPECT_TRUE(sink.got.empty());
+}
+
+TEST(FaultHypothesisTest, LiveSamplerLatchesOnePerEpisode) {
+  CollectSink sink;
+  std::size_t down = 0;
+  FaultHypothesisInvariant inv(1, 2, [&](std::size_t) { return down; });
+  inv.bind(&sink);
+  inv.on_sample(1 * kSec);
+  down = 2;
+  inv.on_sample(2 * kSec);
+  inv.on_sample(3 * kSec); // same episode: no second report
+  EXPECT_EQ(sink.count("fault-hypothesis"), 1u);
+  down = 1;
+  inv.on_sample(4 * kSec);
+  down = 2;
+  inv.on_sample(5 * kSec); // new episode
+  EXPECT_EQ(sink.count("fault-hypothesis"), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// ConservationInvariant
+
+TEST(ConservationTest, AggregateMaskAndQuorumConsistency) {
+  obs::TraceRing ring;
+  const auto src = ring.intern("c11/fta");
+  CollectSink sink;
+  ConservationInvariant inv(3, {});
+  inv.bind(&sink);
+  inv.on_trace(rec(1 * kSec, obs::TraceKind::kAggregate, src, 3, 0b0111), ring);
+  inv.on_trace(rec(2 * kSec, obs::TraceKind::kNoQuorum, src, 2, 0b0011), ring);
+  EXPECT_TRUE(sink.got.empty());
+  inv.on_trace(rec(3 * kSec, obs::TraceKind::kAggregate, src, 3, 0b0011), ring);
+  EXPECT_EQ(sink.count("conservation"), 1u); // mask has 2 bits, a says 3
+  inv.on_trace(rec(4 * kSec, obs::TraceKind::kAggregate, src, 2, 0b0011), ring);
+  EXPECT_EQ(sink.count("conservation"), 2u); // below the 2f+1 quorum
+  inv.on_trace(rec(5 * kSec, obs::TraceKind::kNoQuorum, src, 3, 0b0111), ring);
+  EXPECT_EQ(sink.count("conservation"), 3u); // no-quorum despite quorum
+}
+
+TEST(ConservationTest, KillRebootAccountingMatchesStats) {
+  CollectSink sink;
+  faults::InjectorStats stats;
+  ConservationInvariant inv(0, [&] { return stats; });
+  inv.bind(&sink);
+  inv.on_injection(kill_ev(10 * kSec, "c11", 0, 0));
+  inv.on_injection(reboot_ev(30 * kSec, "c11", 0, 0));
+  inv.on_injection(kill_ev(40 * kSec, "c21", 1, 0)); // reboot still pending at end
+  stats.total_kills = 2;
+  stats.reboots = 1;
+  stats.pending_reboots = 1;
+  inv.finalize(50 * kSec);
+  EXPECT_TRUE(sink.got.empty());
+}
+
+TEST(ConservationTest, DroppedRebootAccountingFires) {
+  CollectSink sink;
+  faults::InjectorStats stats;
+  ConservationInvariant inv(0, [&] { return stats; });
+  inv.bind(&sink);
+  inv.on_injection(kill_ev(10 * kSec, "c11", 0, 0));
+  // The regression the pending_reboots field fixes: a kill whose reboot
+  // fell past the end of the run used to vanish from the accounting.
+  stats.total_kills = 1;
+  stats.reboots = 0;
+  stats.pending_reboots = 0;
+  inv.finalize(50 * kSec);
+  EXPECT_GE(sink.count("conservation"), 1u);
+}
+
+TEST(ConservationTest, RebootWithoutKillFires) {
+  CollectSink sink;
+  ConservationInvariant inv(0, {});
+  inv.bind(&sink);
+  inv.on_injection(reboot_ev(10 * kSec, "c11", 0, 0));
+  EXPECT_EQ(sink.count("conservation"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// InvariantSuite on a real scenario.
+
+TEST(InvariantSuiteTest, HealthyFaultInjectionRunIsClean) {
+  FuzzCase c;
+  c.duration_ns = 90 * kSec;
+  c.injector.gm_kill_period_ns = 25 * kSec + 1;
+  c.injector.gm_downtime_ns = 12 * kSec + 1;
+  c.injector.standby_kills_per_hour = 90.0;
+  c.injector.standby_min_gap_ns = 15 * kSec + 1;
+  c.injector.standby_downtime_ns = 12 * kSec + 1;
+  const CaseResult r = run_case(c);
+  ASSERT_TRUE(r.brought_up);
+  EXPECT_GT(r.injector_stats.total_kills, 2u) << "the run must actually exercise fail-over";
+  EXPECT_EQ(r.summary, "ok") << r.summary;
+  EXPECT_TRUE(r.violations.empty());
+}
+
+TEST(InvariantSuiteTest, RawDoubleKillIsCaught) {
+  FuzzCase c;
+  c.duration_ns = 60 * kSec;
+  c.replay.raw = true;
+  c.replay.faults = {{45 * kSec + 1, 1, 0, 20 * kSec}, {47 * kSec + 1, 1, 1, 20 * kSec}};
+  const CaseResult r = run_case(c);
+  ASSERT_TRUE(r.brought_up);
+  EXPECT_EQ(r.injector_stats.total_kills, 2u);
+  ASSERT_FALSE(r.violations.empty());
+  bool hypothesis = false;
+  for (const Violation& v : r.violations) hypothesis |= v.invariant == "fault-hypothesis";
+  EXPECT_TRUE(hypothesis) << r.summary;
+}
+
+TEST(InvariantSuiteTest, NonRawScheduleRespectsGuardAndStaysClean) {
+  FuzzCase c;
+  c.duration_ns = 60 * kSec;
+  c.replay.raw = false; // the guard must skip the second, illegal kill
+  c.replay.faults = {{45 * kSec + 1, 1, 0, 20 * kSec}, {47 * kSec + 1, 1, 1, 20 * kSec}};
+  const CaseResult r = run_case(c);
+  ASSERT_TRUE(r.brought_up);
+  EXPECT_EQ(r.injector_stats.total_kills, 1u);
+  EXPECT_EQ(r.injector_stats.skipped_fault_hypothesis, 1u);
+  EXPECT_EQ(r.summary, "ok") << r.summary;
+}
+
+// The headline shrink story: a seeded 12-event failing schedule reduces
+// to the minimal reproducer (the one overlapping kill pair).
+TEST(InvariantSuiteTest, TwelveEventScheduleShrinksToMinimalReproducer) {
+  FuzzCase c;
+  c.scenario.seed = 42;
+  c.duration_ns = 120 * kSec;
+  c.replay.raw = true;
+  const std::int64_t d = 15 * kSec;
+  c.replay.faults = {
+      {45 * kSec + 1, 0, 0, d}, {48 * kSec + 1, 1, 0, d},  {52 * kSec + 1, 2, 1, d},
+      {66 * kSec + 1, 3, 0, d}, {70 * kSec + 1, 0, 1, d},  {74 * kSec + 1, 1, 0, d},
+      {80 * kSec + 1, 2, 0, d}, {84 * kSec + 1, 2, 1, d},  // <- overlap on ecd3
+      {90 * kSec + 1, 3, 1, d}, {95 * kSec + 1, 0, 0, d},  {100 * kSec + 1, 1, 1, d},
+      {105 * kSec + 1, 3, 0, d},
+  };
+  const ShrinkOutcome sh = shrink_case(c);
+  EXPECT_TRUE(sh.reproduced);
+  EXPECT_EQ(sh.target_invariant, "fault-hypothesis");
+  EXPECT_EQ(sh.stats.initial_size, 12u);
+  EXPECT_LE(sh.stats.final_size, 3u);
+  ASSERT_LE(sh.minimized.replay.size(), 3u);
+  // The minimal schedule still violates the hypothesis when replayed.
+  const CaseResult r = run_case(sh.minimized);
+  bool hypothesis = false;
+  for (const Violation& v : r.violations) hypothesis |= v.invariant == "fault-hypothesis";
+  EXPECT_TRUE(hypothesis);
+}
+
+} // namespace
+} // namespace tsn::check

@@ -1,0 +1,79 @@
+#include "check/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace tsn::check {
+namespace {
+
+bool contains(const std::vector<int>& v, int x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+TEST(DdminTest, ReducesToMinimalFailingPair) {
+  // Failure requires both 3 and 7 in the candidate; everything else is
+  // noise ddmin must strip.
+  std::vector<int> items{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  ShrinkStats stats;
+  const std::vector<int> min = ddmin(
+      items, [](const std::vector<int>& c) { return contains(c, 3) && contains(c, 7); }, &stats);
+
+  ASSERT_EQ(min.size(), 2u);
+  EXPECT_TRUE(contains(min, 3));
+  EXPECT_TRUE(contains(min, 7));
+  EXPECT_EQ(stats.initial_size, 12u);
+  EXPECT_EQ(stats.final_size, 2u);
+  EXPECT_GT(stats.tests_run, 0u);
+}
+
+TEST(DdminTest, SingleCulpritReducesToOne) {
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<int> min =
+      ddmin(items, [](const std::vector<int>& c) { return contains(c, 5); });
+  ASSERT_EQ(min.size(), 1u);
+  EXPECT_EQ(min[0], 5);
+}
+
+TEST(DdminTest, AlwaysFailingPredicateReducesToEmpty) {
+  std::vector<int> items{1, 2, 3, 4};
+  const std::vector<int> min = ddmin(items, [](const std::vector<int>&) { return true; });
+  EXPECT_TRUE(min.empty());
+}
+
+TEST(DdminTest, PreservesRelativeOrder) {
+  // The minimal set is {2, 9, 4} and must come back in input order.
+  std::vector<int> items{8, 2, 6, 9, 1, 4, 7};
+  const std::vector<int> min = ddmin(items, [](const std::vector<int>& c) {
+    return contains(c, 2) && contains(c, 9) && contains(c, 4);
+  });
+  const std::vector<int> expected{2, 9, 4};
+  EXPECT_EQ(min, expected);
+}
+
+TEST(DdminTest, RespectsTestBudget) {
+  std::vector<int> items(64);
+  for (int i = 0; i < 64; ++i) items[static_cast<std::size_t>(i)] = i;
+  ShrinkStats stats;
+  const std::vector<int> min = ddmin(
+      items, [](const std::vector<int>& c) { return contains(c, 17) && contains(c, 42); }, &stats,
+      /*max_tests=*/5);
+  // With an exhausted budget the result may not be minimal, but it must
+  // still be a failing subset and the budget must be honored.
+  EXPECT_LE(stats.tests_run, 5u);
+  EXPECT_TRUE(contains(min, 17));
+  EXPECT_TRUE(contains(min, 42));
+}
+
+TEST(DdminTest, EmptyInputStaysEmpty) {
+  std::vector<int> items;
+  ShrinkStats stats;
+  const std::vector<int> min =
+      ddmin(items, [](const std::vector<int>&) { return true; }, &stats);
+  EXPECT_TRUE(min.empty());
+  EXPECT_EQ(stats.tests_run, 0u);
+}
+
+} // namespace
+} // namespace tsn::check

@@ -172,5 +172,98 @@ TEST(InjectorTest, GmKillsRotateAcrossEcds) {
   for (const auto& [vm, n] : kills) EXPECT_EQ(n, 2) << vm;
 }
 
+TEST(InjectorTest, RebootPastRunEndStaysPendingInAccounting) {
+  // Regression: a reboot scheduled beyond the end of the scenario used to
+  // vanish silently -- total_kills drifted away from reboots and the
+  // conservation identity could never hold at finalize time.
+  Simulation sim{3};
+  hv::Ecd ecd(sim, {"ecd", quiet(), {}});
+  ecd.add_clock_sync_vm(vm_cfg("vm0", 0xB1, "5.4.0", true));
+  ecd.add_clock_sync_vm(vm_cfg("vm1", 0xB2, "5.4.0", false));
+  ecd.start();
+
+  FaultInjector injector(sim, {&ecd}, InjectorConfig{});
+  ReplaySchedule schedule;
+  schedule.faults.push_back({1_s, 0, 0, 10_s}); // reboot would fire at 11s
+  injector.run(schedule);
+  sim.run_until(SimTime(5_s)); // stop before the reboot
+
+  EXPECT_EQ(injector.stats().total_kills, 1u);
+  EXPECT_EQ(injector.stats().reboots, 0u);
+  EXPECT_EQ(injector.stats().pending_reboots, 1u);
+  EXPECT_FALSE(ecd.vm(0).running());
+
+  // Once the reboot fires, the identity rebalances.
+  sim.run_until(SimTime(12_s));
+  EXPECT_EQ(injector.stats().reboots, 1u);
+  EXPECT_EQ(injector.stats().pending_reboots, 0u);
+  EXPECT_EQ(injector.stats().total_kills,
+            injector.stats().reboots + injector.stats().pending_reboots);
+  EXPECT_TRUE(ecd.vm(0).running());
+}
+
+TEST(InjectorTest, RawReplayExecutesDoubleKill) {
+  Simulation sim{3};
+  hv::Ecd ecd(sim, {"ecd", quiet(), {}});
+  ecd.add_clock_sync_vm(vm_cfg("vm0", 0xB1, "5.4.0", true));
+  ecd.add_clock_sync_vm(vm_cfg("vm1", 0xB2, "5.4.0", false));
+  ecd.start();
+
+  FaultInjector injector(sim, {&ecd}, InjectorConfig{});
+  ReplaySchedule schedule;
+  schedule.raw = true;
+  schedule.faults.push_back({1_s, 0, 0, 20_s});
+  schedule.faults.push_back({2_s, 0, 1, 20_s});
+  injector.run(schedule);
+  sim.run_until(SimTime(3_s));
+
+  // Raw mode deliberately breaks the fault hypothesis: both kills execute.
+  EXPECT_EQ(injector.stats().total_kills, 2u);
+  EXPECT_EQ(injector.stats().skipped_fault_hypothesis, 0u);
+  EXPECT_FALSE(ecd.vm(0).running());
+  EXPECT_FALSE(ecd.vm(1).running());
+}
+
+TEST(InjectorTest, NonRawReplayRespectsFaultHypothesis) {
+  Simulation sim{3};
+  hv::Ecd ecd(sim, {"ecd", quiet(), {}});
+  ecd.add_clock_sync_vm(vm_cfg("vm0", 0xB1, "5.4.0", true));
+  ecd.add_clock_sync_vm(vm_cfg("vm1", 0xB2, "5.4.0", false));
+  ecd.start();
+
+  FaultInjector injector(sim, {&ecd}, InjectorConfig{});
+  ReplaySchedule schedule; // raw defaults to false
+  schedule.faults.push_back({1_s, 0, 0, 20_s});
+  schedule.faults.push_back({2_s, 0, 1, 20_s}); // peer still down -> skipped
+  injector.run(schedule);
+  sim.run_until(SimTime(3_s));
+
+  EXPECT_EQ(injector.stats().total_kills, 1u);
+  EXPECT_EQ(injector.stats().skipped_fault_hypothesis, 1u);
+  EXPECT_FALSE(ecd.vm(0).running());
+  EXPECT_TRUE(ecd.vm(1).running());
+}
+
+TEST(InjectorTest, ReplayIgnoresSpareList) {
+  // A replay must reproduce its recording exactly -- the spare list only
+  // shapes randomized schedules.
+  Simulation sim{3};
+  hv::Ecd ecd(sim, {"ecd", quiet(), {}});
+  ecd.add_clock_sync_vm(vm_cfg("vm0", 0xB1, "5.4.0", true));
+  ecd.add_clock_sync_vm(vm_cfg("vm1", 0xB2, "5.4.0", false));
+  ecd.start();
+
+  FaultInjector injector(sim, {&ecd}, InjectorConfig{});
+  injector.spare(&ecd.vm(0));
+  ReplaySchedule schedule;
+  schedule.faults.push_back({1_s, 0, 0, 2_s});
+  injector.run(schedule);
+  sim.run_until(SimTime(2_s));
+
+  EXPECT_EQ(injector.stats().total_kills, 1u);
+  ASSERT_FALSE(injector.events().empty());
+  EXPECT_EQ(injector.events().front().vm, "vm0");
+}
+
 } // namespace
 } // namespace tsn::faults

@@ -1,0 +1,175 @@
+// tsnfta_fuzz: randomized fault-campaign fuzzer with invariant oracles
+// and seed shrinking.
+//
+// Campaign mode (default): derive `seeds` randomized testbeds + fault
+// profiles from `master_seed`, run each with the InvariantSuite attached,
+// and report a deterministic verdict table (byte-identical for any
+// threads=). On the first failing case, write a self-contained replay
+// file and -- unless shrink=0 -- delta-debug the fault schedule down to a
+// minimal reproducer (<case>.min.replay).
+//
+//   tsnfta_fuzz seeds=64 threads=4
+//   tsnfta_fuzz seeds=256 master_seed=7 duration_s=120 out=findings/
+//
+// Replay mode: re-run one saved case (campaign finding or corpus file)
+// and print its verdict; exit 1 if it still fails.
+//
+//   tsnfta_fuzz replay=tests/corpus/near_quorum_loss.replay
+//   tsnfta_fuzz replay=finding.replay shrink=1
+//
+// Export mode: run one derived case and save its scripted twin as a
+// replay file regardless of verdict -- how interesting passing cases get
+// promoted into tests/corpus/.
+//
+//   tsnfta_fuzz export=83 out=tests/corpus name=burst_kill
+//
+// Exit codes: 0 all cases clean, 1 invariant violation(s) found, 2 usage.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "check/fuzz.hpp"
+#include "util/config.hpp"
+#include "util/log.hpp"
+#include "util/str.hpp"
+
+using namespace tsn;
+
+namespace {
+
+void print_violations(const check::CaseResult& r, std::size_t limit = 8) {
+  const std::size_t n = std::min(limit, r.violations.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const check::Violation& v = r.violations[i];
+    std::printf("    [%s] t=%lld ms: %s\n", v.invariant.c_str(),
+                (long long)(v.t_ns / 1'000'000), v.message.c_str());
+  }
+  if (r.violations.size() > n) {
+    std::printf("    ... and %zu more\n", r.violations.size() - n);
+  }
+}
+
+int shrink_and_write(const check::FuzzCase& c, const std::string& stem) {
+  std::printf("shrinking %s (each probe is a full re-run)...\n", stem.c_str());
+  const check::ShrinkOutcome sh = check::shrink_case(c);
+  if (!sh.reproduced) {
+    std::printf("  scripted twin did not reproduce [%s]; kept the un-shrunk schedule\n",
+                sh.target_invariant.c_str());
+    return 1;
+  }
+  const std::string min_path = stem + ".min.replay";
+  check::write_replay(min_path, sh.minimized);
+  std::printf("  %zu -> %zu faults in %zu probe runs, target [%s] -> %s\n",
+              sh.stats.initial_size, sh.stats.final_size, sh.stats.tests_run,
+              sh.target_invariant.c_str(), min_path.c_str());
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  util::Config cli;
+  try {
+    cli = util::Config::from_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "usage: tsnfta_fuzz [key=value ...]   (%s)\n", e.what());
+    return 2;
+  }
+  util::set_log_level(util::parse_log_level(cli.get_string("log", "warn")));
+  const bool do_shrink = cli.get_bool("shrink", true);
+
+  // ---- replay mode -------------------------------------------------------
+  if (cli.has("replay")) {
+    const std::string path = cli.get_string("replay");
+    check::FuzzCase c;
+    try {
+      c = check::load_replay(path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "tsnfta_fuzz: %s\n", e.what());
+      return 2;
+    }
+    std::printf("replaying %s (seed %llu, %zu ECDs, f=%d, %zu scripted faults)\n", path.c_str(),
+                (unsigned long long)c.scenario.seed, c.scenario.num_ecds, c.scenario.fta_f,
+                c.replay.size());
+    const check::CaseResult r = check::run_case(c);
+    std::printf("verdict: %s (kills=%llu, Pi=%.2f us)\n", r.summary.c_str(),
+                (unsigned long long)r.injector_stats.total_kills, r.bound_ns / 1000.0);
+    if (!r.failed()) return 0;
+    print_violations(r);
+    if (do_shrink && !r.violations.empty()) {
+      std::string stem = path;
+      const std::size_t dot = stem.rfind(".replay");
+      if (dot != std::string::npos) stem = stem.substr(0, dot);
+      return shrink_and_write(c, stem);
+    }
+    return 1;
+  }
+
+  // ---- export mode -------------------------------------------------------
+  if (cli.has("export")) {
+    const std::uint64_t index = static_cast<std::uint64_t>(cli.get_int("export", 0));
+    const std::uint64_t master_seed = static_cast<std::uint64_t>(cli.get_int("master_seed", 1));
+    const std::int64_t duration_ns = cli.get_int("duration_s", 120) * 1'000'000'000LL;
+    const std::string out_dir = cli.get_string("out", ".");
+    check::FuzzCase c = check::derive_case(master_seed, index, duration_ns);
+    const check::CaseResult r = check::run_case(c);
+    std::printf("case %llu: seed=%llu ecds=%zu f=%d kills=%llu verdict=%s\n",
+                (unsigned long long)index, (unsigned long long)c.scenario.seed, c.scenario.num_ecds,
+                c.scenario.fta_f, (unsigned long long)r.injector_stats.total_kills,
+                r.summary.c_str());
+    if (!r.brought_up) return 1;
+    // Persist the scripted twin: the saved schedule is exactly the fault
+    // sequence this run executed, so the corpus file stays schedule-exact
+    // even if the injector's RNG streams change later.
+    check::FuzzCase scripted = c;
+    scripted.replay = check::schedule_from_events(r.events);
+    const std::string name = cli.get_string(
+        "name", util::format("fuzz_%llu_%llu", (unsigned long long)master_seed,
+                             (unsigned long long)index));
+    const std::string path = out_dir + "/" + name + ".replay";
+    check::write_replay(path, scripted);
+    std::printf("exported %zu scripted faults -> %s\n", scripted.replay.size(), path.c_str());
+    return r.failed() ? 1 : 0;
+  }
+
+  // ---- campaign mode -----------------------------------------------------
+  check::CampaignConfig cfg;
+  cfg.master_seed = static_cast<std::uint64_t>(cli.get_int("master_seed", 1));
+  cfg.num_cases = static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("seeds", 64)));
+  cfg.threads = static_cast<std::size_t>(std::max<std::int64_t>(0, cli.get_int("threads", 1)));
+  cfg.duration_ns = cli.get_int("duration_s", 120) * 1'000'000'000LL;
+  const std::string out_dir = cli.get_string("out", ".");
+
+  std::printf("fuzz campaign: %zu cases from master_seed=%llu, %llds fault phase each\n",
+              cfg.num_cases, (unsigned long long)cfg.master_seed,
+              (long long)(cfg.duration_ns / 1'000'000'000LL));
+  const check::CampaignResult result = check::run_campaign(cfg);
+  std::fputs(result.summary_text().c_str(), stdout);
+
+  if (result.failures == 0) return 0;
+
+  // Write a replay for every failing case; shrink the first.
+  int rc = 1;
+  bool shrunk = false;
+  for (const check::CaseResult& r : result.cases) {
+    if (!r.failed()) continue;
+    std::printf("\ncase %llu FAILED: %s\n", (unsigned long long)r.index, r.summary.c_str());
+    print_violations(r);
+    if (!r.brought_up) continue; // no schedule to persist
+    check::FuzzCase c = check::derive_case(cfg.master_seed, r.index, cfg.duration_ns);
+    const std::string stem =
+        util::format("%s/fuzz_%llu_%llu", out_dir.c_str(), (unsigned long long)cfg.master_seed,
+                     (unsigned long long)r.index);
+    // Persist the scripted twin so the replay is schedule-exact even if
+    // injector RNG streams change later.
+    check::FuzzCase scripted = c;
+    scripted.replay = check::schedule_from_events(r.events);
+    check::write_replay(stem + ".replay", scripted);
+    std::printf("  replay -> %s.replay\n", stem.c_str());
+    if (do_shrink && !shrunk && !r.violations.empty()) {
+      shrink_and_write(c, stem);
+      shrunk = true;
+    }
+  }
+  return rc;
+}
