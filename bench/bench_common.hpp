@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -34,10 +35,26 @@ inline void banner(const std::string& title, const std::string& paper_ref) {
 inline experiments::ScenarioConfig scenario_from_cli(const util::Config& cli) {
   experiments::ScenarioConfig cfg;
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  cfg.num_ecds = static_cast<std::size_t>(
+      std::max<std::int64_t>(2, cli.get_int("num_ecds", (std::int64_t)cfg.num_ecds)));
+  cfg.topology = experiments::parse_topology(cli.get_string("topology", "mesh"));
+  cfg.num_domains = static_cast<std::size_t>(cli.get_int("num_domains", 0));
+  cfg.partitions = static_cast<std::size_t>(cli.get_int("partitions", 0));
   cfg.sync_interval_ns = cli.get_int("sync_interval_ns", cfg.sync_interval_ns);
   cfg.validity_threshold_ns = cli.get_double("validity_threshold_ns", cfg.validity_threshold_ns);
   cfg.synctime_feed_forward = cli.get_bool("feed_forward", cfg.synctime_feed_forward);
   return cfg;
+}
+
+/// Binaries whose measurement path rides the single serial event loop
+/// (attacker schedules, pcap, live injector event recording) call this
+/// right after assembling their config: it rejects `partitions=` with
+/// the reason instead of a mid-run logic_error from Scenario::sim().
+inline void require_serial(const experiments::ScenarioConfig& cfg, const char* why) {
+  if (cfg.partitions == 0) return;
+  std::fprintf(stderr, "partitions=%zu is not supported by this binary: %s\n", cfg.partitions,
+               why);
+  std::exit(2);
 }
 
 /// `threads=` knob shared by every bench: 0 (default) = hardware

@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
   };
 
   const auto base_cfg = bench::scenario_from_cli(cli);
+  bench::require_serial(base_cfg, "the attacker schedule mutates GM VMs from the serial loop");
   sweep::SweepRunner runner(bench::sweep_options_from_cli(cli));
   const auto results =
       runner.run(sweep::seed_sweep(base_cfg, bench::seeds_from_cli(cli)), run_replica);

@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
   };
 
   const auto base_cfg = bench::scenario_from_cli(cli);
+  bench::require_serial(base_cfg, "injector events record into the live serial event log");
   sweep::SweepRunner runner(bench::sweep_options_from_cli(cli));
   const auto results =
       runner.run(sweep::seed_sweep(base_cfg, bench::seeds_from_cli(cli)), run_replica);

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
                 "Fig. 5 (DSN-S'23 sec. III-C)");
 
   experiments::ScenarioConfig cfg = bench::scenario_from_cli(cli);
+  bench::require_serial(cfg, "injector events record into the live serial event log");
   experiments::Scenario scenario(cfg);
   experiments::ExperimentHarness harness(scenario);
 

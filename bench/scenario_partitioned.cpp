@@ -1,0 +1,56 @@
+// Partitioned-scaling benchmark: one 64-ECD scenario executed serially
+// (partitions = 0, the legacy single event loop) and on the
+// conservative-parallel runtime with increasing worker shard counts.
+// items_per_second is simulated events per wall second -- the speedup
+// claim of the partitioned runtime is the ratio of a partitions=N row to
+// the partitions=0 row on the same machine.
+//
+// Not part of BENCH_micro.json: the result depends on core count, so a
+// committed baseline would be meaningless across machines. CI computes
+// the speedup ratio from a fresh run instead (see .github/workflows).
+#include <benchmark/benchmark.h>
+
+#include "experiments/scenario.hpp"
+
+namespace {
+
+using namespace tsn;
+
+void BM_ScenarioPartitioned(benchmark::State& state) {
+  experiments::ScenarioConfig cfg;
+  cfg.seed = 7;
+  cfg.num_ecds = static_cast<std::size_t>(state.range(0));
+  cfg.topology = experiments::TopologyKind::kRing;
+  cfg.num_domains = 8;
+  cfg.partitions = static_cast<std::size_t>(state.range(1));
+
+  experiments::Scenario scenario(cfg);
+  scenario.start();
+  // Warm up past the boot burst so iterations measure steady-state
+  // protocol traffic (sync, monitors, startup-phase aggregation).
+  scenario.run_to(scenario.now_ns() + 500'000'000LL);
+
+  const std::uint64_t events_before = scenario.events_executed();
+  for (auto _ : state) {
+    scenario.run_to(scenario.now_ns() + 250'000'000LL);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(scenario.events_executed() - events_before));
+  state.counters["shards"] = static_cast<double>(cfg.partitions);
+}
+
+// partitions=0 is the serial baseline; 1..8 scale the shard count over
+// the same 64-region world (results byte-identical for every value >= 1).
+BENCHMARK(BM_ScenarioPartitioned)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 4})
+    ->Args({64, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+} // namespace
+
+BENCHMARK_MAIN();

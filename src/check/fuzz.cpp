@@ -67,6 +67,13 @@ FuzzCase derive_case(std::uint64_t master_seed, std::uint64_t index, std::int64_
   inj.standby_kills_per_hour = rng.uniform(20.0, 90.0);
   inj.standby_min_gap_ns = odd_ns(rng.uniform_int(8'000'000'000LL, 20'000'000'000LL));
   inj.standby_downtime_ns = odd_ns(rng.uniform_int(5'000'000'000LL, 20'000'000'000LL));
+
+  // A quarter of the cases run on the conservative-parallel runtime.
+  // partitions = 1 keeps each fuzz worker single-threaded (the campaign
+  // already parallelizes across cases) while still exercising every
+  // cross-region protocol path: boundary links, control channels, the
+  // merged oracle dispatch.
+  s.partitions = rng.chance(0.25) ? 1 : 0;
   return c;
 }
 
@@ -87,7 +94,12 @@ CaseResult run_case(const FuzzCase& c) {
     sp.bound_ns = cal.bound.pi_ns;
     suite.add_default_invariants(sp);
 
-    faults::FaultInjector injector(scenario.sim(), scenario.ecd_ptrs(), c.injector);
+    faults::FaultInjector injector(scenario.control_sim(), scenario.ecd_ptrs(), c.injector);
+    if (scenario.partitioned()) {
+      std::vector<std::size_t> regions(scenario.num_ecds());
+      for (std::size_t r = 0; r < regions.size(); ++r) regions[r] = r;
+      injector.set_partitioned(scenario.runtime(), std::move(regions), /*home_region=*/0);
+    }
     suite.observe(injector);
     suite.arm();
     if (!c.replay.empty()) {
@@ -96,8 +108,15 @@ CaseResult run_case(const FuzzCase& c) {
       injector.start();
     }
 
-    const std::int64_t t0 = scenario.sim().now().ns();
-    scenario.sim().run_until(sim::SimTime(t0 + c.duration_ns));
+    // Chunked so partitioned runs get their oracle sampling ticks at the
+    // stage boundaries (poll_now is a no-op when serial, and a serial
+    // run_until chunked at arbitrary times executes identically).
+    const std::int64_t end = scenario.now_ns() + c.duration_ns;
+    const std::int64_t step = 1'000'000'000;
+    while (scenario.now_ns() < end) {
+      scenario.run_to(std::min(end, scenario.now_ns() + step));
+      suite.poll_now();
+    }
     suite.finalize();
 
     out.summary = suite.summary();
@@ -167,6 +186,9 @@ std::string replay_to_text(const FuzzCase& c) {
   out += util::format("num_ecds=%zu\n", s.num_ecds);
   out += util::format("fta_f=%d\n", s.fta_f);
   out += util::format("aggregation=%s\n", method_name(s.aggregation));
+  out += util::format("topology=%s\n", experiments::topology_name(s.topology));
+  out += util::format("num_domains=%zu\n", s.num_domains);
+  out += util::format("partitions=%zu\n", s.partitions);
   out += util::format("max_drift_ppm=%.17g\n", s.max_drift_ppm);
   out += util::format("wander_sigma_ppm=%.17g\n", s.wander_sigma_ppm);
   out += util::format("nic_ts_jitter_ns=%.17g\n", s.nic_ts_jitter_ns);
@@ -256,6 +278,9 @@ FuzzCase replay_from_text(const std::string& text) {
   s.num_ecds = static_cast<std::size_t>(get_i("num_ecds", (std::int64_t)s.num_ecds));
   s.fta_f = static_cast<int>(get_i("fta_f", s.fta_f));
   if (kv.count("aggregation")) s.aggregation = parse_method(kv["aggregation"]);
+  if (kv.count("topology")) s.topology = experiments::parse_topology(kv["topology"]);
+  s.num_domains = static_cast<std::size_t>(get_i("num_domains", (std::int64_t)s.num_domains));
+  s.partitions = static_cast<std::size_t>(get_i("partitions", (std::int64_t)s.partitions));
   s.max_drift_ppm = get_d("max_drift_ppm", s.max_drift_ppm);
   s.wander_sigma_ppm = get_d("wander_sigma_ppm", s.wander_sigma_ppm);
   s.nic_ts_jitter_ns = get_d("nic_ts_jitter_ns", s.nic_ts_jitter_ns);

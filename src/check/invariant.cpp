@@ -383,10 +383,20 @@ void InvariantSuite::observe(faults::FaultInjector& injector) {
 void InvariantSuite::arm() {
   if (armed_) return;
   armed_ = true;
-  // Everything already in the ring is pre-arm history (boot, startup
+  // Everything already in the rings is pre-arm history (boot, startup
   // phase); the oracles judge the run from here on.
-  trace_cursor_ = scenario_.trace().total();
   injections_.clear();
+  if (scenario_.partitioned()) {
+    region_cursors_.resize(scenario_.region_count());
+    for (std::size_t r = 0; r < region_cursors_.size(); ++r) {
+      region_cursors_[r] = scenario_.region_trace(r).total();
+    }
+    // No periodic tick: no single Simulation drives a partitioned world,
+    // and a region-local task could not safely sample its neighbors. The
+    // driver calls poll_now() between stages instead.
+    return;
+  }
+  trace_cursor_ = scenario_.trace().total();
   const std::int64_t start = scenario_.sim().now().ns();
   poll_ = scenario_.sim().every(sim::SimTime(start + poll_period_ns_), poll_period_ns_,
                                 [this](sim::SimTime t) { poll(t.ns()); });
@@ -398,7 +408,63 @@ void InvariantSuite::poll(std::int64_t now_ns) {
   for (auto& inv : invariants_) inv->on_sample(now_ns);
 }
 
+void InvariantSuite::poll_now() {
+  if (!armed_ || finalized_ || !scenario_.partitioned()) return;
+  poll(scenario_.now_ns());
+}
+
 void InvariantSuite::dispatch_until(std::int64_t now_ns) {
+  if (scenario_.partitioned()) {
+    // K-way merge of the region rings: tag each drained record with its
+    // region and sort by (time, region) -- stable, so a region's records
+    // keep their deterministic execution order. The home region's
+    // injection stream is folded in afterwards like the serial path.
+    struct Tagged {
+      obs::TraceRecord rec;
+      std::size_t region;
+    };
+    std::vector<Tagged> tagged;
+    for (std::size_t r = 0; r < region_cursors_.size(); ++r) {
+      drain_buf_.clear();
+      const std::uint64_t lost =
+          scenario_.region_trace(r).read_since(region_cursors_[r], drain_buf_);
+      if (lost > 0) {
+        report(Violation{"trace-overrun", now_ns,
+                         util::format("region %zu: %llu trace records overwritten before the "
+                                      "suite read them (raise the ring capacity or poll more)",
+                                      r, (unsigned long long)lost)});
+      }
+      for (const obs::TraceRecord& rec : drain_buf_) tagged.push_back({rec, r});
+    }
+    std::stable_sort(tagged.begin(), tagged.end(), [](const Tagged& a, const Tagged& b) {
+      if (a.rec.t_ns != b.rec.t_ns) return a.rec.t_ns < b.rec.t_ns;
+      return a.region < b.region;
+    });
+    // Injections arrive at the home region in report order, which is not
+    // monotone in the event's at_ns (local kills report immediately,
+    // remote ones a control-hop later) -- sort a snapshot.
+    std::vector<faults::InjectionEvent> inj(injections_.begin(), injections_.end());
+    injections_.clear();
+    std::stable_sort(inj.begin(), inj.end(),
+                     [](const faults::InjectionEvent& a, const faults::InjectionEvent& b) {
+                       return a.at_ns < b.at_ns;
+                     });
+    std::size_t ti = 0, ii = 0;
+    while (ti < tagged.size() || ii < inj.size()) {
+      const bool take_injection =
+          ii < inj.size() && (ti >= tagged.size() || inj[ii].at_ns <= tagged[ti].rec.t_ns);
+      if (take_injection) {
+        for (auto& inv : invariants_) inv->on_injection(inj[ii]);
+        ++ii;
+      } else {
+        const obs::TraceRing& ring = scenario_.region_trace(tagged[ti].region);
+        for (auto& inv : invariants_) inv->on_trace(tagged[ti].rec, ring);
+        ++ti;
+      }
+    }
+    return;
+  }
+
   drain_buf_.clear();
   const std::uint64_t lost = scenario_.trace().read_since(trace_cursor_, drain_buf_);
   if (lost > 0) {
@@ -429,7 +495,7 @@ void InvariantSuite::dispatch_until(std::int64_t now_ns) {
 void InvariantSuite::finalize() {
   if (!armed_ || finalized_) return;
   poll_.cancel();
-  const std::int64_t now = scenario_.sim().now().ns();
+  const std::int64_t now = scenario_.now_ns();
   dispatch_until(now);
   for (auto& inv : invariants_) inv->on_sample(now);
   finalized_ = true;

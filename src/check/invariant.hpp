@@ -266,8 +266,15 @@ class InvariantSuite : public ViolationSink {
 
   /// Start checking: sets the trace cursor to "now" (startup transients
   /// before arming are not judged) and schedules the poll task. Call
-  /// after bring_up.
+  /// after bring_up. Partitioned scenarios have no single Simulation to
+  /// carry the periodic tick; the driver calls poll_now() at run_to
+  /// boundaries instead (sampling granularity = stage length).
   void arm();
+
+  /// Drain and dispatch everything outstanding, then run the sampling
+  /// tick, at the current stage boundary. Partitioned mode only (serial
+  /// runs poll automatically); safe no-op before arm()/after finalize().
+  void poll_now();
 
   /// Drain outstanding events, run the end-of-run checks, stop polling.
   /// Idempotent.
@@ -291,6 +298,7 @@ class InvariantSuite : public ViolationSink {
   std::vector<std::unique_ptr<Invariant>> invariants_;
   std::vector<Violation> violations_;
   std::uint64_t trace_cursor_ = 0;
+  std::vector<std::uint64_t> region_cursors_; ///< per-region (partitioned)
   std::vector<obs::TraceRecord> drain_buf_;
   std::deque<faults::InjectionEvent> injections_;
   sim::Simulation::PeriodicHandle poll_;

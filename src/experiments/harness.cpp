@@ -1,5 +1,6 @@
 #include "experiments/harness.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/log.hpp"
@@ -8,28 +9,59 @@
 namespace tsn::experiments {
 
 ExperimentHarness::ExperimentHarness(Scenario& scenario) : scenario_(scenario) {
+  logs_.resize(scenario_.partitioned() ? scenario_.num_ecds() : 1);
   wire_event_recording();
 }
 
 void ExperimentHarness::wire_event_recording() {
-  auto& sim = scenario_.sim();
   for (std::size_t x = 0; x < scenario_.num_ecds(); ++x) {
     hv::Ecd& ecd = scenario_.ecd(x);
-    ecd.monitor().on_vm_failure = [this, &sim, &ecd](std::size_t idx) {
-      events_.record(sim.now().ns(), EventKind::kVmFailure, ecd.vm(idx).name());
+    // Each ECD records into its region's log with its region's clock
+    // (ecd.sim() is the shared Simulation when serial); the callbacks run
+    // only in that region's shard, so the logs need no synchronization.
+    EventLog& log = logs_[scenario_.partitioned() ? x : 0];
+    ecd.monitor().on_vm_failure = [&log, &ecd](std::size_t idx) {
+      log.record(ecd.sim().now().ns(), EventKind::kVmFailure, ecd.vm(idx).name());
     };
-    ecd.monitor().on_takeover = [this, &sim, &ecd](std::size_t idx) {
-      events_.record(sim.now().ns(), EventKind::kTakeover, ecd.vm(idx).name());
+    ecd.monitor().on_takeover = [&log, &ecd](std::size_t idx) {
+      log.record(ecd.sim().now().ns(), EventKind::kTakeover, ecd.vm(idx).name());
     };
-    ecd.monitor().on_vm_recovery = [this, &sim, &ecd](std::size_t idx) {
-      events_.record(sim.now().ns(), EventKind::kVmRecovery, ecd.vm(idx).name());
+    ecd.monitor().on_vm_recovery = [&log, &ecd](std::size_t idx) {
+      log.record(ecd.sim().now().ns(), EventKind::kVmRecovery, ecd.vm(idx).name());
     };
     for (std::size_t i = 0; i < ecd.vm_count(); ++i) {
-      ecd.vm(i).set_fault_callback([this, &sim](const std::string& vm, const std::string& kind) {
-        events_.record(sim.now().ns(), EventKind::kAppFault, vm, kind);
+      ecd.vm(i).set_fault_callback([&log, &ecd](const std::string& vm, const std::string& kind) {
+        log.record(ecd.sim().now().ns(), EventKind::kAppFault, vm, kind);
       });
     }
   }
+}
+
+EventLog& ExperimentHarness::events() {
+  if (!scenario_.partitioned()) return logs_[0];
+  // Rebuild the merged view: (time, region, in-region order) is a total
+  // order identical for every partition count and thread schedule.
+  merged_ = EventLog{};
+  struct Tagged {
+    std::int64_t t_ns;
+    std::size_t region;
+    std::size_t idx;
+  };
+  std::vector<Tagged> order;
+  for (std::size_t r = 0; r < logs_.size(); ++r) {
+    const auto& evs = logs_[r].events();
+    for (std::size_t i = 0; i < evs.size(); ++i) order.push_back({evs[i].t_ns, r, i});
+  }
+  std::sort(order.begin(), order.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.t_ns != b.t_ns) return a.t_ns < b.t_ns;
+    if (a.region != b.region) return a.region < b.region;
+    return a.idx < b.idx;
+  });
+  for (const Tagged& t : order) {
+    const ExperimentEvent& e = logs_[t.region].events()[t.idx];
+    merged_.record(e.t_ns, e.kind, e.subject, e.detail);
+  }
+  return merged_;
 }
 
 void ExperimentHarness::bring_up(std::int64_t limit_ns, std::int64_t settle_ns) {
@@ -37,26 +69,24 @@ void ExperimentHarness::bring_up(std::int64_t limit_ns, std::int64_t settle_ns) 
     scenario_.start();
     started_ = true;
   }
-  auto& sim = scenario_.sim();
   const std::int64_t step = 1'000'000'000;
   while (!scenario_.all_in_fta_phase()) {
-    if (sim.now().ns() > limit_ns) {
+    if (scenario_.now_ns() > limit_ns) {
       throw std::runtime_error("bring_up: initial synchronization did not converge");
     }
-    sim.run_until(sim.now() + step);
+    scenario_.run_to(scenario_.now_ns() + step);
   }
   TSN_LOG_INFO("harness", "all VMs in FTA phase at t=%s",
-               util::hms(sim.now().ns()).c_str());
-  sim.run_until(sim.now() + settle_ns);
+               util::hms(scenario_.now_ns()).c_str());
+  scenario_.run_to(scenario_.now_ns() + settle_ns);
 }
 
 ExperimentHarness::Calibration ExperimentHarness::calibrate(int rounds,
                                                             std::int64_t spacing_ns) {
-  auto& sim = scenario_.sim();
   bool done = false;
   scenario_.path_meter().run(rounds, spacing_ns, [&] { done = true; });
   while (!done) {
-    sim.run_until(sim.now() + spacing_ns);
+    scenario_.run_to(scenario_.now_ns() + spacing_ns);
   }
   auto& meter = scenario_.path_meter();
   calibration_.dmin_ns = meter.dmin_ns();
@@ -76,9 +106,8 @@ ExperimentHarness::Calibration ExperimentHarness::calibrate(int rounds,
 }
 
 void ExperimentHarness::run_measured(std::int64_t duration_ns) {
-  auto& sim = scenario_.sim();
   scenario_.probe().start();
-  sim.run_until(sim.now() + duration_ns);
+  scenario_.run_to(scenario_.now_ns() + duration_ns);
   scenario_.probe().stop();
 }
 

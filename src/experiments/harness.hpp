@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "experiments/event_log.hpp"
 #include "experiments/scenario.hpp"
@@ -37,7 +38,11 @@ class ExperimentHarness {
   /// Start the precision probe and run for `duration_ns`.
   void run_measured(std::int64_t duration_ns);
 
-  EventLog& events() { return events_; }
+  /// The experiment event log. Partitioned scenarios record into one log
+  /// per region (each only ever touched by its region's shard) and this
+  /// accessor merges them by (time, region) on demand; serial scenarios
+  /// return the single live log directly.
+  EventLog& events();
   Scenario& scenario() { return scenario_; }
   const Calibration& calibration() const { return calibration_; }
 
@@ -49,7 +54,8 @@ class ExperimentHarness {
   void wire_event_recording();
 
   Scenario& scenario_;
-  EventLog events_;
+  std::vector<EventLog> logs_; ///< one (serial) or one per region
+  EventLog merged_;            ///< cache for the partitioned events() view
   Calibration calibration_;
   bool started_ = false;
 };

@@ -147,6 +147,9 @@ void dump_events_csv(const EventLog& log, const std::string& path) {
 std::map<std::string, std::string> scenario_kv(const ScenarioConfig& cfg) {
   std::map<std::string, std::string> kv;
   kv["num_ecds"] = std::to_string(cfg.num_ecds);
+  kv["topology"] = topology_name(cfg.topology);
+  kv["num_domains"] = std::to_string(cfg.num_domains);
+  kv["partitions"] = std::to_string(cfg.partitions);
   kv["max_drift_ppm"] = util::format("%g", cfg.max_drift_ppm);
   kv["wander_sigma_ppm"] = util::format("%g", cfg.wander_sigma_ppm);
   kv["nic_ts_jitter_ns"] = util::format("%g", cfg.nic_ts_jitter_ns);

@@ -1,8 +1,9 @@
 #include "experiments/scenario.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <stdexcept>
 
+#include "core/ft_shmem.hpp"
 #include "util/log.hpp"
 #include "util/str.hpp"
 
@@ -17,12 +18,50 @@ const char* redundant_kernel(std::size_t ecd_idx) {
   return kVersions[ecd_idx % 4];
 }
 
+/// Installs a region's frame pool as the build thread's local() for the
+/// duration of that region's component construction, so any buffer a
+/// component touches at build time lives in the right pool. No-op when
+/// `pool` is null (serial mode).
+class PoolScope {
+ public:
+  explicit PoolScope(net::FramePool* pool) : active_(pool != nullptr) {
+    if (active_) net::FramePool::set_local(pool);
+  }
+  ~PoolScope() {
+    if (active_) net::FramePool::set_local(nullptr);
+  }
+  PoolScope(const PoolScope&) = delete;
+  PoolScope& operator=(const PoolScope&) = delete;
+
+ private:
+  bool active_;
+};
+
 } // namespace
 
 Scenario::Scenario(const ScenarioConfig& cfg)
-    : cfg_(cfg), sim_(cfg.seed), pool_base_(net::FramePool::local().stats()) {
-  if (cfg_.num_ecds < 2 || cfg_.gm_kernels.size() < cfg_.num_ecds) {
-    throw std::invalid_argument("Scenario: need >= 2 ECDs and a kernel per GM");
+    : cfg_(cfg),
+      topo_(Topology::build(cfg.topology, cfg.num_ecds)),
+      sim_(cfg.seed),
+      pool_base_(net::FramePool::local().stats()) {
+  if (cfg_.num_ecds < 2 || cfg_.gm_kernels.empty()) {
+    throw std::invalid_argument("Scenario: need >= 2 ECDs and GM kernels");
+  }
+  if (domain_count() < 2 || domain_count() > cfg_.num_ecds) {
+    throw std::invalid_argument("Scenario: need 2 <= num_domains <= num_ecds");
+  }
+  if (cfg_.partitions > 0) {
+    // One region per ECD, always: the decomposition is part of the model,
+    // so results cannot depend on how many shards execute it.
+    runtime_ = std::make_unique<sim::PartitionRuntime>(cfg_.num_ecds, cfg_.seed,
+                                                       cfg_.partitions);
+    for (std::size_t r = 0; r < cfg_.num_ecds; ++r) {
+      pools_.push_back(std::make_unique<net::FramePool>());
+      obs_regions_.push_back(std::make_unique<obs::Observability>());
+    }
+    runtime_->set_region_scope_hook([this](std::size_t r, bool enter) {
+      net::FramePool::set_local(enter ? pools_[r].get() : nullptr);
+    });
   }
   build_ecds();
   build_network();
@@ -32,15 +71,77 @@ Scenario::Scenario(const ScenarioConfig& cfg)
   build_probe();
 }
 
-std::size_t Scenario::mesh_port(std::size_t x, std::size_t y) const {
-  // Ports 2..(num_ecds) of sw_x face the other switches in ascending order.
-  std::size_t rank = 0;
-  for (std::size_t peer = 0; peer < cfg_.num_ecds; ++peer) {
-    if (peer == x) continue;
-    if (peer == y) return 2 + rank;
-    ++rank;
+std::size_t Scenario::domain_count() const {
+  // Default: one domain per ECD, capped at the STSHMEM slot count so that
+  // scaled-up topologies (num_ecds > kMaxDomains) work without an explicit
+  // num_domains=.
+  return cfg_.num_domains == 0 ? std::min(cfg_.num_ecds, core::kMaxDomains)
+                               : cfg_.num_domains;
+}
+
+sim::Simulation& Scenario::sim_for(std::size_t ecd_idx) {
+  return runtime_ ? runtime_->region_sim(ecd_idx) : sim_;
+}
+
+obs::ObsContext Scenario::obs_for(std::size_t ecd_idx) {
+  return runtime_ ? obs_regions_[ecd_idx]->context() : obs_.context();
+}
+
+sim::Simulation& Scenario::sim() {
+  if (runtime_ != nullptr) {
+    throw std::logic_error(
+        "Scenario::sim() is serial-only; a partitioned world has one "
+        "Simulation per region (run_to()/now_ns(), ecd(x).sim())");
   }
-  throw std::invalid_argument("mesh_port: x == y");
+  return sim_;
+}
+
+obs::MetricsRegistry& Scenario::metrics() {
+  if (runtime_ != nullptr) {
+    throw std::logic_error("Scenario::metrics() is serial-only; partitioned "
+                           "worlds merge region registries in metrics_snapshot()");
+  }
+  return obs_.metrics;
+}
+
+obs::TraceRing& Scenario::trace() {
+  if (runtime_ != nullptr) {
+    throw std::logic_error(
+        "Scenario::trace() is serial-only; use region_trace(r)");
+  }
+  return obs_.trace;
+}
+
+obs::TraceRing& Scenario::region_trace(std::size_t r) {
+  if (runtime_ == nullptr) {
+    if (r != 0) throw std::out_of_range("region_trace: serial world has region 0 only");
+    return obs_.trace;
+  }
+  return obs_regions_.at(r)->trace;
+}
+
+void Scenario::run_to(std::int64_t t_ns) {
+  if (runtime_) {
+    runtime_->run_until(sim::SimTime(t_ns));
+  } else {
+    sim_.run_until(sim::SimTime(t_ns));
+  }
+}
+
+std::int64_t Scenario::now_ns() const {
+  return runtime_ ? runtime_->now().ns() : sim_.now().ns();
+}
+
+std::uint64_t Scenario::events_executed() const {
+  return runtime_ ? runtime_->events_executed() : sim_.events_executed();
+}
+
+sim::Simulation& Scenario::control_sim() {
+  return runtime_ ? runtime_->region_sim(0) : sim_;
+}
+
+std::size_t Scenario::mesh_port(std::size_t x, std::size_t y) const {
+  return topo_.port(x, y);
 }
 
 void Scenario::build_ecds() {
@@ -55,27 +156,34 @@ void Scenario::build_ecds() {
   tsc_model.timestamp_jitter_ns = 0.0;
 
   util::RngStream phase_rng = sim_.make_rng("initial-phase");
+  const std::size_t domains = domain_count();
 
   for (std::size_t x = 0; x < cfg_.num_ecds; ++x) {
+    PoolScope pool(runtime_ ? pools_[x].get() : nullptr);
     hv::EcdConfig ecfg;
     ecfg.name = util::format("ecd%zu", x + 1);
     ecfg.tsc = tsc_model;
-    ecds_.push_back(std::make_unique<hv::Ecd>(sim_, ecfg, obs_.context()));
+    ecds_.push_back(std::make_unique<hv::Ecd>(sim_for(x), ecfg, obs_for(x)));
 
     for (std::size_t i = 0; i < 2; ++i) {
       hv::ClockSyncVmConfig vcfg;
       vcfg.name = util::format("c%zu%zu", x + 1, i + 1);
       vcfg.mac = net::MacAddress::from_u64(0x020000000000ULL | ((x + 1) << 8) | (i + 1));
       vcfg.phc = nic_phc;
-      for (std::size_t d = 0; d < cfg_.num_ecds; ++d) {
+      for (std::size_t d = 0; d < domains; ++d) {
         vcfg.domains.push_back(static_cast<std::uint8_t>(d + 1));
       }
-      if (i == 0) {
+      // ECD x's first VM is the GM of domain x+1 -- when that domain
+      // exists (num_domains may cap the count below one per ECD; the
+      // remaining first VMs are plain aggregating members).
+      const bool is_gm_vm = (i == 0) && (x < domains);
+      if (is_gm_vm) {
         vcfg.gm_domain = static_cast<std::uint8_t>(x + 1);
-        vcfg.kernel_version = cfg_.gm_kernels[x];
+        vcfg.kernel_version = cfg_.gm_kernels[x % cfg_.gm_kernels.size()];
         vcfg.aggregate = cfg_.gm_mutual_sync; // baseline: GMs free-run
       } else {
-        vcfg.kernel_version = redundant_kernel(x);
+        vcfg.kernel_version =
+            (i == 0) ? cfg_.gm_kernels[x % cfg_.gm_kernels.size()] : redundant_kernel(x);
         // Baseline clients have no startup phase to lean on.
         vcfg.coordinator.skip_startup = !cfg_.gm_mutual_sync;
       }
@@ -103,10 +211,11 @@ void Scenario::build_ecds() {
 
 void Scenario::build_network() {
   net::SwitchConfig scfg;
-  // Ports 0-1 host the two VMs; 2..N mesh to the other switches. The
-  // paper's 4-ECD testbed uses the integrated 6-port switch; larger
-  // fuzzed topologies (up to N=7 for f=2) need num_ecds+1 ports.
-  scfg.port_count = std::max<std::size_t>(6, cfg_.num_ecds + 1);
+  // Ports 0-1 host the two VMs; 2.. face the neighbor switches. The
+  // paper's 4-ECD testbed uses the integrated 6-port switch; a mesh of N
+  // needs num_ecds+1 ports (the PR-5 fuzz constraint), sparse topologies
+  // need 2 + degree.
+  scfg.port_count = std::max<std::size_t>(6, topo_.min_port_count());
   scfg.residence_base_ns = cfg_.switch_residence_ns;
   scfg.residence_jitter_ns = cfg_.switch_residence_jitter_ns;
   scfg.drop_unknown_unicast = true; // the mesh has loops: no flooding
@@ -115,59 +224,73 @@ void Scenario::build_network() {
   scfg.phc.timestamp_jitter_ns = cfg_.nic_ts_jitter_ns;
 
   for (std::size_t x = 0; x < cfg_.num_ecds; ++x) {
-    switches_.push_back(std::make_unique<net::Switch>(sim_, scfg, util::format("sw%zu", x + 1)));
+    PoolScope pool(runtime_ ? pools_[x].get() : nullptr);
+    switches_.push_back(
+        std::make_unique<net::Switch>(sim_for(x), scfg, util::format("sw%zu", x + 1)));
   }
 
   net::LinkConfig host_link;
   host_link.a_to_b = {cfg_.host_link_delay_ns, cfg_.host_link_jitter_ns};
   host_link.b_to_a = {cfg_.host_link_delay_ns, cfg_.host_link_jitter_ns};
 
-  // Host links: VM i of ECD x <-> sw_x port i.
+  // Host links: VM i of ECD x <-> sw_x port i. Always region-local.
   for (std::size_t x = 0; x < cfg_.num_ecds; ++x) {
     for (std::size_t i = 0; i < 2; ++i) {
       links_.push_back(std::make_unique<net::Link>(
-          sim_, vm(x, i).nic().port(), switches_[x]->port(i), host_link,
+          sim_for(x), vm(x, i).nic().port(), switches_[x]->port(i), host_link,
           util::format("c%zu%zu-sw%zu", x + 1, i + 1, x + 1)));
     }
   }
 
-  // Full mesh between switches (slight per-link base asymmetry emulates
-  // cable-length variation and feeds the reading error E).
+  // Switch-to-switch links in ascending edge order (slight per-link base
+  // asymmetry emulates cable-length variation and feeds the reading error
+  // E). The draw order over edges is fixed by the topology, so the mesh
+  // reproduces the legacy wiring byte for byte; in partitioned mode these
+  // are the boundary links whose propagation floor bounds the lookahead.
   util::RngStream asym_rng = sim_.make_rng("link-asymmetry");
-  for (std::size_t x = 0; x < cfg_.num_ecds; ++x) {
-    for (std::size_t y = x + 1; y < cfg_.num_ecds; ++y) {
-      net::LinkConfig mesh;
-      const auto base = cfg_.mesh_link_delay_ns;
-      mesh.a_to_b = {base + asym_rng.uniform_int(-100, 100), cfg_.mesh_link_jitter_ns};
-      mesh.b_to_a = {base + asym_rng.uniform_int(-100, 100), cfg_.mesh_link_jitter_ns};
-      links_.push_back(std::make_unique<net::Link>(
-          sim_, switches_[x]->port(mesh_port(x, y)), switches_[y]->port(mesh_port(y, x)), mesh,
-          util::format("sw%zu-sw%zu", x + 1, y + 1)));
+  for (const TopologyEdge& e : topo_.edges()) {
+    net::LinkConfig mesh;
+    const auto base = cfg_.mesh_link_delay_ns;
+    mesh.a_to_b = {base + asym_rng.uniform_int(-100, 100), cfg_.mesh_link_jitter_ns};
+    mesh.b_to_a = {base + asym_rng.uniform_int(-100, 100), cfg_.mesh_link_jitter_ns};
+    const std::string name = util::format("sw%zu-sw%zu", e.a + 1, e.b + 1);
+    net::Port& port_a = switches_[e.a]->port(topo_.port(e.a, e.b));
+    net::Port& port_b = switches_[e.b]->port(topo_.port(e.b, e.a));
+    if (runtime_) {
+      links_.push_back(
+          net::Link::make_boundary(*runtime_, e.a, port_a, e.b, port_b, mesh, name));
+    } else {
+      links_.push_back(std::make_unique<net::Link>(sim_, port_a, port_b, mesh, name));
     }
   }
 }
 
 void Scenario::build_bridges() {
+  const std::size_t domains = domain_count();
   for (std::size_t x = 0; x < cfg_.num_ecds; ++x) {
+    PoolScope pool(runtime_ ? pools_[x].get() : nullptr);
     gptp::BridgeConfig bcfg;
-    for (std::size_t e = 0; e < cfg_.num_ecds; ++e) {
+    for (std::size_t d = 0; d < domains; ++d) {
+      // Domain d+1 is rooted at ECD d's switch; Sync flows down the
+      // shortest-path tree toward every other switch.
       gptp::BridgeDomainConfig dom;
-      dom.domain = static_cast<std::uint8_t>(e + 1);
-      if (x == e) {
+      dom.domain = static_cast<std::uint8_t>(d + 1);
+      if (x == d) {
         // This switch hosts the domain's GM on port 0.
         dom.slave_port = 0;
         dom.master_ports.insert(1);
-        for (std::size_t y = 0; y < cfg_.num_ecds; ++y) {
-          if (y != x) dom.master_ports.insert(mesh_port(x, y));
-        }
       } else {
-        // Tree: directly toward the GM's switch; other mesh ports passive.
-        dom.slave_port = mesh_port(x, e);
+        // Toward the root; local hosts are leaves.
+        dom.slave_port = topo_.port(x, topo_.next_hop(x, d));
         dom.master_ports = {0, 1};
+      }
+      // Downstream: neighbors that reach the root through this switch.
+      for (std::size_t child : topo_.tree_children(x, d)) {
+        dom.master_ports.insert(topo_.port(x, child));
       }
       bcfg.domains.push_back(dom);
     }
-    bridges_.push_back(std::make_unique<gptp::TimeAwareBridge>(sim_, *switches_[x], bcfg,
+    bridges_.push_back(std::make_unique<gptp::TimeAwareBridge>(sim_for(x), *switches_[x], bcfg,
                                                                util::format("br%zu", x + 1)));
   }
 }
@@ -175,30 +298,41 @@ void Scenario::build_bridges() {
 void Scenario::configure_measurement_vlan() {
   const std::size_t m = cfg_.measurement_ecd;
   const net::MacAddress group = measure::measurement_group();
-  // Root: the measurement ECD's switch fans out over its mesh ports.
+  // The measurement VLAN spans the shortest-path tree rooted at the
+  // measurement ECD (for the mesh: the root fans out directly to every
+  // leaf, the legacy shape).
   switches_[m]->add_vlan_member(kMeasurementVlan, 1); // sender's host port
-  for (std::size_t y = 0; y < cfg_.num_ecds; ++y) {
-    if (y == m) continue;
-    const std::size_t p = mesh_port(m, y);
+  for (std::size_t child : topo_.tree_children(m, m)) {
+    const std::size_t p = topo_.port(m, child);
     switches_[m]->add_vlan_member(kMeasurementVlan, p);
     switches_[m]->add_fdb_entry(kMeasurementVlan, group, p);
-    // Leaves: toward-root port plus both host ports.
-    switches_[y]->add_vlan_member(kMeasurementVlan, mesh_port(y, m));
+  }
+  for (std::size_t y = 0; y < cfg_.num_ecds; ++y) {
+    if (y == m) continue;
+    // Toward-root port, both host ports, and any downstream subtree.
+    switches_[y]->add_vlan_member(kMeasurementVlan, topo_.port(y, topo_.next_hop(y, m)));
     switches_[y]->add_vlan_member(kMeasurementVlan, 0);
     switches_[y]->add_vlan_member(kMeasurementVlan, 1);
     switches_[y]->add_fdb_entry(kMeasurementVlan, group, 0);
     switches_[y]->add_fdb_entry(kMeasurementVlan, group, 1);
+    for (std::size_t child : topo_.tree_children(y, m)) {
+      const std::size_t p = topo_.port(y, child);
+      switches_[y]->add_vlan_member(kMeasurementVlan, p);
+      switches_[y]->add_fdb_entry(kMeasurementVlan, group, p);
+    }
   }
 }
 
 void Scenario::configure_data_fdb() {
   // Static unicast forwarding for every VM MAC on the default VLAN:
-  // direct mesh hop towards the destination ECD, host port locally.
+  // next hop along the shortest path towards the destination ECD (the
+  // direct mesh hop in the legacy shape), host port locally.
   for (std::size_t x = 0; x < cfg_.num_ecds; ++x) {
     for (std::size_t y = 0; y < cfg_.num_ecds; ++y) {
       for (std::size_t i = 0; i < 2; ++i) {
         const net::MacAddress mac = vm(y, i).nic().mac();
-        const std::size_t port = (y == x) ? i : mesh_port(x, y);
+        const std::size_t port =
+            (y == x) ? i : topo_.port(x, topo_.next_hop(x, y));
         switches_[x]->add_fdb_entry(0, mac, port);
       }
     }
@@ -207,19 +341,28 @@ void Scenario::configure_data_fdb() {
 
 void Scenario::build_probe() {
   const std::size_t m = cfg_.measurement_ecd;
-  probe_ = std::make_unique<measure::PrecisionProbe>(sim_, measurement_vm().nic(), cfg_.probe,
-                                                     "probe");
+  {
+    PoolScope pool(runtime_ ? pools_[m].get() : nullptr);
+    probe_ = std::make_unique<measure::PrecisionProbe>(sim_for(m), measurement_vm().nic(),
+                                                       cfg_.probe, "probe");
+  }
+  if (runtime_) probe_->set_partitioned(runtime_.get(), m);
   for (std::size_t x = 0; x < cfg_.num_ecds; ++x) {
     if (x == m) continue; // excludes c^m_1 (asymmetric path) and the sender
     for (std::size_t i = 0; i < 2; ++i) {
-      probe_->add_receiver({vm(x, i).name(), &vm(x, i).nic(), &vm(x, i), ecds_[x].get()});
+      probe_->add_receiver({vm(x, i).name(), &vm(x, i).nic(), &vm(x, i), ecds_[x].get()}, x);
     }
   }
 
-  path_meter_ = std::make_unique<measure::PathDelayMeter>(sim_, 0, "path-meter");
+  {
+    PoolScope pool(runtime_ ? pools_[0].get() : nullptr);
+    path_meter_ = std::make_unique<measure::PathDelayMeter>(sim_for(0), 0, "path-meter");
+  }
+  if (runtime_) path_meter_->set_partitioned(runtime_.get(), 0);
   for (std::size_t x = 0; x < cfg_.num_ecds; ++x) {
     for (std::size_t i = 0; i < 2; ++i) {
-      path_meter_->add_node(vm(x, i).name(), &vm(x, i).nic());
+      path_meter_->add_node(vm(x, i).name(), &vm(x, i).nic(),
+                            runtime_ ? &runtime_->region_sim(x) : nullptr, x);
     }
   }
 }
@@ -246,8 +389,14 @@ std::vector<hv::Ecd*> Scenario::ecd_ptrs() {
 }
 
 void Scenario::start() {
-  for (auto& ecd : ecds_) ecd->start();
-  for (auto& bridge : bridges_) bridge->start();
+  for (std::size_t x = 0; x < ecds_.size(); ++x) {
+    PoolScope pool(runtime_ ? pools_[x].get() : nullptr);
+    ecds_[x]->start();
+  }
+  for (std::size_t x = 0; x < bridges_.size(); ++x) {
+    PoolScope pool(runtime_ ? pools_[x].get() : nullptr);
+    bridges_[x]->start();
+  }
   if (!cfg_.gm_mutual_sync) {
     // Baseline ("clients only"): the aggregating client VM, not the
     // free-running GM, maintains each node's CLOCK_SYNCTIME.
@@ -275,24 +424,61 @@ bool Scenario::all_in_fta_phase() {
 }
 
 obs::MetricsSnapshot Scenario::metrics_snapshot() {
-  const auto& q = sim_.queue().stats();
-  obs_.metrics.gauge("sim.events_executed").set(static_cast<double>(sim_.events_executed()));
-  obs_.metrics.gauge("sim.events_scheduled").set(static_cast<double>(q.scheduled));
-  obs_.metrics.gauge("sim.events_posted").set(static_cast<double>(q.posted));
-  obs_.metrics.gauge("sim.events_cancelled").set(static_cast<double>(q.cancelled));
-  obs_.metrics.gauge("sim.wheel_inserts").set(static_cast<double>(q.wheel_inserts));
-  obs_.metrics.gauge("sim.staged_inserts").set(static_cast<double>(q.staged_inserts));
-  obs_.metrics.gauge("sim.heap_spills").set(static_cast<double>(q.heap_spills));
-  obs_.metrics.gauge("sim.cascades").set(static_cast<double>(q.cascades));
-  const auto& p = net::FramePool::local().stats();
-  const std::uint64_t acquired = p.acquired - pool_base_.acquired;
-  const std::uint64_t released = p.released - pool_base_.released;
-  obs_.metrics.gauge("net.frames_acquired").set(static_cast<double>(acquired));
-  obs_.metrics.gauge("net.frames_released").set(static_cast<double>(released));
-  obs_.metrics.gauge("net.frames_in_flight").set(static_cast<double>(acquired - released));
-  obs_.metrics.gauge("trace.records_total").set(static_cast<double>(obs_.trace.total()));
-  obs_.metrics.gauge("trace.records_dropped").set(static_cast<double>(obs_.trace.dropped()));
-  return obs_.metrics.snapshot();
+  if (runtime_ == nullptr) {
+    const auto& q = sim_.queue().stats();
+    obs_.metrics.gauge("sim.events_executed").set(static_cast<double>(sim_.events_executed()));
+    obs_.metrics.gauge("sim.events_scheduled").set(static_cast<double>(q.scheduled));
+    obs_.metrics.gauge("sim.events_posted").set(static_cast<double>(q.posted));
+    obs_.metrics.gauge("sim.events_cancelled").set(static_cast<double>(q.cancelled));
+    obs_.metrics.gauge("sim.wheel_inserts").set(static_cast<double>(q.wheel_inserts));
+    obs_.metrics.gauge("sim.staged_inserts").set(static_cast<double>(q.staged_inserts));
+    obs_.metrics.gauge("sim.heap_spills").set(static_cast<double>(q.heap_spills));
+    obs_.metrics.gauge("sim.cascades").set(static_cast<double>(q.cascades));
+    const auto& p = net::FramePool::local().stats();
+    const std::uint64_t acquired = p.acquired - pool_base_.acquired;
+    const std::uint64_t released = p.released - pool_base_.released;
+    obs_.metrics.gauge("net.frames_acquired").set(static_cast<double>(acquired));
+    obs_.metrics.gauge("net.frames_released").set(static_cast<double>(released));
+    obs_.metrics.gauge("net.frames_in_flight").set(static_cast<double>(acquired - released));
+    obs_.metrics.gauge("trace.records_total").set(static_cast<double>(obs_.trace.total()));
+    obs_.metrics.gauge("trace.records_dropped").set(static_cast<double>(obs_.trace.dropped()));
+    return obs_.metrics.snapshot();
+  }
+
+  // Partitioned: fold the per-region registries in region order (the
+  // fold, like the sweep runner's, is deterministic whatever thread count
+  // executed the regions), then overlay scheduling totals. Only totals
+  // that the horizon protocol cannot perturb are harvested: posted/
+  // scheduled/cancelled/executed counts are properties of the event set,
+  // while wheel-placement stats (staged vs wheel vs heap, cascades)
+  // depend on when a mailbox was drained relative to the queue cursor --
+  // deterministic results, nondeterministic bookkeeping.
+  std::vector<obs::MetricsSnapshot> parts;
+  parts.reserve(obs_regions_.size());
+  for (auto& o : obs_regions_) parts.push_back(o->metrics.snapshot());
+  obs::MetricsSnapshot s = obs::merge_snapshots(parts);
+  std::uint64_t scheduled = 0, posted = 0, cancelled = 0;
+  std::uint64_t acquired = 0, released = 0, trace_total = 0, trace_dropped = 0;
+  for (std::size_t r = 0; r < runtime_->region_count(); ++r) {
+    const auto& q = runtime_->region_sim(r).queue().stats();
+    scheduled += q.scheduled;
+    posted += q.posted;
+    cancelled += q.cancelled;
+    acquired += pools_[r]->stats().acquired;
+    released += pools_[r]->stats().released;
+    trace_total += obs_regions_[r]->trace.total();
+    trace_dropped += obs_regions_[r]->trace.dropped();
+  }
+  s.gauges["sim.events_executed"] = static_cast<double>(runtime_->events_executed());
+  s.gauges["sim.events_scheduled"] = static_cast<double>(scheduled);
+  s.gauges["sim.events_posted"] = static_cast<double>(posted);
+  s.gauges["sim.events_cancelled"] = static_cast<double>(cancelled);
+  s.gauges["net.frames_acquired"] = static_cast<double>(acquired);
+  s.gauges["net.frames_released"] = static_cast<double>(released);
+  s.gauges["net.frames_in_flight"] = static_cast<double>(acquired - released);
+  s.gauges["trace.records_total"] = static_cast<double>(trace_total);
+  s.gauges["trace.records_dropped"] = static_cast<double>(trace_dropped);
+  return s;
 }
 
 double Scenario::gm_clock_disagreement_ns() {

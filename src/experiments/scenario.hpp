@@ -1,4 +1,4 @@
-// ScenarioBuilder: the paper's testbed (Fig. 2).
+// ScenarioBuilder: the paper's testbed (Fig. 2), generalized.
 //
 // Four ECDs, each with an integrated 6-port TSN switch. The switches form
 // a full mesh (every remote clock-sync VM is exactly three links from the
@@ -8,6 +8,22 @@
 // External port configuration pins one spanning tree per domain rooted at
 // the domain's GM; a measurement VLAN with static multicast forwarding
 // provides the symmetric 3-link paths for the precision probe.
+//
+// Beyond the paper's testbed, the builder scales to 64+ ECDs:
+//   - `topology` picks the switch graph (mesh / ring / tree, see
+//     experiments::Topology); spanning trees, the measurement VLAN and
+//     the unicast FDB all derive from shortest-path routing, and the
+//     default mesh reproduces the legacy 4-ECD wiring byte for byte.
+//   - `num_domains` caps the gPTP domain count below one-per-ECD (the
+//     FTA aggregates one source per domain; 64 domains on 64 ECDs would
+//     be quadratic traffic for no extra fault tolerance).
+//   - `partitions` switches execution to the conservative-parallel
+//     runtime (sim::PartitionRuntime): one region per ECD, `partitions`
+//     worker shards. 0 keeps the serial single-queue path, unchanged.
+//     Partitioned results are byte-identical for every partitions >= 1
+//     and worker schedule (regions and boundary tie-break keys are fixed
+//     by the model, not the shard count); they intentionally differ from
+//     the serial path's numerics, which keeps its legacy RNG streams.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "experiments/topology.hpp"
 #include "gptp/bridge.hpp"
 #include "hv/ecd.hpp"
 #include "measure/path_delay.hpp"
@@ -23,6 +40,7 @@
 #include "net/link.hpp"
 #include "net/switch.hpp"
 #include "obs/obs.hpp"
+#include "sim/partition.hpp"
 #include "sim/simulation.hpp"
 
 namespace tsn::experiments {
@@ -30,6 +48,14 @@ namespace tsn::experiments {
 struct ScenarioConfig {
   std::uint64_t seed = 1;
   std::size_t num_ecds = 4;
+
+  // Scale & execution (see the header comment).
+  TopologyKind topology = TopologyKind::kMesh;
+  /// gPTP domains (and mutually-synchronizing GMs); 0 = one per ECD.
+  std::size_t num_domains = 0;
+  /// Partitioned execution: worker shards for the conservative-parallel
+  /// runtime; 0 = legacy serial event loop.
+  std::size_t partitions = 0;
 
   // Clock models.
   double max_drift_ppm = 5.0;        // the literature value behind Gamma
@@ -67,7 +93,8 @@ struct ScenarioConfig {
   measure::ProbeConfig probe;
   std::size_t measurement_ecd = 0; ///< hosts the measurement VM c^m_2
 
-  /// Kernel version per GM VM (c^x_1); redundant VMs get diverse defaults.
+  /// Kernel version per GM VM (c^x_1), indexed modulo its size (so the
+  /// 4-entry default covers any num_ecds).
   std::vector<std::string> gm_kernels = {"4.19.1", "4.19.1", "4.19.1", "4.19.1"};
 
   /// The paper's architecture mutually synchronizes the GM clocks through
@@ -88,10 +115,31 @@ class Scenario {
   /// Boot all ECDs (cold start at the current simulation time).
   void start();
 
-  sim::Simulation& sim() { return sim_; }
+  /// The single serial Simulation. Serial mode only: a partitioned world
+  /// has one Simulation per region; use run_to()/now_ns() to drive it and
+  /// ecd(x).sim() for a region's clock.
+  sim::Simulation& sim();
   const ScenarioConfig& config() const { return cfg_; }
 
+  // -- Execution facade (both modes) --------------------------------------
+
+  bool partitioned() const { return runtime_ != nullptr; }
+  sim::PartitionRuntime* runtime() { return runtime_.get(); }
+  /// Advance the world to `t_ns` (events exactly at t_ns execute).
+  void run_to(std::int64_t t_ns);
+  /// Common time at stage boundaries (serial: the simulation clock).
+  std::int64_t now_ns() const;
+  /// Events executed so far, summed over regions in partitioned mode.
+  std::uint64_t events_executed() const;
+  /// The Simulation cross-region controllers (fault injector, attacker
+  /// schedules) should live on: region 0's in partitioned mode, the
+  /// serial simulation otherwise.
+  sim::Simulation& control_sim();
+
   std::size_t num_ecds() const { return ecds_.size(); }
+  const Topology& topology() const { return topo_; }
+  /// gPTP domains in this world (== num_ecds unless num_domains caps it).
+  std::size_t domain_count() const;
   hv::Ecd& ecd(std::size_t x) { return *ecds_.at(x); }
   hv::ClockSyncVm& vm(std::size_t ecd_idx, std::size_t vm_idx) {
     return ecds_.at(ecd_idx)->vm(vm_idx);
@@ -108,7 +156,8 @@ class Scenario {
   std::vector<std::string> probe_destinations() const;
   std::string measurement_vm_name() const;
 
-  /// Switch port of sw_x facing sw_y (x != y).
+  /// Switch port of sw_x facing sw_y (adjacent switches; the name is
+  /// historical -- it resolves through the topology's port map).
   std::size_t mesh_port(std::size_t x, std::size_t y) const;
 
   /// True once every running VM's coordinator reached the FTA phase.
@@ -120,11 +169,22 @@ class Scenario {
 
   /// The scenario-wide metrics registry / trace ring every component of
   /// this world reports into. Single-threaded by construction (one world =
-  /// one replica = one thread in the sweep runner).
-  obs::MetricsRegistry& metrics() { return obs_.metrics; }
-  obs::TraceRing& trace() { return obs_.trace; }
+  /// one replica = one thread in the sweep runner). Serial mode only:
+  /// partitioned worlds keep one registry/ring per region (see
+  /// region_trace) and merge deterministically in metrics_snapshot().
+  obs::MetricsRegistry& metrics();
+  obs::TraceRing& trace();
+  /// Region r's trace ring (partitioned mode; serial r must be 0 and
+  /// returns the single ring). Records within one ring are in that
+  /// region's deterministic execution order.
+  obs::TraceRing& region_trace(std::size_t r);
+  std::size_t region_count() const { return runtime_ ? runtime_->region_count() : 1; }
+
   /// Registry snapshot plus the event-queue totals harvested as gauges
-  /// ("sim.events_executed", "sim.events_scheduled", ...).
+  /// ("sim.events_executed", "sim.events_scheduled", ...). Partitioned:
+  /// region registries merged in region order; only scheduling totals
+  /// that are invariant under the horizon protocol are included (wheel
+  /// placement stats depend on drain timing and are omitted).
   obs::MetricsSnapshot metrics_snapshot();
 
  private:
@@ -134,16 +194,27 @@ class Scenario {
   void configure_measurement_vlan();
   void configure_data_fdb();
   void build_probe();
+  sim::Simulation& sim_for(std::size_t ecd_idx);
+  obs::ObsContext obs_for(std::size_t ecd_idx);
 
   ScenarioConfig cfg_;
+  Topology topo_;
   sim::Simulation sim_;
-  /// Frame-pool counters at construction. The pool is thread-local and
-  /// outlives scenarios, so only the per-scenario deltas of the
-  /// monotonic counters (acquired/released) are deterministic across
-  /// sweep replicas; absolute totals, high_water and chunk counts carry
-  /// history from whatever ran on this thread before.
+  /// Frame-pool counters at construction. The (serial) pool is
+  /// thread-local and outlives scenarios, so only the per-scenario deltas
+  /// of the monotonic counters (acquired/released) are deterministic
+  /// across sweep replicas; absolute totals, high_water and chunk counts
+  /// carry history from whatever ran on this thread before.
   net::FramePool::Stats pool_base_;
+  /// Partitioned mode: one private pool per region, installed as the
+  /// executing thread's FramePool::local() around that region's events by
+  /// the runtime's scope hook. Declared before runtime_ and the
+  /// components so every FrameRef (event closures in the region queues,
+  /// ETF slots in ports) drops its buffer before the pools die.
+  std::vector<std::unique_ptr<net::FramePool>> pools_;
+  std::unique_ptr<sim::PartitionRuntime> runtime_;
   obs::Observability obs_; ///< must outlive the components holding handles
+  std::vector<std::unique_ptr<obs::Observability>> obs_regions_;
   std::vector<std::unique_ptr<hv::Ecd>> ecds_;
   std::vector<std::unique_ptr<net::Switch>> switches_;
   std::vector<std::unique_ptr<gptp::TimeAwareBridge>> bridges_;

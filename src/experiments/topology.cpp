@@ -1,0 +1,110 @@
+#include "experiments/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace tsn::experiments {
+
+TopologyKind parse_topology(const std::string& name) {
+  if (name == "mesh") return TopologyKind::kMesh;
+  if (name == "ring") return TopologyKind::kRing;
+  if (name == "tree") return TopologyKind::kTree;
+  throw std::invalid_argument("unknown topology '" + name +
+                              "' (expected mesh, ring or tree)");
+}
+
+const char* topology_name(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kMesh: return "mesh";
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kTree: return "tree";
+  }
+  return "?";
+}
+
+Topology Topology::build(TopologyKind kind, std::size_t n) {
+  if (n < 2) throw std::invalid_argument("Topology: need >= 2 switches");
+  Topology t;
+  t.kind_ = kind;
+  t.adj_.assign(n, {});
+  auto link = [&t](std::size_t a, std::size_t b) {
+    t.adj_[a].push_back(b);
+    t.adj_[b].push_back(a);
+  };
+  switch (kind) {
+    case TopologyKind::kMesh:
+      for (std::size_t x = 0; x < n; ++x) {
+        for (std::size_t y = x + 1; y < n; ++y) link(x, y);
+      }
+      break;
+    case TopologyKind::kRing:
+      for (std::size_t x = 0; x + 1 < n; ++x) link(x, x + 1);
+      if (n > 2) link(0, n - 1); // n == 2 collapses to a single link
+      break;
+    case TopologyKind::kTree:
+      for (std::size_t x = 1; x < n; ++x) link((x - 1) / 2, x);
+      break;
+  }
+  for (auto& nb : t.adj_) std::sort(nb.begin(), nb.end());
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y : t.adj_[x]) {
+      if (y > x) t.edges_.push_back({x, y});
+    }
+  }
+
+  // All-pairs first hops: one BFS per destination, ascending neighbor
+  // expansion so equal-length paths break ties toward lower indices.
+  t.next_hop_.assign(n, std::vector<std::size_t>(n, SIZE_MAX));
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    auto& hop = t.next_hop_;
+    hop[dst][dst] = dst;
+    std::deque<std::size_t> frontier{dst};
+    while (!frontier.empty()) {
+      const std::size_t v = frontier.front();
+      frontier.pop_front();
+      for (std::size_t w : t.adj_[v]) {
+        if (hop[w][dst] != SIZE_MAX) continue;
+        hop[w][dst] = v; // first hop from w toward dst
+        frontier.push_back(w);
+      }
+    }
+    for (std::size_t x = 0; x < n; ++x) {
+      if (hop[x][dst] == SIZE_MAX) {
+        throw std::logic_error("Topology: graph is not connected");
+      }
+    }
+  }
+  return t;
+}
+
+std::size_t Topology::port(std::size_t x, std::size_t y) const {
+  const auto& nb = adj_.at(x);
+  const auto it = std::lower_bound(nb.begin(), nb.end(), y);
+  if (it == nb.end() || *it != y) {
+    throw std::invalid_argument("Topology::port: switches not adjacent");
+  }
+  return 2 + static_cast<std::size_t>(it - nb.begin());
+}
+
+std::size_t Topology::next_hop(std::size_t x, std::size_t dst) const {
+  if (x == dst) throw std::invalid_argument("Topology::next_hop: x == dst");
+  return next_hop_.at(x).at(dst);
+}
+
+std::vector<std::size_t> Topology::tree_children(std::size_t x,
+                                                 std::size_t root) const {
+  std::vector<std::size_t> out;
+  for (std::size_t y : adj_.at(x)) {
+    if (y != root && next_hop_.at(y).at(root) == x) out.push_back(y);
+  }
+  return out;
+}
+
+std::size_t Topology::max_degree() const {
+  std::size_t d = 0;
+  for (const auto& nb : adj_) d = std::max(d, nb.size());
+  return d;
+}
+
+} // namespace tsn::experiments

@@ -1,0 +1,77 @@
+// Switch-level topology generators for scenario construction.
+//
+// The paper's testbed is a 4-switch full mesh; scaling the simulation to
+// 64+ ECDs needs sparser shapes (the INET gPTP showcases use rings and
+// trees for the same reason). A Topology fixes, deterministically:
+//
+//   - the edge list between ECD switches, in ascending (a, b) order —
+//     this is also the order any per-link randomness (cable-asymmetry
+//     draws) is consumed in, so the mesh case reproduces the legacy
+//     scenario byte for byte;
+//   - the port map: ports 0/1 of every switch host its two VMs, ports
+//     2.. face the neighbors in ascending index order;
+//   - shortest-path routing (BFS, lowest-index tie-break), from which the
+//     per-domain gPTP spanning trees, the measurement VLAN tree and the
+//     static unicast FDB all derive.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tsn::experiments {
+
+enum class TopologyKind {
+  kMesh, ///< full mesh: every pair of switches linked (the paper's shape)
+  kRing, ///< cycle: switch x links x-1 and x+1 (mod n); 4 ports suffice
+  kTree, ///< balanced binary tree (heap order: children of x are 2x+1, 2x+2)
+};
+
+/// "mesh" / "ring" / "tree"; throws std::invalid_argument otherwise.
+TopologyKind parse_topology(const std::string& name);
+const char* topology_name(TopologyKind kind);
+
+struct TopologyEdge {
+  std::size_t a = 0;
+  std::size_t b = 0; ///< a < b always
+};
+
+class Topology {
+ public:
+  static Topology build(TopologyKind kind, std::size_t n);
+
+  TopologyKind kind() const { return kind_; }
+  std::size_t size() const { return adj_.size(); }
+
+  /// Switch-to-switch links in ascending (a, b) order.
+  const std::vector<TopologyEdge>& edges() const { return edges_; }
+  /// Neighbors of x in ascending index order.
+  const std::vector<std::size_t>& neighbors(std::size_t x) const {
+    return adj_.at(x);
+  }
+
+  /// Port of switch x facing neighbor y: hosts occupy 0 and 1, neighbor
+  /// ports follow from 2 in ascending neighbor order. Throws when x and y
+  /// are not adjacent.
+  std::size_t port(std::size_t x, std::size_t y) const;
+
+  /// First hop from x toward dst along the BFS shortest path (x != dst).
+  std::size_t next_hop(std::size_t x, std::size_t dst) const;
+
+  /// Children of x in the shortest-path tree rooted at `root` (ascending):
+  /// the neighbors that route *through* x to reach the root.
+  std::vector<std::size_t> tree_children(std::size_t x, std::size_t root) const;
+
+  std::size_t max_degree() const;
+  /// Ports a switch needs: two host ports plus one per neighbor.
+  std::size_t min_port_count() const { return 2 + max_degree(); }
+
+ private:
+  TopologyKind kind_ = TopologyKind::kMesh;
+  std::vector<std::vector<std::size_t>> adj_;
+  std::vector<TopologyEdge> edges_;
+  /// next_hop_[x][dst]; next_hop_[x][x] == x.
+  std::vector<std::vector<std::size_t>> next_hop_;
+};
+
+} // namespace tsn::experiments

@@ -10,6 +10,19 @@ FaultInjector::FaultInjector(sim::Simulation& sim, std::vector<hv::Ecd*> ecds,
                              const InjectorConfig& cfg)
     : sim_(sim), ecds_(std::move(ecds)), cfg_(cfg), rng_(sim.make_rng("fault-injector")) {}
 
+void FaultInjector::set_partitioned(sim::PartitionRuntime* rt,
+                                    std::vector<std::size_t> ecd_regions,
+                                    std::size_t home_region) {
+  rt_ = rt;
+  ecd_regions_ = std::move(ecd_regions);
+  home_region_ = home_region;
+  for (std::size_t r : ecd_regions_) {
+    if (r == home_region_) continue;
+    rt_->control_channel(home_region_, r); // kill commands out
+    rt_->control_channel(r, home_region_); // outcome reports back
+  }
+}
+
 bool FaultInjector::peer_running(std::size_t ecd_idx, std::size_t vm_idx) const {
   hv::Ecd& ecd = *ecds_[ecd_idx];
   for (std::size_t j = 0; j < ecd.vm_count(); ++j) {
@@ -27,37 +40,82 @@ void FaultInjector::notify(const InjectionEvent& ev) {
 void FaultInjector::kill(std::size_t ecd_idx, std::size_t vm_idx, bool gm_schedule,
                          std::int64_t downtime_ns, bool raw) {
   if (ecd_idx >= ecds_.size() || vm_idx >= ecds_[ecd_idx]->vm_count()) return;
+  if (rt_ != nullptr && ecd_regions_[ecd_idx] != home_region_) {
+    // Ship the command to the target's region; the liveness guards must
+    // read that region's state, not a cross-thread snapshot.
+    const sim::SimTime at(sim_.now().ns() + 2 * sim::kControlLookaheadNs);
+    rt_->post_control(ecd_regions_[ecd_idx], at,
+                      [this, ecd_idx, vm_idx, gm_schedule, downtime_ns, raw] {
+                        execute_kill(ecd_idx, vm_idx, gm_schedule, downtime_ns, raw);
+                      });
+    return;
+  }
+  execute_kill(ecd_idx, vm_idx, gm_schedule, downtime_ns, raw);
+}
+
+void FaultInjector::execute_kill(std::size_t ecd_idx, std::size_t vm_idx, bool gm_schedule,
+                                 std::int64_t downtime_ns, bool raw) {
   hv::ClockSyncVm& vm = ecds_[ecd_idx]->vm(vm_idx);
+  sim::Simulation& local = ecds_[ecd_idx]->sim();
+  const bool remote = rt_ != nullptr && ecd_regions_[ecd_idx] != home_region_;
   if (!replay_mode_ && spared_.count(&vm) > 0) return;
   if (!vm.running()) return;
   if (!raw && !peer_running(ecd_idx, vm_idx)) {
     // Both VMs of a node failing simultaneously would violate the
     // fail-silent fault hypothesis; the paper's tool avoided it too.
-    ++stats_.skipped_fault_hypothesis;
+    if (remote) {
+      rt_->post_control(home_region_, sim::SimTime(local.now().ns() + sim::kControlLookaheadNs),
+                        [this] { record_skip(); });
+    } else {
+      record_skip();
+    }
     return;
   }
   const bool was_gm = vm.is_gm();
   vm.shutdown();
+  // Not const: by-value lambda capture must stay nothrow-movable.
+  InjectionEvent ev{local.now().ns(), vm.name(),  was_gm, false,
+                    ecd_idx,          vm_idx,     downtime_ns};
+  if (remote) {
+    rt_->post_control(home_region_, sim::SimTime(local.now().ns() + sim::kControlLookaheadNs),
+                      [this, ev, gm_schedule] { record_kill(ev, gm_schedule); });
+  } else {
+    record_kill(ev, gm_schedule);
+  }
+
+  local.after(downtime_ns, [this, ecd_idx, vm_idx, remote] {
+    hv::ClockSyncVm& target = ecds_[ecd_idx]->vm(vm_idx);
+    sim::Simulation& lsim = ecds_[ecd_idx]->sim();
+    target.boot(/*first_boot=*/false);
+    InjectionEvent reboot{lsim.now().ns(), target.name(), target.is_gm(), true,
+                          ecd_idx,         vm_idx,        0};
+    if (remote) {
+      rt_->post_control(home_region_, sim::SimTime(lsim.now().ns() + sim::kControlLookaheadNs),
+                        [this, reboot] { record_reboot(reboot); });
+    } else {
+      record_reboot(reboot);
+    }
+  });
+}
+
+void FaultInjector::record_kill(const InjectionEvent& ev, bool gm_schedule) {
   ++stats_.total_kills;
   ++stats_.pending_reboots;
-  if (gm_schedule || was_gm) {
+  if (gm_schedule || ev.was_gm) {
     ++stats_.gm_kills;
   } else {
     ++stats_.standby_kills;
   }
-  InjectionEvent ev{sim_.now().ns(), vm.name(), was_gm, false, ecd_idx, vm_idx, downtime_ns};
   notify(ev);
-
-  sim_.after(downtime_ns, [this, ecd_idx, vm_idx] {
-    hv::ClockSyncVm& target = ecds_[ecd_idx]->vm(vm_idx);
-    target.boot(/*first_boot=*/false);
-    ++stats_.reboots;
-    --stats_.pending_reboots;
-    InjectionEvent reboot{sim_.now().ns(), target.name(), target.is_gm(), true,
-                          ecd_idx, vm_idx, 0};
-    notify(reboot);
-  });
 }
+
+void FaultInjector::record_reboot(const InjectionEvent& ev) {
+  ++stats_.reboots;
+  --stats_.pending_reboots;
+  notify(ev);
+}
+
+void FaultInjector::record_skip() { ++stats_.skipped_fault_hypothesis; }
 
 void FaultInjector::schedule_gm_round(std::uint64_t round) {
   // Relative to start(): an injector attached after a long bring-up must

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "hv/ecd.hpp"
+#include "sim/partition.hpp"
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
 
@@ -92,6 +93,15 @@ class FaultInjector {
  public:
   FaultInjector(sim::Simulation& sim, std::vector<hv::Ecd*> ecds, const InjectorConfig& cfg);
 
+  /// Partitioned mode: schedule decisions, stats, the event log and all
+  /// listeners stay in `home_region` (the constructor's Simulation must be
+  /// that region's). Kill/reboot commands cross to the target ECD's region
+  /// over control channels (+2 ms), where the liveness guards evaluate
+  /// against local state; outcomes report back home (+1 ms). Call before
+  /// start()/run(); `ecd_regions[i]` is ECD i's region.
+  void set_partitioned(sim::PartitionRuntime* rt, std::vector<std::size_t> ecd_regions,
+                       std::size_t home_region = 0);
+
   /// Exclude a VM from injection (the measurement VM in the paper's setup
   /// must stay alive to produce the precision series).
   void spare(const hv::ClockSyncVm* vm) { spared_.insert(vm); }
@@ -117,6 +127,13 @@ class FaultInjector {
   bool peer_running(std::size_t ecd_idx, std::size_t vm_idx) const;
   void kill(std::size_t ecd_idx, std::size_t vm_idx, bool gm_schedule,
             std::int64_t downtime_ns, bool raw = false);
+  /// Runs in the target ECD's region: guards, shutdown, reboot schedule.
+  void execute_kill(std::size_t ecd_idx, std::size_t vm_idx, bool gm_schedule,
+                    std::int64_t downtime_ns, bool raw);
+  // Bookkeeping; always executes in the home region.
+  void record_kill(const InjectionEvent& ev, bool gm_schedule);
+  void record_reboot(const InjectionEvent& ev);
+  void record_skip();
   void notify(const InjectionEvent& ev);
   void schedule_gm_round(std::uint64_t round);
   void schedule_standby(std::size_t ecd_idx);
@@ -131,6 +148,9 @@ class FaultInjector {
   std::vector<std::function<void(const InjectionEvent&)>> listeners_;
   bool replay_mode_ = false;
   std::int64_t start_ns_ = 0; ///< when start() armed the randomized schedule
+  sim::PartitionRuntime* rt_ = nullptr;
+  std::vector<std::size_t> ecd_regions_;
+  std::size_t home_region_ = 0;
 };
 
 } // namespace tsn::faults

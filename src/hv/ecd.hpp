@@ -40,6 +40,9 @@ class Ecd {
   void start();
 
   const std::string& name() const { return cfg_.name; }
+  /// The Simulation this ECD schedules on (its region's, when the scenario
+  /// is partitioned; the single shared one otherwise).
+  sim::Simulation& sim() { return sim_; }
   time::PhcClock& tsc() { return tsc_; }
   StShmem& st_shmem() { return st_shmem_; }
   HvMonitor& monitor() { return monitor_; }

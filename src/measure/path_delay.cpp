@@ -1,5 +1,6 @@
 #include "measure/path_delay.hpp"
 
+#include <cassert>
 #include <limits>
 
 #include "gptp/wire.hpp"
@@ -10,45 +11,86 @@ PathDelayMeter::PathDelayMeter(sim::Simulation& sim, std::uint16_t vlan_id,
                                const std::string& name)
     : sim_(sim), vlan_id_(vlan_id), name_(name) {}
 
-void PathDelayMeter::add_node(const std::string& node_name, net::Nic* nic) {
-  nodes_.push_back({node_name, nic});
+void PathDelayMeter::set_partitioned(sim::PartitionRuntime* rt, std::size_t home_region) {
+  assert(nodes_.empty()); // channels are set up per node
+  rt_ = rt;
+  home_region_ = home_region;
+}
+
+void PathDelayMeter::add_node(const std::string& node_name, net::Nic* nic,
+                              sim::Simulation* node_sim, std::size_t region) {
+  if (rt_ != nullptr && region != home_region_) {
+    // Deterministic channel ids: create both directions at build time.
+    rt_->control_channel(home_region_, region); // send commands out
+    rt_->control_channel(region, home_region_); // samples back home
+  }
+  const std::uint32_t dst_idx = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back({node_name, nic, node_sim, region});
   nic->set_rx_handler(kEtherTypePathProbe,
-                      [this, node_name](const net::EthernetFrame& frame, const net::RxMeta& meta) {
-                        on_probe(node_name, frame, meta);
+                      [this, dst_idx](const net::EthernetFrame& frame, const net::RxMeta& meta) {
+                        on_probe(dst_idx, frame, meta);
                       });
 }
 
-void PathDelayMeter::on_probe(const std::string& dst, const net::EthernetFrame& frame,
+void PathDelayMeter::on_probe(std::uint32_t dst_idx, const net::EthernetFrame& frame,
                               const net::RxMeta& meta) {
   gptp::ByteReader r(frame.payload);
   const std::uint32_t src_idx = r.u32();
   const std::int64_t tx_true_ns = r.i64();
   if (!r.ok() || src_idx >= nodes_.size()) return;
   const double delay = static_cast<double>(meta.true_rx_time.ns() - tx_true_ns);
-  pairs_[{nodes_[src_idx].name, dst}].delay_ns.add(delay);
+  const Node& dst = nodes_[dst_idx];
+  if (rt_ != nullptr && dst.region != home_region_) {
+    // Executing in the receiver's region: ship the sample home.
+    const sim::SimTime at(dst.sim->now().ns() + sim::kControlLookaheadNs);
+    rt_->post_control(home_region_, at, [this, src_idx, dst_idx, delay] {
+      record(src_idx, dst_idx, delay);
+    });
+    return;
+  }
+  record(src_idx, dst_idx, delay);
+}
+
+void PathDelayMeter::record(std::uint32_t src_idx, std::uint32_t dst_idx, double delay_ns) {
+  pairs_[{nodes_[src_idx].name, nodes_[dst_idx].name}].delay_ns.add(delay_ns);
   ++probes_received_;
+}
+
+void PathDelayMeter::send_from(std::uint32_t src_idx) {
+  const Node& src = nodes_[src_idx];
+  const std::int64_t tx_true_ns = (src.sim != nullptr ? *src.sim : sim_).now().ns();
+  for (const Node& dst : nodes_) {
+    if (dst.nic == src.nic) continue;
+    net::EthernetFrame frame;
+    frame.dst = dst.nic->mac();
+    frame.ethertype = kEtherTypePathProbe;
+    if (vlan_id_ != 0) frame.vlan = net::VlanTag{vlan_id_, 0};
+    gptp::BasicByteWriter<net::Payload> w(frame.payload);
+    w.u32(src_idx);
+    w.i64(tx_true_ns);
+    w.zeros(34); // pad to a plausible probe size
+    src.nic->send(std::move(frame));
+  }
 }
 
 void PathDelayMeter::sweep() {
   for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
-    for (const Node& dst : nodes_) {
-      if (dst.nic == nodes_[i].nic) continue;
-      net::EthernetFrame frame;
-      frame.dst = dst.nic->mac();
-      frame.ethertype = kEtherTypePathProbe;
-      if (vlan_id_ != 0) frame.vlan = net::VlanTag{vlan_id_, 0};
-      gptp::BasicByteWriter<net::Payload> w(frame.payload);
-      w.u32(i);
-      w.i64(sim_.now().ns());
-      w.zeros(34); // pad to a plausible probe size
-      nodes_[i].nic->send(std::move(frame));
+    if (rt_ != nullptr && nodes_[i].region != home_region_) {
+      // Command the node's region to send; +2x lookahead keeps the post
+      // legal however late in the stage this sweep executes.
+      const sim::SimTime at(sim_.now().ns() + 2 * sim::kControlLookaheadNs);
+      rt_->post_control(nodes_[i].region, at, [this, i] { send_from(i); });
+    } else {
+      send_from(i);
     }
   }
   if (--rounds_left_ > 0) {
     sim_.after(spacing_ns_, [this] { sweep(); });
   } else if (on_done_) {
-    // Give in-flight probes time to land before reporting.
-    sim_.after(spacing_ns_, [this] { on_done_(); });
+    // Give in-flight probes time to land before reporting (partitioned:
+    // plus the command/report channel legs).
+    const std::int64_t margin = rt_ != nullptr ? 4 * sim::kControlLookaheadNs : 0;
+    sim_.after(spacing_ns_ + margin, [this] { on_done_(); });
   }
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/nic.hpp"
+#include "sim/partition.hpp"
 #include "sim/simulation.hpp"
 #include "util/stats.hpp"
 
@@ -27,9 +28,18 @@ class PathDelayMeter {
  public:
   PathDelayMeter(sim::Simulation& sim, std::uint16_t vlan_id, const std::string& name);
 
+  /// Partitioned mode: sweeps are coordinated from `home_region` (the
+  /// constructor's Simulation must be that region's). Send commands fan
+  /// out to each node's region over control channels (+2 ms), nodes stamp
+  /// their own region clock, and receivers forward (src, dst, delay)
+  /// samples back home (+1 ms). Call before any add_node().
+  void set_partitioned(sim::PartitionRuntime* rt, std::size_t home_region);
+
   /// Register a node endpoint. All pairwise one-way delays between
-  /// registered nodes are measured.
-  void add_node(const std::string& name, net::Nic* nic);
+  /// registered nodes are measured. `node_sim`/`region` locate the node in
+  /// a partitioned world (serial callers leave the defaults).
+  void add_node(const std::string& name, net::Nic* nic,
+                sim::Simulation* node_sim = nullptr, std::size_t region = 0);
 
   /// Launch `rounds` probe sweeps spaced `spacing_ns` apart, starting now.
   /// `on_done` fires after the last sweep's results are in.
@@ -59,8 +69,10 @@ class PathDelayMeter {
 
  private:
   void sweep();
-  void on_probe(const std::string& dst, const net::EthernetFrame& frame,
+  void send_from(std::uint32_t src_idx);
+  void on_probe(std::uint32_t dst_idx, const net::EthernetFrame& frame,
                 const net::RxMeta& meta);
+  void record(std::uint32_t src_idx, std::uint32_t dst_idx, double delay_ns);
 
   sim::Simulation& sim_;
   std::uint16_t vlan_id_;
@@ -68,8 +80,12 @@ class PathDelayMeter {
   struct Node {
     std::string name;
     net::Nic* nic;
+    sim::Simulation* sim = nullptr; ///< node's region sim (partitioned)
+    std::size_t region = 0;
   };
   std::vector<Node> nodes_;
+  sim::PartitionRuntime* rt_ = nullptr;
+  std::size_t home_region_ = 0;
   std::map<std::pair<std::string, std::string>, PairStats> pairs_;
   std::uint64_t probes_received_ = 0;
   int rounds_left_ = 0;

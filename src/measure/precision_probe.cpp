@@ -1,5 +1,6 @@
 #include "measure/precision_probe.hpp"
 
+#include <cassert>
 #include <cmath>
 
 #include "gptp/wire.hpp"
@@ -19,12 +20,48 @@ PrecisionProbe::PrecisionProbe(sim::Simulation& sim, net::Nic& sender, const Pro
       name_(name),
       ts_jitter_rng_(sim.make_rng("probe-swts/" + name)) {}
 
-void PrecisionProbe::add_receiver(const Receiver& r) {
+void PrecisionProbe::set_partitioned(sim::PartitionRuntime* rt, std::size_t home_region) {
+  assert(receivers_.empty()); // streams/channels are set up per receiver
+  rt_ = rt;
+  home_region_ = home_region;
+}
+
+void PrecisionProbe::add_receiver(const Receiver& r, std::size_t region) {
   receivers_.push_back(r);
   r.nic->join_multicast(measurement_group());
   net::Nic* nic = r.nic;
   hv::ClockSyncVm* vm = r.vm;
   hv::Ecd* ecd = r.ecd;
+  if (rt_ != nullptr) {
+    const bool remote = region != home_region_;
+    if (remote) rt_->control_channel(region, home_region_); // deterministic id
+    rx_rngs_.push_back(ecd->sim().make_rng("probe-swts/" + name_ + "/" + r.name));
+    const std::size_t rx_idx = rx_rngs_.size() - 1;
+    nic->set_rx_handler(
+        kEtherTypePrecisionProbe,
+        [this, vm, ecd, rx_idx, remote](const net::EthernetFrame& frame, const net::RxMeta&) {
+          if (!vm->running()) return; // dead VMs do not serve measurements
+          gptp::ByteReader rd(frame.payload);
+          const std::uint32_t seq = rd.u32();
+          if (!rd.ok()) return;
+          const auto synctime = ecd->read_synctime();
+          if (!synctime) return; // CLOCK_SYNCTIME not yet published
+          util::RngStream& rng = rx_rngs_[rx_idx];
+          double jitter = rng.normal(0.0, cfg_.sw_timestamp_jitter_ns);
+          if (cfg_.sw_ts_tail_prob > 0 && rng.chance(cfg_.sw_ts_tail_prob)) {
+            jitter += rng.exponential(cfg_.sw_ts_tail_mean_ns);
+          }
+          const double stamp = static_cast<double>(*synctime) + jitter;
+          if (!remote) {
+            pending_[seq].push_back(stamp);
+            return;
+          }
+          const sim::SimTime at(ecd->sim().now().ns() + sim::kControlLookaheadNs);
+          rt_->post_control(home_region_, at,
+                            [this, seq, stamp] { pending_[seq].push_back(stamp); });
+        });
+    return;
+  }
   nic->set_rx_handler(
       kEtherTypePrecisionProbe,
       [this, vm, ecd](const net::EthernetFrame& frame, const net::RxMeta&) {

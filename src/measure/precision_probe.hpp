@@ -15,6 +15,7 @@
 
 #include "hv/ecd.hpp"
 #include "net/nic.hpp"
+#include "sim/partition.hpp"
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
 #include "util/series.hpp"
@@ -54,9 +55,19 @@ class PrecisionProbe {
   PrecisionProbe(sim::Simulation& sim, net::Nic& sender, const ProbeConfig& cfg,
                  const std::string& name);
 
+  /// Partitioned mode: the probe (sender, evaluation, series) lives in
+  /// `home_region` — the Simulation passed to the constructor must be that
+  /// region's — and receivers stamp in their own region, forwarding the
+  /// sample over a control channel (+1 ms, well under the collect delay).
+  /// Each receiver gets a private jitter stream (the serial path's single
+  /// shared stream would be advanced in nondeterministic order). Call
+  /// before any add_receiver().
+  void set_partitioned(sim::PartitionRuntime* rt, std::size_t home_region);
+
   /// Register a receiving clock synchronization VM. Per the paper, the
-  /// co-located VM c^m_1 is *not* registered (asymmetric path).
-  void add_receiver(const Receiver& r);
+  /// co-located VM c^m_1 is *not* registered (asymmetric path). `region`
+  /// is the receiver's region (partitioned mode only).
+  void add_receiver(const Receiver& r, std::size_t region = 0);
 
   void start();
   void stop();
@@ -82,6 +93,9 @@ class PrecisionProbe {
   std::string name_;
   std::vector<Receiver> receivers_;
   util::RngStream ts_jitter_rng_;
+  sim::PartitionRuntime* rt_ = nullptr;
+  std::size_t home_region_ = 0;
+  std::vector<util::RngStream> rx_rngs_; ///< per-receiver (partitioned)
   sim::Simulation::PeriodicHandle periodic_;
   std::uint32_t seq_ = 0;
   std::map<std::uint32_t, std::vector<double>> pending_; // seq -> rx timestamps

@@ -2,10 +2,17 @@
 
 namespace tsn::net {
 
+namespace {
+thread_local FramePool* t_local_override = nullptr;
+}
+
 FramePool& FramePool::local() {
+  if (t_local_override != nullptr) return *t_local_override;
   static thread_local FramePool pool;
   return pool;
 }
+
+void FramePool::set_local(FramePool* pool) { t_local_override = pool; }
 
 void FramePool::grow() {
   chunks_.push_back(std::make_unique<FrameBuf[]>(kChunk));

@@ -112,7 +112,16 @@ class FramePool {
 
   /// The calling thread's pool. One replica runs on one thread, so every
   /// frame of a simulation world comes from (and returns to) this pool.
+  /// The partitioned runtime overrides it per region (see set_local): a
+  /// region's events always allocate from that region's pool, whichever
+  /// worker thread happens to execute them.
   static FramePool& local();
+
+  /// Install `pool` as the calling thread's local() until the next
+  /// set_local (nullptr restores the thread's own static pool). The
+  /// partitioned scenario installs each region's pool around that
+  /// region's event execution via the runtime's region scope hook.
+  static void set_local(FramePool* pool);
 
   /// A fresh buffer holding a default (empty-payload) frame; sole reference.
   FrameRef acquire();

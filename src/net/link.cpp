@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "net/port.hpp"
+#include "sim/partition.hpp"
 
 namespace tsn::net {
 
@@ -13,6 +14,39 @@ Link::Link(sim::Simulation& sim, Port& end_a, Port& end_b, const LinkConfig& cfg
     : sim_(sim), a_(end_a), b_(end_b), cfg_(cfg), name_(name), rng_(sim.make_rng("link/" + name)) {
   a_.attach_link(this);
   b_.attach_link(this);
+}
+
+Link::Link(sim::PartitionRuntime& rt, std::size_t region_a, Port& end_a,
+           std::size_t region_b, Port& end_b, const LinkConfig& cfg,
+           const std::string& name)
+    : sim_(rt.region_sim(region_a)),
+      sim_b_(&rt.region_sim(region_b)),
+      a_(end_a),
+      b_(end_b),
+      cfg_(cfg),
+      name_(name),
+      // Per-direction streams: each is only ever advanced by its sender's
+      // region, so the draws are race-free and independent of how regions
+      // interleave. (The serial path keeps the single legacy stream, which
+      // both directions share — boundary and local delay sequences differ
+      // by design; determinism is across partition counts >= 1, see
+      // Scenario.)
+      rng_(rt.region_sim(region_a).make_rng("link/" + name + "/ab")),
+      rt_(&rt),
+      rng_ba_(rt.region_sim(region_b).make_rng("link/" + name + "/ba")) {
+  a_.attach_link(this);
+  b_.attach_link(this);
+  ch_ab_ = rt.add_channel(region_a, region_b, min_delay_ns(true));
+  ch_ba_ = rt.add_channel(region_b, region_a, min_delay_ns(false));
+}
+
+std::unique_ptr<Link> Link::make_boundary(sim::PartitionRuntime& rt,
+                                          std::size_t region_a, Port& end_a,
+                                          std::size_t region_b, Port& end_b,
+                                          const LinkConfig& cfg,
+                                          const std::string& name) {
+  return std::unique_ptr<Link>(
+      new Link(rt, region_a, end_a, region_b, end_b, cfg, name));
 }
 
 Port& Link::peer_of(Port& end) const {
@@ -28,9 +62,18 @@ std::int64_t Link::serialization_ns(const EthernetFrame& frame) const {
 
 std::int64_t Link::draw_delay(bool from_a) {
   const DelayModel& m = from_a ? cfg_.a_to_b : cfg_.b_to_a;
-  const double jitter = rng_.normal(0.0, m.jitter_sigma_ns);
+  util::RngStream& rng = (!from_a && rng_ba_) ? *rng_ba_ : rng_;
+  const double jitter = rng.normal(0.0, m.jitter_sigma_ns);
   const std::int64_t d = m.base_ns + static_cast<std::int64_t>(std::llround(jitter));
   return std::max(d, m.base_ns / 2);
+}
+
+std::int64_t Link::min_delay_ns(bool from_a) const {
+  const DelayModel& m = from_a ? cfg_.a_to_b : cfg_.b_to_a;
+  // draw_delay() never returns below base/2, and serialization time is
+  // monotone in frame size, so the empty frame (padded to the Ethernet
+  // minimum) bounds every delivery from below.
+  return m.base_ns / 2 + serialization_ns(EthernetFrame{});
 }
 
 void Link::transmit_from(Port& from, const FrameRef& frame) {
@@ -39,7 +82,21 @@ void Link::transmit_from(Port& from, const FrameRef& frame) {
   const std::int64_t ser = serialization_ns(*frame);
   const std::int64_t delay = ser + draw_delay(from_a);
   Port* dst = &to;
-  sim_.after(delay, [dst, frame, ser] { dst->deliver(frame, ser); });
+  if (rt_ == nullptr) {
+    sim_.after(delay, [dst, frame, ser] { dst->deliver(frame, ser); });
+    return;
+  }
+  // Boundary crossing: arrival time is stamped in the sender's region
+  // clock; the frame is copied by value (FrameRefs must not cross
+  // regions) and re-adopted into the destination region's pool when the
+  // delivery executes over there.
+  sim::Simulation& src = from_a ? sim_ : *sim_b_;
+  const sim::SimTime at{src.now().ns() + delay};
+  rt_->post_remote(from_a ? ch_ab_ : ch_ba_, at,
+                   [dst, ser, f = EthernetFrame(*frame)]() mutable {
+                     const FrameRef ref = FramePool::local().adopt(std::move(f));
+                     dst->deliver(ref, ser);
+                   });
 }
 
 } // namespace tsn::net

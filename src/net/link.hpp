@@ -3,12 +3,22 @@
 // Per-direction asymmetry is what produces the paper's reading error
 // E = dmax - dmin and measurement error gamma; the jitter term models PHY
 // and cable-length variation.
+//
+// A link may also span a partition boundary (make_boundary): each end
+// then lives in its own region Simulation and delivery crosses via the
+// PartitionRuntime's mailbox channels instead of a local event. The link
+// propagation floor (base/2 plus the empty-frame serialization time) is
+// the channel's conservative lookahead, and the RNG splits into one
+// stream per direction so each is only ever touched by its sender's
+// region.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "net/frame.hpp"
 #include "net/frame_pool.hpp"
+#include "sim/partition.hpp"
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
 
@@ -37,12 +47,22 @@ class Link {
   Link(sim::Simulation& sim, Port& end_a, Port& end_b, const LinkConfig& cfg,
        const std::string& name);
 
+  /// A link whose ends live in different regions of a partitioned run.
+  /// Delivery crosses the runtime's channels; frames are copied by value
+  /// at the boundary and re-adopted into the destination region's pool
+  /// (FrameRefs must never cross regions).
+  static std::unique_ptr<Link> make_boundary(sim::PartitionRuntime& rt,
+                                             std::size_t region_a, Port& end_a,
+                                             std::size_t region_b, Port& end_b,
+                                             const LinkConfig& cfg,
+                                             const std::string& name);
+
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
   /// Called by a Port: propagate `frame` to the opposite end. `from` must be
   /// one of the two endpoints. The frame is shared, not copied: delivery
-  /// captures a FrameRef.
+  /// captures a FrameRef (boundary links copy instead, see make_boundary).
   void transmit_from(Port& from, const FrameRef& frame);
 
   Port& peer_of(Port& end) const;
@@ -54,16 +74,30 @@ class Link {
   /// direction; used both for delivery and by tests.
   std::int64_t draw_delay(bool from_a);
 
+  /// Conservative lower bound on any delivery delay in the given direction
+  /// (the boundary channel's lookahead): the delay-model floor base/2 plus
+  /// the serialization time of an empty frame.
+  std::int64_t min_delay_ns(bool from_a) const;
+
+  bool is_boundary() const { return rt_ != nullptr; }
   const LinkConfig& config() const { return cfg_; }
   const std::string& name() const { return name_; }
 
  private:
-  sim::Simulation& sim_;
+  Link(sim::PartitionRuntime& rt, std::size_t region_a, Port& end_a,
+       std::size_t region_b, Port& end_b, const LinkConfig& cfg,
+       const std::string& name);
+
+  sim::Simulation& sim_; ///< end A's Simulation (the only one, if local)
+  sim::Simulation* sim_b_ = nullptr; ///< end B's Simulation (boundary only)
   Port& a_;
   Port& b_;
   LinkConfig cfg_;
   std::string name_;
-  util::RngStream rng_;
+  util::RngStream rng_;                  ///< legacy shared stream (local links)
+  sim::PartitionRuntime* rt_ = nullptr;  ///< non-null for boundary links
+  std::optional<util::RngStream> rng_ba_; ///< boundary: B->A direction stream
+  std::uint32_t ch_ab_ = 0, ch_ba_ = 0;
 };
 
 } // namespace tsn::net

@@ -62,9 +62,23 @@ void EventQueue::post(SimTime at, EventFn fn) {
   ++stats_.posted;
 }
 
+void EventQueue::post_keyed(SimTime at, std::uint64_t seq, EventFn fn) {
+  assert((seq >> 63) != 0 &&
+         "caller-supplied keys live in the upper half of the sequence "
+         "space, above every internal insertion counter value");
+  insert_with_seq(at, seq, kNoSlot, 0, std::move(fn));
+  ++live_;
+  ++stats_.posted;
+}
+
 void EventQueue::insert(SimTime at, std::uint32_t slot, std::uint32_t gen,
                         EventFn&& fn) {
-  const std::uint64_t seq = next_seq_++;
+  insert_with_seq(at, next_seq_++, slot, gen, std::move(fn));
+}
+
+void EventQueue::insert_with_seq(SimTime at, std::uint64_t seq,
+                                 std::uint32_t slot, std::uint32_t gen,
+                                 EventFn&& fn) {
   const Key k{at, seq, alloc_node(at, seq, slot, gen, std::move(fn))};
   const std::int64_t t = at.ns();
   if (t < cur_) {

@@ -103,6 +103,17 @@ class EventQueue {
   /// slab traffic; the entry only dies by firing.
   void post(SimTime at, EventFn fn);
 
+  /// Boundary insertion for the partitioned runtime: like post(), but the
+  /// tie-break sequence is supplied by the caller instead of drawn from
+  /// this queue's insertion counter. Keys must have the top bit set
+  /// (internal sequences never do), which makes same-time boundary events
+  /// sort after internal ones and — because the key encodes the sending
+  /// channel, not the arrival moment — makes pop order independent of
+  /// *when* a cross-partition message was drained into the queue.
+  /// Passing the same (at, seq) twice is a caller bug (the relative order
+  /// of the duplicates is unspecified, which breaks determinism).
+  void post_keyed(SimTime at, std::uint64_t seq, EventFn fn);
+
   /// True when no live (non-cancelled) events remain. Pure observer:
   /// cancelled entries are reclaimed lazily at pop time (or explicitly
   /// via purge_dead()).
@@ -125,7 +136,10 @@ class EventQueue {
 
   /// Drop cancelled entries sitting at the front of the heap and the
   /// activated window, releasing their closures early. Optional memory
-  /// hygiene — pop does the same lazily.
+  /// hygiene — pop does the same lazily. Strictly queue-local: in a
+  /// partitioned world (one queue per region) purging one queue never
+  /// touches another's slabs or counters, and an EventHandle only ever
+  /// refers to the queue that minted it.
   void purge_dead();
 
   /// Total entries still buffered (activated window + staging + wheel
@@ -138,7 +152,10 @@ class EventQueue {
 
   /// Exact number of live (scheduled, neither fired nor cancelled)
   /// events, independent of how many cancelled entries still sit
-  /// unreclaimed in the buckets.
+  /// unreclaimed in the buckets — cancel_slot() decrements live_
+  /// immediately, purge_dead() only reclaims storage. Like pending(),
+  /// this is exact per queue: partitioned regions report their own live
+  /// counts independently and the scenario sums them.
   std::size_t live_size() const { return live_; }
 
   /// Pre-size the heap and the cancellation slab.
@@ -217,6 +234,8 @@ class EventQueue {
   }
 
   void insert(SimTime at, std::uint32_t slot, std::uint32_t gen, EventFn&& fn);
+  void insert_with_seq(SimTime at, std::uint64_t seq, std::uint32_t slot,
+                       std::uint32_t gen, EventFn&& fn);
   void place(Key k); ///< drop into a wheel bucket; pre: cur_ <= time < horizon
   void add_bucket(int level, std::int64_t abs_idx, std::uint32_t node);
   void merge_staged();

@@ -1,5 +1,6 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "util/log.hpp"
@@ -57,6 +58,26 @@ std::uint64_t Simulation::run_until(SimTime limit) {
     ++events_executed_;
   }
   if (now_ < limit) now_ = limit;
+  return n;
+}
+
+std::uint64_t Simulation::run_ready(SimTime limit, std::int64_t horizon_ns) {
+  std::uint64_t n = 0;
+  stop_requested_ = false;
+  // Horizon is exclusive (a neighbor may still inject events exactly at
+  // it); the limit stays inclusive like run_until's.
+  const SimTime bound{horizon_ns == INT64_MAX
+                          ? limit.ns()
+                          : std::min(limit.ns(), horizon_ns - 1)};
+  while (!stop_requested_) {
+    auto popped = queue_.try_pop_at_or_before(bound);
+    if (!popped) break;
+    assert(popped->time >= now_);
+    now_ = popped->time;
+    popped->fn();
+    ++n;
+    ++events_executed_;
+  }
   return n;
 }
 

@@ -60,6 +60,19 @@ class Simulation {
   /// Run until the queue drains or `limit` is passed. Events exactly at
   /// `limit` still execute. Returns the number of events executed.
   std::uint64_t run_until(SimTime limit);
+  /// Partitioned-runtime step: execute events with time <= limit AND
+  /// time < horizon_ns, leaving now() at the last executed event instead
+  /// of bumping it to the limit (the region may be re-entered with a
+  /// larger horizon; the runtime advances now() explicitly at stage end).
+  std::uint64_t run_ready(SimTime limit, std::int64_t horizon_ns);
+  /// Earliest pending event time in ns, or INT64_MAX when idle.
+  std::int64_t next_event_ns() {
+    return queue_.empty() ? INT64_MAX : queue_.next_time().ns();
+  }
+  /// Jump now() forward to `t`; no-op when t <= now().
+  void advance_to(SimTime t) {
+    if (t > now_) now_ = t;
+  }
   /// Run the next `max_events` events regardless of time.
   std::uint64_t run_events(std::uint64_t max_events);
   /// Stop the current run_until() loop after the current event returns.

@@ -1,0 +1,106 @@
+#include "experiments/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tsn::experiments {
+namespace {
+
+TEST(Topology, MeshCountsAndPorts) {
+  for (std::size_t n : {2u, 4u, 8u}) {
+    const Topology t = Topology::build(TopologyKind::kMesh, n);
+    EXPECT_EQ(t.edges().size(), n * (n - 1) / 2);
+    EXPECT_EQ(t.max_degree(), n - 1);
+    // PR 5's constraint: every switch needs num_ecds + 1 ports (two hosts
+    // plus n-1 mesh neighbors).
+    EXPECT_EQ(t.min_port_count(), n + 1);
+    for (std::size_t x = 0; x < n; ++x) {
+      EXPECT_EQ(t.neighbors(x).size(), n - 1);
+      // Mesh port map matches the legacy scenario: 2 + rank among peers.
+      std::size_t rank = 0;
+      for (std::size_t y = 0; y < n; ++y) {
+        if (y == x) continue;
+        EXPECT_EQ(t.port(x, y), 2 + rank);
+        ++rank;
+      }
+    }
+  }
+}
+
+TEST(Topology, RingCountsAndPorts) {
+  const Topology t = Topology::build(TopologyKind::kRing, 8);
+  EXPECT_EQ(t.edges().size(), 8u);
+  EXPECT_EQ(t.max_degree(), 2u);
+  EXPECT_EQ(t.min_port_count(), 4u); // fits the integrated 6-port switch
+  for (std::size_t x = 0; x < 8; ++x) EXPECT_EQ(t.neighbors(x).size(), 2u);
+  // Shortest-way routing around the ring.
+  EXPECT_EQ(t.next_hop(1, 3), 2u);
+  EXPECT_EQ(t.next_hop(7, 6), 6u);
+  EXPECT_EQ(t.next_hop(0, 6), 7u); // 2 hops backward beats 6 forward
+}
+
+TEST(Topology, TreeCountsAndRouting) {
+  const Topology t = Topology::build(TopologyKind::kTree, 7);
+  EXPECT_EQ(t.edges().size(), 6u); // n - 1
+  EXPECT_EQ(t.max_degree(), 3u);   // parent + two children
+  EXPECT_EQ(t.min_port_count(), 5u);
+  // Routing goes through the common ancestor.
+  EXPECT_EQ(t.next_hop(3, 4), 1u);  // siblings meet at their parent
+  EXPECT_EQ(t.next_hop(3, 6), 1u);  // cross-subtree goes up first
+  EXPECT_EQ(t.next_hop(1, 6), 0u);
+  EXPECT_EQ(t.next_hop(0, 6), 2u);
+  const auto children = t.tree_children(0, 0);
+  EXPECT_EQ(children, (std::vector<std::size_t>{1, 2}));
+  EXPECT_TRUE(t.tree_children(3, 0).empty());
+}
+
+TEST(Topology, EdgesAscendAndMatchAdjacency) {
+  for (TopologyKind kind :
+       {TopologyKind::kMesh, TopologyKind::kRing, TopologyKind::kTree}) {
+    const Topology t = Topology::build(kind, 9);
+    std::set<std::pair<std::size_t, std::size_t>> seen;
+    std::pair<std::size_t, std::size_t> prev{0, 0};
+    for (const auto& e : t.edges()) {
+      EXPECT_LT(e.a, e.b);
+      const std::pair<std::size_t, std::size_t> cur{e.a, e.b};
+      EXPECT_TRUE(seen.empty() || prev < cur) << topology_name(kind);
+      EXPECT_TRUE(seen.insert(cur).second);
+      prev = cur;
+    }
+    // Every adjacency appears exactly once as an edge.
+    std::size_t degree_sum = 0;
+    for (std::size_t x = 0; x < t.size(); ++x) degree_sum += t.neighbors(x).size();
+    EXPECT_EQ(degree_sum, 2 * t.edges().size());
+  }
+}
+
+TEST(Topology, ConnectivityForAllPairs) {
+  // build() throws on a disconnected graph; walking first hops must reach
+  // the destination within n-1 steps for every pair.
+  for (TopologyKind kind :
+       {TopologyKind::kMesh, TopologyKind::kRing, TopologyKind::kTree}) {
+    const Topology t = Topology::build(kind, 11);
+    for (std::size_t x = 0; x < t.size(); ++x) {
+      for (std::size_t dst = 0; dst < t.size(); ++dst) {
+        if (x == dst) continue;
+        std::size_t cur = x, steps = 0;
+        while (cur != dst) {
+          cur = t.next_hop(cur, dst);
+          ASSERT_LT(++steps, t.size()) << topology_name(kind);
+        }
+      }
+    }
+  }
+}
+
+TEST(Topology, ParseRoundTrips) {
+  EXPECT_EQ(parse_topology("mesh"), TopologyKind::kMesh);
+  EXPECT_EQ(parse_topology("ring"), TopologyKind::kRing);
+  EXPECT_EQ(parse_topology("tree"), TopologyKind::kTree);
+  EXPECT_THROW(parse_topology("torus"), std::invalid_argument);
+  EXPECT_STREQ(topology_name(TopologyKind::kRing), "ring");
+}
+
+} // namespace
+} // namespace tsn::experiments

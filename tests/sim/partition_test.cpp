@@ -1,0 +1,229 @@
+#include "sim/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulation.hpp"
+
+namespace tsn::sim {
+namespace {
+
+using namespace tsn::sim::literals;
+
+// ---------------------------------------------------------------------------
+// post_keyed / EventQueue semantics
+
+TEST(PostKeyed, BoundaryEventsSortAfterInternalAtSameTime) {
+  EventQueue q;
+  std::vector<int> order;
+  const SimTime t{1000};
+  // Keyed entries inserted FIRST must still pop after plain posts at the
+  // same time: their sequence lives in the upper half of the key space.
+  q.post_keyed(t, (1ull << 63) | 0, [&] { order.push_back(10); });
+  q.post_keyed(t, (1ull << 63) | 1, [&] { order.push_back(11); });
+  q.post(t, [&] { order.push_back(0); });
+  q.post(t, [&] { order.push_back(1); });
+  while (auto p = q.try_pop()) p->fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 10, 11}));
+}
+
+TEST(PostKeyed, PopOrderFollowsKeyNotInsertionMoment) {
+  // Two queues receive the same keyed messages in opposite insertion
+  // orders; pop order must match exactly.
+  std::vector<int> a, b;
+  EventQueue qa, qb;
+  const SimTime t{500};
+  auto key = [](std::uint64_t ch, std::uint64_t seq) {
+    return (1ull << 63) | (ch << 40) | seq;
+  };
+  qa.post_keyed(t, key(2, 0), [&] { a.push_back(20); });
+  qa.post_keyed(t, key(1, 0), [&] { a.push_back(10); });
+  qa.post_keyed(t, key(1, 1), [&] { a.push_back(11); });
+  qb.post_keyed(t, key(1, 1), [&] { b.push_back(11); });
+  qb.post_keyed(t, key(1, 0), [&] { b.push_back(10); });
+  qb.post_keyed(t, key(2, 0), [&] { b.push_back(20); });
+  while (auto p = qa.try_pop()) p->fn();
+  while (auto p = qb.try_pop()) p->fn();
+  EXPECT_EQ(a, (std::vector<int>{10, 11, 20}));
+  EXPECT_EQ(a, b);
+}
+
+TEST(EventQueueMultiQueue, PendingAndPurgeAreQueueLocal) {
+  // Each queue reports exact live counts independently; purging one never
+  // disturbs the other's pending events (the multi-queue case the
+  // partitioned runtime relies on).
+  EventQueue qa, qb;
+  int fired_a = 0, fired_b = 0;
+  EventHandle ha = qa.schedule(SimTime{100}, [&] { ++fired_a; });
+  EventHandle hb = qb.schedule(SimTime{100}, [&] { ++fired_b; });
+  qa.post(SimTime{200}, [&] { ++fired_a; });
+  EXPECT_EQ(qa.live_size(), 2u);
+  EXPECT_EQ(qb.live_size(), 1u);
+
+  ha.cancel();
+  EXPECT_EQ(qa.live_size(), 1u); // exact immediately, before any purge
+  EXPECT_TRUE(hb.pending());     // the other queue's slab is untouched
+  qa.purge_dead();
+  EXPECT_EQ(qa.live_size(), 1u); // purge reclaims storage, not liveness
+  EXPECT_TRUE(hb.pending());
+  EXPECT_EQ(qb.live_size(), 1u);
+
+  while (auto p = qa.try_pop()) p->fn();
+  while (auto p = qb.try_pop()) p->fn();
+  EXPECT_EQ(fired_a, 1);
+  EXPECT_EQ(fired_b, 1);
+  EXPECT_FALSE(hb.pending());
+}
+
+TEST(RunReady, HorizonIsExclusiveLimitIsInclusive) {
+  Simulation sim(1);
+  std::vector<std::int64_t> fired;
+  for (std::int64_t t : {10, 20, 30}) {
+    sim.queue().post(SimTime{t}, [&fired, t] { fired.push_back(t); });
+  }
+  EXPECT_EQ(sim.run_ready(SimTime{100}, 30), 2u); // 30 is the horizon: excluded
+  EXPECT_EQ(fired, (std::vector<std::int64_t>{10, 20}));
+  EXPECT_EQ(sim.now().ns(), 20); // not bumped to the limit
+  EXPECT_EQ(sim.next_event_ns(), 30);
+  EXPECT_EQ(sim.run_ready(SimTime{30}, INT64_MAX), 1u); // limit inclusive
+  EXPECT_EQ(sim.next_event_ns(), INT64_MAX);
+  sim.advance_to(SimTime{100});
+  EXPECT_EQ(sim.now().ns(), 100);
+}
+
+// ---------------------------------------------------------------------------
+// PartitionRuntime
+
+struct PingPongWorld {
+  explicit PingPongWorld(std::size_t workers)
+      : rt(2, /*master_seed=*/7, workers) {
+    ch01 = rt.add_channel(0, 1, 100);
+    ch10 = rt.add_channel(1, 0, 100);
+  }
+
+  void start(int hops) {
+    // Region 0 kicks off; each hop logs locally and forwards.
+    rt.region_sim(0).queue().post(SimTime{0},
+                                  [this, hops] { bounce(0, 0, hops); });
+  }
+
+  void bounce(std::size_t region, int hop, int max_hops) {
+    log[region].push_back(rt.region_sim(region).now().ns() * 10 +
+                          static_cast<std::int64_t>(hop % 10));
+    if (hop >= max_hops) return;
+    const std::size_t next = 1 - region;
+    const SimTime at = rt.region_sim(region).now() + 100;
+    rt.post_remote(region == 0 ? ch01 : ch10, at,
+                   [this, next, hop, max_hops] { bounce(next, hop + 1, max_hops); });
+  }
+
+  PartitionRuntime rt;
+  std::uint32_t ch01 = 0, ch10 = 0;
+  std::vector<std::int64_t> log[2];
+};
+
+TEST(PartitionRuntime, PingPongMatchesAcrossWorkerCounts) {
+  std::vector<std::int64_t> ref[2];
+  for (std::size_t workers : {1u, 2u}) {
+    PingPongWorld w(workers);
+    w.start(50);
+    const std::uint64_t ran = w.rt.run_until(SimTime{1'000'000});
+    EXPECT_EQ(ran, 51u);
+    EXPECT_EQ(w.rt.now().ns(), 1'000'000);
+    if (workers == 1) {
+      ref[0] = w.log[0];
+      ref[1] = w.log[1];
+    } else {
+      EXPECT_EQ(w.log[0], ref[0]);
+      EXPECT_EQ(w.log[1], ref[1]);
+    }
+    EXPECT_EQ(w.log[0].size() + w.log[1].size(), 51u);
+  }
+}
+
+TEST(PartitionRuntime, LeapCrossesQuietGapsAndStops) {
+  // Events seconds apart with 100 ns lookahead would need ~1e7 null
+  // passes without the leap; with it this finishes instantly.
+  PartitionRuntime rt(2, 1, 2);
+  rt.add_channel(0, 1, 100);
+  rt.add_channel(1, 0, 100);
+  std::vector<std::int64_t> times;
+  for (std::int64_t t = 0; t < 10; ++t) {
+    const std::size_t r = static_cast<std::size_t>(t) % 2;
+    rt.region_sim(r).queue().post(SimTime{t * 1'000'000'000}, [&times, &rt, r] {
+      times.push_back(rt.region_sim(r).now().ns());
+    });
+  }
+  rt.run_until(SimTime{20'000'000'000});
+  EXPECT_EQ(times.size(), 10u);
+  for (std::size_t i = 1; i < times.size(); ++i) EXPECT_GT(times[i], times[i - 1]);
+}
+
+TEST(PartitionRuntime, StagesComposeAndInterStageSchedulingWorks) {
+  PartitionRuntime rt(3, 1, 2);
+  rt.control_channel(0, 1);
+  rt.control_channel(1, 2);
+  // Events in unrelated regions run on different shard threads with no
+  // ordering edge between them, so the shared counter must be atomic.
+  std::atomic<int> fired{0};
+  rt.region_sim(0).queue().post(SimTime{10}, [&] { ++fired; });
+  rt.run_until(SimTime{1'000});
+  EXPECT_EQ(fired.load(), 1);
+  // Scheduling between stages must lower the region horizon again.
+  rt.region_sim(1).queue().post(SimTime{2'000}, [&] { ++fired; });
+  rt.region_sim(2).queue().post(SimTime{1'500}, [&] { ++fired; });
+  rt.run_until(SimTime{2'000});
+  EXPECT_EQ(fired.load(), 3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(rt.region_sim(r).now().ns(), 2'000);
+  }
+}
+
+TEST(PartitionRuntime, ControlChannelFindOrCreate) {
+  PartitionRuntime rt(2, 1, 1);
+  const std::uint32_t a = rt.control_channel(0, 1);
+  EXPECT_EQ(rt.control_channel(0, 1), a);
+  EXPECT_NE(rt.control_channel(1, 0), a);
+}
+
+TEST(PartitionRuntime, MailboxOverflowKeepsEveryMessage) {
+  // Far more same-stage messages than the ring holds: the overflow path
+  // must deliver all of them, and in key order at equal times.
+  PartitionRuntime rt(2, 1, 2);
+  const std::uint32_t ch = rt.add_channel(0, 1, 100);
+  std::vector<int> got;
+  constexpr int kCount = 500; // >> Channel ring size
+  rt.region_sim(0).queue().post(SimTime{0}, [&rt, ch, &got] {
+    for (int i = 0; i < kCount; ++i) {
+      rt.post_remote(ch, SimTime{1000}, [&got, i] { got.push_back(i); });
+    }
+  });
+  rt.run_until(SimTime{2000});
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+TEST(PartitionRuntime, ScopeHookBracketsExecution) {
+  PartitionRuntime rt(2, 1, 1);
+  rt.add_channel(0, 1, 100);
+  std::vector<std::string> trace;
+  rt.set_region_scope_hook([&](std::size_t r, bool enter) {
+    trace.push_back((enter ? "+" : "-") + std::to_string(r));
+  });
+  std::size_t seen_region = SIZE_MAX;
+  rt.region_sim(1).queue().post(SimTime{5}, [&] {
+    seen_region = PartitionRuntime::current_region();
+  });
+  rt.run_until(SimTime{10});
+  EXPECT_EQ(seen_region, 1u);
+  EXPECT_EQ(trace, (std::vector<std::string>{"+1", "-1"}));
+  EXPECT_EQ(PartitionRuntime::current_region(), SIZE_MAX);
+}
+
+} // namespace
+} // namespace tsn::sim

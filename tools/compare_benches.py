@@ -3,11 +3,18 @@
 
 Usage:
     tools/compare_benches.py BASELINE.json CANDIDATE.json [--threshold PCT]
+                             [--gate PREFIX[,PREFIX...]]
 
 Prints a per-benchmark table of real-time deltas (positive = candidate is
 slower). Exits non-zero when any benchmark regressed by more than
 --threshold percent (default 10), so CI can flag perf drift; benchmarks
 present in only one file are reported but never fail the comparison.
+
+With --gate, only benchmarks whose name starts with one of the given
+prefixes can fail the run -- the blocking CI job pins the named hot
+paths while the rest of the table stays informational. A gate prefix
+that matches nothing in the baseline is itself an error (a renamed
+benchmark must not silently un-gate).
 """
 
 import argparse
@@ -39,10 +46,24 @@ def main():
         metavar="PCT",
         help="fail when any benchmark is more than PCT%% slower (default 10)",
     )
+    ap.add_argument(
+        "--gate",
+        metavar="PREFIX[,PREFIX...]",
+        help="only benchmarks starting with one of these prefixes can fail",
+    )
     args = ap.parse_args()
 
     base = load(args.baseline)
     cand = load(args.candidate)
+
+    gates = [g for g in (args.gate or "").split(",") if g]
+    for g in gates:
+        if not any(name.startswith(g) for name in base):
+            print(f"gate prefix '{g}' matches no baseline benchmark", file=sys.stderr)
+            return 2
+
+    def gated(name):
+        return not gates or any(name.startswith(g) for g in gates)
 
     names = sorted(set(base) | set(cand))
     width = max((len(n) for n in names), default=4)
@@ -55,16 +76,20 @@ def main():
             continue
         if name not in cand:
             print(f"{name:<{width}}  {base[name][0]:>12.1f}  {'-':>12}  {'gone':>8}")
+            if gates and gated(name):
+                regressions.append((name, float("inf")))
             continue
         b, bu = base[name]
         c, cu = cand[name]
         if bu != cu:
             print(f"{name:<{width}}  unit mismatch ({bu} vs {cu})", file=sys.stderr)
-            regressions.append((name, float("inf")))
+            if gated(name):
+                regressions.append((name, float("inf")))
             continue
         delta = (c - b) / b * 100.0 if b else 0.0
-        print(f"{name:<{width}}  {b:>12.1f}  {c:>12.1f}  {delta:>+7.1f}%")
-        if delta > args.threshold:
+        marker = "" if gated(name) else "  (ungated)"
+        print(f"{name:<{width}}  {b:>12.1f}  {c:>12.1f}  {delta:>+7.1f}%{marker}")
+        if delta > args.threshold and gated(name):
             regressions.append((name, delta))
 
     if regressions:
