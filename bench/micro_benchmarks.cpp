@@ -10,6 +10,7 @@
 #include "core/ft_shmem.hpp"
 #include "core/fta.hpp"
 #include "core/seqlock.hpp"
+#include "gptp/bridge.hpp"
 #include "gptp/messages.hpp"
 #include "gptp/servo.hpp"
 #include "gptp/stack.hpp"
@@ -312,6 +313,60 @@ void BM_E2eSyncExchange(benchmark::State& state) {
       static_cast<std::int64_t>(slave.counters().syncs_received));
 }
 BENCHMARK(BM_E2eSyncExchange);
+
+void BM_AttackSyncStorm(benchmark::State& state) {
+  // Sync-storm DoS load path (src/attack kSyncStorm): a compromised bridge
+  // floods standalone Syncs for an unconfigured domain at 2 kHz while
+  // relaying one legitimate domain GM -> slave. One simulated second per
+  // iteration measures storm generation, switch fanout and the victim
+  // endpoint's parse-and-drop, on top of the honest sync traffic.
+  sim::Simulation sim(1);
+  time::PhcModel quiet;
+  quiet.oscillator.initial_drift_ppm = 0.0;
+  quiet.oscillator.wander_sigma_ppm = 0.0;
+  quiet.timestamp_jitter_ns = 0.0;
+  net::SwitchConfig scfg;
+  scfg.port_count = 4;
+  scfg.residence_base_ns = 2'000;
+  scfg.residence_jitter_ns = 0.0;
+  scfg.phc = quiet;
+  net::Switch sw(sim, scfg, "sw");
+  net::Nic gm_nic(sim, quiet, net::MacAddress::from_u64(0xA), "gm");
+  net::Nic slave_nic(sim, quiet, net::MacAddress::from_u64(0xB), "slave");
+  net::LinkConfig lc;
+  lc.a_to_b = {600, 0.0};
+  lc.b_to_a = {600, 0.0};
+  net::Link l_gm(sim, gm_nic.port(), sw.port(0), lc, "gm-sw");
+  net::Link l_slave(sim, slave_nic.port(), sw.port(1), lc, "sw-slave");
+  gptp::PtpStack gm_stack(sim, gm_nic, {}, "gm");
+  gptp::PtpStack slave_stack(sim, slave_nic, {}, "slave");
+  gptp::InstanceConfig gm;
+  gm.role = gptp::PortRole::kMaster;
+  gm_stack.add_instance(gm);
+  gptp::InstanceConfig sl;
+  sl.role = gptp::PortRole::kSlave;
+  auto& slave = slave_stack.add_instance(sl);
+  gptp::BridgeConfig bcfg;
+  gptp::BridgeDomainConfig dom;
+  dom.domain = 0;
+  dom.slave_port = 0;
+  dom.master_ports = {1};
+  bcfg.domains = {dom};
+  gptp::TimeAwareBridge bridge(sim, sw, bcfg, "br");
+  gm_stack.start();
+  slave_stack.start();
+  bridge.start();
+  bridge.start_sync_storm(0x7F, 500'000); // 2 kHz on an unconfigured domain
+  sim.run_until(sim::SimTime(1'000'000'000LL)); // warm pools and the wheel
+  for (auto _ : state) {
+    sim.run_until(sim::SimTime(sim.now().ns() + 1'000'000'000LL));
+    benchmark::DoNotOptimize(bridge.counters().storm_syncs_sent);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(bridge.counters().storm_syncs_sent));
+  benchmark::DoNotOptimize(slave.counters().offsets_computed);
+}
+BENCHMARK(BM_AttackSyncStorm);
 
 } // namespace
 

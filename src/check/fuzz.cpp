@@ -24,7 +24,8 @@ std::int64_t odd_ns(std::int64_t v) { return v | 1; }
 
 } // namespace
 
-FuzzCase derive_case(std::uint64_t master_seed, std::uint64_t index, std::int64_t duration_ns) {
+FuzzCase derive_case(std::uint64_t master_seed, std::uint64_t index, std::int64_t duration_ns,
+                     bool with_attacks) {
   util::RngStream rng(master_seed, util::format("fuzz-case-%llu", (unsigned long long)index));
 
   FuzzCase c;
@@ -74,6 +75,14 @@ FuzzCase derive_case(std::uint64_t master_seed, std::uint64_t index, std::int64_
   // cross-region protocol path: boundary links, control channels, the
   // merged oracle dispatch.
   s.partitions = rng.chance(0.25) ? 1 : 0;
+
+  if (with_attacks) {
+    // Separate RNG stream: the base world above stays bit-identical with
+    // and without attacks. Every ECD hosts a domain here (derive_case
+    // caps num_ecds at 7, well inside the STSHMEM slot count).
+    c.attacks = attack::derive_attacks(master_seed, index, s.num_ecds,
+                                       /*domain_count=*/s.num_ecds, s.fta_f, duration_ns);
+  }
   return c;
 }
 
@@ -93,6 +102,45 @@ CaseResult run_case(const FuzzCase& c) {
     SuiteParams sp;
     sp.bound_ns = cal.bound.pi_ns;
     suite.add_default_invariants(sp);
+
+    // The driver must outlive the run loop: scheduled closures index it.
+    attack::AttackDriver attack_driver;
+    AttackExclusionInvariant* attack_oracle = nullptr;
+    if (!c.attacks.empty()) {
+      attack_driver.arm(scenario, c.attacks);
+      for (const attack::ArmedAttack& a : attack_driver.armed()) {
+        if (!attack::compromises_victim_clock(a.spec.kind)) continue;
+        // The victim GM's own timebase (or its measurement chain) is
+        // compromised: per-node oracles judge only the honest nodes.
+        // The window extends past the attack end because poisoned
+        // measurement state decays, not snaps, back (the NRR ring holds
+        // tampered samples for its whole span and delay smoothing decays
+        // geometrically); after that the exemption re-arms reboot-style
+        // deadlines, so the victim must still re-prove convergence.
+        const std::int64_t until =
+            a.end_abs_ns >= INT64_MAX - sp.reconverge_deadline_ns
+                ? INT64_MAX
+                : a.end_abs_ns + sp.reconverge_deadline_ns;
+        suite.precision_bound()->exempt_source(a.victim_vm, a.start_abs_ns, until);
+        suite.synctime_monotonicity()->exempt_ecd(a.spec.ecd, a.start_abs_ns, until);
+      }
+      std::map<std::string, std::size_t> vm_ecd;
+      for (std::size_t e = 0; e < scenario.num_ecds(); ++e) {
+        for (std::size_t v = 0; v < scenario.ecd(e).vm_count(); ++v) {
+          vm_ecd[scenario.vm(e, v).name()] = e;
+        }
+      }
+      auto oracle = std::make_unique<AttackExclusionInvariant>(
+          attack_driver.armed(),
+          [vm_ecd = std::move(vm_ecd)](const std::string& vm) -> std::optional<std::size_t> {
+            const auto it = vm_ecd.find(vm);
+            if (it == vm_ecd.end()) return std::nullopt;
+            return it->second;
+          },
+          /*eviction_deadline_ns=*/5'000'000'000LL);
+      attack_oracle = oracle.get();
+      suite.add(std::move(oracle));
+    }
 
     faults::FaultInjector injector(scenario.control_sim(), scenario.ecd_ptrs(), c.injector);
     if (scenario.partitioned()) {
@@ -123,6 +171,14 @@ CaseResult run_case(const FuzzCase& c) {
     out.violations = suite.violations();
     out.injector_stats = injector.stats();
     out.events = injector.events();
+    if (attack_oracle) {
+      out.attack_verdicts = attack_oracle->verdicts();
+      std::size_t evicted = 0;
+      for (const auto& v : out.attack_verdicts) {
+        if (v.excluded_at_ns) ++evicted;
+      }
+      out.summary += util::format(" attacks=%zu evicted=%zu", out.attack_verdicts.size(), evicted);
+    }
   } catch (const std::exception& e) {
     out.summary = util::format("bringup-failed: %s", e.what());
   }
@@ -133,7 +189,7 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
   sweep::SweepRunner runner({.threads = cfg.threads});
   CampaignResult out;
   out.cases = runner.run_indexed(cfg.num_cases, [&cfg](std::size_t i) {
-    return run_case(derive_case(cfg.master_seed, i, cfg.duration_ns));
+    return run_case(derive_case(cfg.master_seed, i, cfg.duration_ns, cfg.attacks));
   });
   for (const CaseResult& r : out.cases) {
     if (r.failed()) ++out.failures;
@@ -218,14 +274,30 @@ std::string replay_to_text(const FuzzCase& c) {
     out += util::format("fault%zu=%lld,%zu,%zu,%lld\n", i, (long long)f.at_ns, f.ecd, f.vm,
                         (long long)f.downtime_ns);
   }
+  for (std::size_t i = 0; i < c.attacks.size(); ++i) {
+    const attack::AttackSpec& a = c.attacks[i];
+    out += util::format("attack%zu=%s,%zu,%lld,%lld,%.17g,%.17g,%d\n", i,
+                        attack::to_string(a.kind), a.ecd, (long long)a.start_ns,
+                        (long long)a.duration_ns, a.magnitude, a.secondary,
+                        a.expect_excluded ? 1 : 0);
+  }
   return out;
 }
 
 FuzzCase replay_from_text(const std::string& text) {
   std::map<std::string, std::string> kv;
   std::vector<std::pair<std::size_t, faults::ScheduledFault>> faults;
+  std::vector<std::pair<std::size_t, attack::AttackSpec>> attacks;
   std::istringstream in(text);
   std::string line;
+  auto parse_ordinal = [](const std::string& key, std::size_t prefix_len) {
+    std::size_t ordinal = 0;
+    for (std::size_t i = prefix_len; i < key.size(); ++i) {
+      if (key[i] < '0' || key[i] > '9') throw std::runtime_error("replay: bad key '" + key + "'");
+      ordinal = ordinal * 10 + static_cast<std::size_t>(key[i] - '0');
+    }
+    return ordinal;
+  };
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
@@ -234,11 +306,7 @@ FuzzCase replay_from_text(const std::string& text) {
     const std::string key = line.substr(0, eq);
     const std::string value = line.substr(eq + 1);
     if (key.rfind("fault", 0) == 0 && key.size() > 5) {
-      std::size_t ordinal = 0;
-      for (std::size_t i = 5; i < key.size(); ++i) {
-        if (key[i] < '0' || key[i] > '9') throw std::runtime_error("replay: bad key '" + key + "'");
-        ordinal = ordinal * 10 + static_cast<std::size_t>(key[i] - '0');
-      }
+      const std::size_t ordinal = parse_ordinal(key, 5);
       faults::ScheduledFault f;
       long long at = 0, down = 0;
       unsigned long long ecd = 0, vm = 0;
@@ -250,6 +318,29 @@ FuzzCase replay_from_text(const std::string& text) {
       f.vm = static_cast<std::size_t>(vm);
       f.downtime_ns = down;
       faults.emplace_back(ordinal, f);
+    } else if (key.rfind("attack", 0) == 0 && key.size() > 6) {
+      const std::size_t ordinal = parse_ordinal(key, 6);
+      const std::size_t comma = value.find(',');
+      if (comma == std::string::npos) throw std::runtime_error("replay: bad attack '" + value + "'");
+      const auto kind = attack::parse_attack_kind(value.substr(0, comma));
+      if (!kind) throw std::runtime_error("replay: unknown attack kind in '" + value + "'");
+      attack::AttackSpec a;
+      a.kind = *kind;
+      unsigned long long ecd = 0;
+      long long start = 0, duration = 0;
+      double magnitude = 0.0, secondary = 0.0;
+      int excluded = 0;
+      if (std::sscanf(value.c_str() + comma + 1, "%llu,%lld,%lld,%lf,%lf,%d", &ecd, &start,
+                      &duration, &magnitude, &secondary, &excluded) != 6) {
+        throw std::runtime_error("replay: bad attack '" + value + "'");
+      }
+      a.ecd = static_cast<std::size_t>(ecd);
+      a.start_ns = start;
+      a.duration_ns = duration;
+      a.magnitude = magnitude;
+      a.secondary = secondary;
+      a.expect_excluded = excluded != 0;
+      attacks.emplace_back(ordinal, a);
     } else {
       kv[key] = value;
     }
@@ -312,6 +403,9 @@ FuzzCase replay_from_text(const std::string& text) {
   std::sort(faults.begin(), faults.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   for (auto& [ordinal, f] : faults) c.replay.faults.push_back(f);
+  std::sort(attacks.begin(), attacks.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [ordinal, a] : attacks) c.attacks.push_back(a);
   return c;
 }
 
@@ -369,6 +463,57 @@ ShrinkOutcome shrink_case(const FuzzCase& c, std::size_t max_tests) {
     FuzzCase t = scripted;
     t.replay.faults = candidate;
     return fails_with(run_case(t));
+  };
+  out.minimized = scripted;
+  out.minimized.replay.faults = ddmin(scripted.replay.faults, oracle, &out.stats, max_tests);
+  return out;
+}
+
+ShrinkOutcome shrink_attack_case(const FuzzCase& c, std::size_t max_tests) {
+  ShrinkOutcome out;
+  out.minimized = c;
+
+  const CaseResult base = run_case(c);
+  if (!base.brought_up) return out;
+
+  // The preserved property is the whole oracle signature: the verdict
+  // class plus each attack's evicted-or-not bit (eviction *latencies*
+  // shift as faults disappear; the pattern must not).
+  auto signature = [](const CaseResult& r) {
+    std::string sig =
+        r.failed() ? (r.violations.empty() ? "fail" : "fail:" + r.violations.front().invariant)
+                   : "ok";
+    for (const AttackExclusionInvariant::Verdict& v : r.attack_verdicts) {
+      sig += v.excluded_at_ns ? "+evicted" : "+held";
+    }
+    return sig;
+  };
+  const std::string target = signature(base);
+  out.target_invariant = target;
+
+  FuzzCase scripted = c;
+  if (scripted.replay.empty()) {
+    scripted.replay = schedule_from_events(base.events);
+    out.minimized = scripted;
+    if (scripted.replay.empty()) {
+      // No faults at all: the attack schedule IS the minimal case.
+      out.reproduced = true;
+      out.stats.initial_size = 0;
+      out.stats.final_size = 0;
+      return out;
+    }
+    if (signature(run_case(scripted)) != target) return out; // timing divergence
+  }
+  out.reproduced = true;
+
+  auto oracle = [&](const std::vector<faults::ScheduledFault>& candidate) {
+    // An emptied schedule must stay scripted (an empty replay would fall
+    // back to the randomized injector): keep one-element minimum unless
+    // the schedule was already empty.
+    if (candidate.empty()) return false;
+    FuzzCase t = scripted;
+    t.replay.faults = candidate;
+    return signature(run_case(t)) == target;
   };
   out.minimized = scripted;
   out.minimized.replay.faults = ddmin(scripted.replay.faults, oracle, &out.stats, max_tests);

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "attack/attack.hpp"
 #include "check/invariant.hpp"
 #include "check/shrink.hpp"
 #include "experiments/scenario.hpp"
@@ -36,6 +37,10 @@ struct FuzzCase {
   /// Non-empty: run this scripted schedule instead of the randomized
   /// injector (replay / shrink / synthetic-violation mode).
   faults::ReplaySchedule replay;
+  /// Non-empty: arm this adversarial schedule (AttackDriver) and attach
+  /// the AttackExclusionInvariant; start_ns offsets are relative to the
+  /// end of bring-up, like the injector's clock.
+  attack::AttackSchedule attacks;
 };
 
 /// Derive case `index` of the campaign keyed by `master_seed`. Pure: the
@@ -43,8 +48,10 @@ struct FuzzCase {
 /// order. Parameter ranges are chosen so a healthy implementation passes
 /// (e.g. drift is capped so Gamma stays well inside the validity
 /// threshold); see DESIGN.md §8 for the ranges and why.
+/// `with_attacks` additionally derives an adversarial schedule (from its
+/// own RNG stream, so the base world is bit-identical with and without).
 FuzzCase derive_case(std::uint64_t master_seed, std::uint64_t index,
-                     std::int64_t duration_ns = 120'000'000'000LL);
+                     std::int64_t duration_ns = 120'000'000'000LL, bool with_attacks = false);
 
 struct CaseResult {
   std::uint64_t index = 0;
@@ -55,6 +62,8 @@ struct CaseResult {
   std::vector<Violation> violations;
   faults::InjectorStats injector_stats;
   std::vector<faults::InjectionEvent> events; ///< for schedule extraction
+  /// Per-attack oracle verdicts (empty unless the case carried attacks).
+  std::vector<AttackExclusionInvariant::Verdict> attack_verdicts;
 
   bool failed() const { return !brought_up || !violations.empty(); }
 };
@@ -69,6 +78,8 @@ struct CampaignConfig {
   std::size_t num_cases = 64;
   std::size_t threads = 1;
   std::int64_t duration_ns = 120'000'000'000LL;
+  /// Attack campaign: every case also carries a derived attack schedule.
+  bool attacks = false;
 };
 
 struct CampaignResult {
@@ -118,5 +129,13 @@ struct ShrinkOutcome {
 /// oracle preserves the first violation's invariant class. Each oracle
 /// test is a full scenario run; `max_tests` bounds the budget.
 ShrinkOutcome shrink_case(const FuzzCase& c, std::size_t max_tests = 128);
+
+/// Minimize an attack case's FAULT schedule while preserving its full
+/// oracle signature -- pass/fail class plus each attack's evicted-or-not
+/// verdict (the attacks themselves are the scenario under test and stay).
+/// This is how clean attack-campaign cases shrink into compact corpus
+/// replays; for failing cases shrink_case() already preserves the
+/// violation class with the attacks riding along.
+ShrinkOutcome shrink_attack_case(const FuzzCase& c, std::size_t max_tests = 64);
 
 } // namespace tsn::check

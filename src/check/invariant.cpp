@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "experiments/scenario.hpp"
+#include "gptp/servo.hpp"
 #include "util/str.hpp"
 
 namespace tsn::check {
@@ -26,6 +27,16 @@ std::optional<std::string> fta_source_vm(std::string_view source_name) {
   if (source_name.size() <= suffix.size()) return std::nullopt;
   if (source_name.substr(source_name.size() - suffix.size()) != suffix) return std::nullopt;
   return std::string(source_name.substr(0, source_name.size() - suffix.size()));
+}
+
+/// Strip a ".servo" suffix then the "/fta" one: "c11/fta.servo" -> "c11".
+/// Nullopt for non-coordinator servos (the synctime updater's, "<vm>/st.servo"
+/// flavors) -- their jumps are fail-over steps the synctime tolerance covers.
+std::optional<std::string> coordinator_servo_vm(std::string_view source_name) {
+  constexpr std::string_view suffix = ".servo";
+  if (source_name.size() <= suffix.size()) return std::nullopt;
+  if (source_name.substr(source_name.size() - suffix.size()) != suffix) return std::nullopt;
+  return fta_source_vm(source_name.substr(0, source_name.size() - suffix.size()));
 }
 
 } // namespace
@@ -55,10 +66,60 @@ PrecisionBoundInvariant::Source& PrecisionBoundInvariant::source_for(const std::
   return it->second;
 }
 
+void PrecisionBoundInvariant::exempt_source(const std::string& vm, std::int64_t from_ns,
+                                            std::int64_t until_ns) {
+  Exemption& e = exempt_[vm];
+  // Overlapping attacks on the same victim merge into one wide window.
+  if (e.until_ns == 0 && e.from_ns == 0) {
+    e.from_ns = from_ns;
+    e.until_ns = until_ns;
+  } else {
+    e.from_ns = std::min(e.from_ns, from_ns);
+    e.until_ns = std::max(e.until_ns, until_ns);
+  }
+  e.rearmed = false;
+}
+
 void PrecisionBoundInvariant::on_trace(const obs::TraceRecord& r, const obs::TraceRing& ring) {
+  if (r.kind == obs::TraceKind::kServoState &&
+      r.a == static_cast<std::uint32_t>(gptp::PiServo::State::kJump)) {
+    // A coordinator servo announced a deliberate clock step. The stepped
+    // clock (and, until it re-validates, every observer aggregating it)
+    // is legitimately off the steady-state bound: demote it with a fresh
+    // reconvergence deadline and open the system-wide grace window,
+    // exactly like a warm reboot.
+    const auto vm = coordinator_servo_vm(ring.name(r.source));
+    if (vm) {
+      Source& s = source_for(*vm);
+      s.converged = false;
+      s.streak = 0;
+      s.deadline_ns = r.t_ns + p_.reconverge_deadline_ns;
+      grace_until_ns_ = std::max(grace_until_ns_, r.t_ns + p_.reconverge_deadline_ns);
+    }
+    return;
+  }
   if (r.kind != obs::TraceKind::kAggregate) return;
   const auto vm = fta_source_vm(ring.name(r.source));
   if (!vm) return;
+
+  if (auto e = exempt_.find(*vm); e != exempt_.end() && r.t_ns >= e->second.from_ns) {
+    Source& s = source_for(*vm);
+    if (r.t_ns <= e->second.until_ns) {
+      // Compromised and under attack: not judged at all.
+      s.converged = false;
+      s.streak = 0;
+      s.deadline_ns = INT64_MIN;
+      return;
+    }
+    if (!e->second.rearmed) {
+      // First aggregate after the attack window: the victim must now
+      // recover like a rebooted clock would.
+      e->second.rearmed = true;
+      s.converged = false;
+      s.streak = 0;
+      s.deadline_ns = r.t_ns + p_.reconverge_deadline_ns;
+    }
+  }
 
   auto it = sources_.find(*vm);
   if (it == sources_.end()) {
@@ -121,6 +182,10 @@ void PrecisionBoundInvariant::on_injection(const faults::InjectionEvent& ev) {
 void PrecisionBoundInvariant::check_deadlines(std::int64_t now_ns, bool at_end) {
   for (auto& [vm, s] : sources_) {
     if (s.converged || s.deadline_ns == INT64_MIN) continue;
+    if (auto e = exempt_.find(vm);
+        e != exempt_.end() && now_ns >= e->second.from_ns && now_ns <= e->second.until_ns) {
+      continue;
+    }
     // While the grace window is open (another reboot is still settling),
     // reconvergence is allowed to take until the window closes.
     const std::int64_t deadline = std::max(s.deadline_ns, grace_until_ns_);
@@ -205,9 +270,25 @@ SynctimeMonotonicityInvariant::SynctimeMonotonicityInvariant(std::size_t num_ecd
                                                              double tolerance_ns, Sampler sampler)
     : tolerance_ns_(tolerance_ns), sampler_(std::move(sampler)), last_(num_ecds) {}
 
+void SynctimeMonotonicityInvariant::exempt_ecd(std::size_t ecd, std::int64_t from_ns,
+                                               std::int64_t until_ns) {
+  auto [it, inserted] = exempt_.try_emplace(ecd, from_ns, until_ns);
+  if (!inserted) {
+    it->second.first = std::min(it->second.first, from_ns);
+    it->second.second = std::max(it->second.second, until_ns);
+  }
+}
+
 void SynctimeMonotonicityInvariant::on_sample(std::int64_t now_ns) {
   if (!sampler_) return;
   for (std::size_t e = 0; e < last_.size(); ++e) {
+    if (auto ex = exempt_.find(e);
+        ex != exempt_.end() && now_ns >= ex->second.first && now_ns <= ex->second.second) {
+      // Under attack: drop the baseline so the post-window comparison
+      // starts fresh instead of judging the attack-era step.
+      last_[e].reset();
+      continue;
+    }
     const std::optional<std::int64_t> now_v = sampler_(e);
     if (!now_v) continue;
     if (last_[e] && static_cast<double>(*now_v) < static_cast<double>(*last_[e]) - tolerance_ns_) {
@@ -330,6 +411,56 @@ void ConservationInvariant::finalize(std::int64_t now_ns) {
 }
 
 // ---------------------------------------------------------------------------
+// AttackExclusionInvariant
+
+AttackExclusionInvariant::AttackExclusionInvariant(std::vector<attack::ArmedAttack> attacks,
+                                                   EcdOfVm ecd_of_vm,
+                                                   std::int64_t eviction_deadline_ns)
+    : ecd_of_vm_(std::move(ecd_of_vm)), eviction_deadline_ns_(eviction_deadline_ns) {
+  verdicts_.reserve(attacks.size());
+  for (attack::ArmedAttack& a : attacks) verdicts_.push_back(Verdict{std::move(a), std::nullopt});
+}
+
+void AttackExclusionInvariant::on_trace(const obs::TraceRecord& r, const obs::TraceRing& ring) {
+  if (r.kind != obs::TraceKind::kAggregate) return;
+  const auto vm = fta_source_vm(ring.name(r.source));
+  if (!vm) return;
+  const std::optional<std::size_t> src_ecd = ecd_of_vm_ ? ecd_of_vm_(*vm) : std::nullopt;
+  if (!src_ecd) return;
+
+  for (Verdict& v : verdicts_) {
+    if (v.excluded_at_ns) continue;
+    if (*src_ecd == v.attack.spec.ecd) continue; // the victim's own VMs are not witnesses
+    if (r.t_ns < v.attack.start_abs_ns) continue;
+    if (v.attack.victim_slot >= 32) continue;
+    if (r.a < 1 || (r.mask >> v.attack.victim_slot) & 1u) continue; // victim still valid
+    v.excluded_at_ns = r.t_ns;
+  }
+}
+
+void AttackExclusionInvariant::check_deadlines(std::int64_t now_ns, bool at_end) {
+  for (Verdict& v : verdicts_) {
+    if (!v.attack.spec.expect_excluded || v.excluded_at_ns || v.deadline_missed) continue;
+    const std::int64_t deadline = v.attack.start_abs_ns + eviction_deadline_ns_;
+    if (now_ns > deadline) {
+      v.deadline_missed = true;
+      report(now_ns,
+             util::format("%s attack on ecd%zu (magnitude %.0f) not evicted by any honest "
+                          "observer within %lld ms of t=%lld ns",
+                          attack::to_string(v.attack.spec.kind), v.attack.spec.ecd + 1,
+                          v.attack.spec.magnitude, (long long)(eviction_deadline_ns_ / 1'000'000),
+                          (long long)v.attack.start_abs_ns));
+    } else if (at_end) {
+      // The run ended inside the eviction window: not judged.
+      v.deadline_missed = true;
+    }
+  }
+}
+
+void AttackExclusionInvariant::on_sample(std::int64_t now_ns) { check_deadlines(now_ns, false); }
+void AttackExclusionInvariant::finalize(std::int64_t now_ns) { check_deadlines(now_ns, true); }
+
+// ---------------------------------------------------------------------------
 // InvariantSuite
 
 InvariantSuite::InvariantSuite(experiments::Scenario& scenario) : scenario_(scenario) {}
@@ -346,17 +477,21 @@ void InvariantSuite::add_default_invariants(const SuiteParams& p) {
   const experiments::ScenarioConfig& cfg = scenario_.config();
   poll_period_ns_ = p.poll_period_ns;
 
-  add(std::make_unique<PrecisionBoundInvariant>(PrecisionBoundInvariant::Params{
-      p.bound_ns, p.bound_margin, p.converge_consecutive, p.reconverge_deadline_ns}));
+  auto precision = std::make_unique<PrecisionBoundInvariant>(PrecisionBoundInvariant::Params{
+      p.bound_ns, p.bound_margin, p.converge_consecutive, p.reconverge_deadline_ns});
+  precision_ = precision.get();
+  add(std::move(precision));
 
   add(std::make_unique<FailoverLatencyInvariant>(scenario_.num_ecds(), p.failover_deadline_ns));
 
   const double tol = p.synctime_tolerance_ns > 0.0 ? p.synctime_tolerance_ns
                                                    : 2.0 * p.bound_ns + 10'000.0;
   experiments::Scenario* sc = &scenario_;
-  add(std::make_unique<SynctimeMonotonicityInvariant>(
+  auto synctime = std::make_unique<SynctimeMonotonicityInvariant>(
       scenario_.num_ecds(), tol,
-      [sc](std::size_t e) { return sc->ecd(e).read_synctime(); }));
+      [sc](std::size_t e) { return sc->ecd(e).read_synctime(); });
+  synctime_ = synctime.get();
+  add(std::move(synctime));
 
   add(std::make_unique<FaultHypothesisInvariant>(
       scenario_.num_ecds(), scenario_.ecd(0).vm_count(), [sc](std::size_t e) {

@@ -38,6 +38,7 @@
 #include <string_view>
 #include <vector>
 
+#include "attack/attack.hpp"
 #include "faults/injector.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulation.hpp"
@@ -107,6 +108,14 @@ class PrecisionBoundInvariant : public Invariant {
   void on_sample(std::int64_t now_ns) override;
   void finalize(std::int64_t now_ns) override;
 
+  /// Exempt a (compromised) source VM from judgment inside [from_ns,
+  /// until_ns]: the attack library perturbs that VM's own timebase, and
+  /// the paper's claim is that HONEST nodes keep the bound, not that the
+  /// victim does. The first aggregate after the window re-arms a normal
+  /// reconvergence deadline, so a victim that never recovers after the
+  /// attack ends is still a violation.
+  void exempt_source(const std::string& vm, std::int64_t from_ns, std::int64_t until_ns);
+
  private:
   struct Source {
     bool converged = false;
@@ -116,9 +125,16 @@ class PrecisionBoundInvariant : public Invariant {
   Source& source_for(const std::string& vm_name);
   void check_deadlines(std::int64_t now_ns, bool at_end);
 
+  struct Exemption {
+    std::int64_t from_ns = 0;
+    std::int64_t until_ns = 0;
+    bool rearmed = false; ///< post-window reconvergence deadline opened
+  };
+
   Params p_;
   /// Keyed by VM name: coordinator trace sources are "<vm>/fta".
   std::map<std::string, Source> sources_;
+  std::map<std::string, Exemption> exempt_;
   /// System-wide reconvergence grace: while ANY node's warm-rebooted
   /// clock is re-entering aggregation (its residual offset can approach
   /// the validity threshold, well above Pi), every observer's correction
@@ -175,10 +191,16 @@ class SynctimeMonotonicityInvariant : public Invariant {
   std::string_view name() const override { return "synctime-monotonic"; }
   void on_sample(std::int64_t now_ns) override;
 
+  /// Skip judging `ecd` inside [from_ns, until_ns] (its CLOCK_SYNCTIME
+  /// maintainer's clock is under attack); sampling restarts from a fresh
+  /// baseline after the window.
+  void exempt_ecd(std::size_t ecd, std::int64_t from_ns, std::int64_t until_ns);
+
  private:
   double tolerance_ns_;
   Sampler sampler_;
   std::vector<std::optional<std::int64_t>> last_;
+  std::map<std::size_t, std::pair<std::int64_t, std::int64_t>> exempt_;
 };
 
 // ---------------------------------------------------------------------------
@@ -232,6 +254,47 @@ class ConservationInvariant : public Invariant {
 };
 
 // ---------------------------------------------------------------------------
+// 6. Attack eviction (the oracle half of src/attack, DESIGN.md §11).
+
+/// Watches honest sources' kAggregate validity masks for the victim
+/// domain's slot. For every armed attack it records WHEN the first honest
+/// observer evicted the victim (eviction latency); for overt attacks
+/// (spec.expect_excluded) a missing eviction within the deadline is a
+/// violation -- the validity threshold failed to contain an attacker it
+/// is designed to catch.
+class AttackExclusionInvariant : public Invariant {
+ public:
+  struct Verdict {
+    attack::ArmedAttack attack;
+    /// First post-attack honest aggregate whose mask cleared the victim
+    /// slot; nullopt = the victim was never evicted.
+    std::optional<std::int64_t> excluded_at_ns;
+    bool deadline_missed = false;
+  };
+
+  /// Maps a coordinator VM name to its ECD index (nullopt = unknown); used
+  /// to tell honest observers from the victim's own (exempt) VMs.
+  using EcdOfVm = std::function<std::optional<std::size_t>(const std::string& vm)>;
+
+  AttackExclusionInvariant(std::vector<attack::ArmedAttack> attacks, EcdOfVm ecd_of_vm,
+                           std::int64_t eviction_deadline_ns);
+
+  std::string_view name() const override { return "attack-eviction"; }
+  void on_trace(const obs::TraceRecord& r, const obs::TraceRing& ring) override;
+  void on_sample(std::int64_t now_ns) override;
+  void finalize(std::int64_t now_ns) override;
+
+  const std::vector<Verdict>& verdicts() const { return verdicts_; }
+
+ private:
+  void check_deadlines(std::int64_t now_ns, bool at_end);
+
+  EcdOfVm ecd_of_vm_;
+  std::int64_t eviction_deadline_ns_;
+  std::vector<Verdict> verdicts_;
+};
+
+// ---------------------------------------------------------------------------
 // The suite.
 
 struct SuiteParams {
@@ -260,6 +323,12 @@ class InvariantSuite : public ViolationSink {
   Invariant& add(std::unique_ptr<Invariant> inv);
   /// Install the five default oracles wired to the scenario.
   void add_default_invariants(const SuiteParams& p);
+
+  /// The default oracles that support attack exemptions (null until
+  /// add_default_invariants ran); the attack harness marks compromised
+  /// victims through these.
+  PrecisionBoundInvariant* precision_bound() { return precision_; }
+  SynctimeMonotonicityInvariant* synctime_monotonicity() { return synctime_; }
 
   /// Subscribe to an injector's events (call before faults start).
   void observe(faults::FaultInjector& injector);
@@ -295,6 +364,8 @@ class InvariantSuite : public ViolationSink {
 
   experiments::Scenario& scenario_;
   faults::FaultInjector* injector_ = nullptr;
+  PrecisionBoundInvariant* precision_ = nullptr;
+  SynctimeMonotonicityInvariant* synctime_ = nullptr;
   std::vector<std::unique_ptr<Invariant>> invariants_;
   std::vector<Violation> violations_;
   std::uint64_t trace_cursor_ = 0;

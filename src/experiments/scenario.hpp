@@ -147,6 +147,12 @@ class Scenario {
   hv::ClockSyncVm& gm_vm(std::size_t ecd_idx) { return vm(ecd_idx, 0); }
   net::Switch& ecd_switch(std::size_t x) { return *switches_.at(x); }
   gptp::TimeAwareBridge& bridge(std::size_t x) { return *bridges_.at(x); }
+  /// Host link of VM `vm_idx` of ECD `ecd_idx` (VM NIC is end A, the
+  /// switch port is end B). Always region-local; the attack library's
+  /// delay injection targets these.
+  net::Link& host_link(std::size_t ecd_idx, std::size_t vm_idx) {
+    return *links_.at(ecd_idx * 2 + vm_idx);
+  }
   measure::PrecisionProbe& probe() { return *probe_; }
   measure::PathDelayMeter& path_meter() { return *path_meter_; }
   hv::ClockSyncVm& measurement_vm() { return vm(cfg_.measurement_ecd, 1); }

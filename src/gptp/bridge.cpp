@@ -91,7 +91,37 @@ void TimeAwareBridge::start() {
 void TimeAwareBridge::stop() {
   started_ = false;
   for (auto& ld : link_delay_) ld->stop();
+  stop_sync_storm();
 }
+
+void TimeAwareBridge::set_correction_attack(std::uint8_t domain, double bias_ns) {
+  atk_corr_domain_ = domain;
+  atk_corr_bias_ns_ = bias_ns;
+}
+
+void TimeAwareBridge::clear_correction_attack() {
+  atk_corr_domain_.reset();
+  atk_corr_bias_ns_ = 0.0;
+}
+
+void TimeAwareBridge::start_sync_storm(std::uint8_t domain, std::int64_t period_ns) {
+  if (storm_.active()) return;
+  storm_ = sim_.every(sim_.now(), period_ns, [this, domain](sim::SimTime) {
+    SyncMessage sync;
+    sync.header.type = MessageType::kSync;
+    sync.header.two_step = false; // standalone: no FollowUp ever comes
+    sync.header.domain = domain;
+    sync.header.sequence_id = ++storm_seq_;
+    for (std::size_t p = 0; p < sw_.port_count(); ++p) {
+      if (!sw_.port(p).connected()) continue;
+      sync.header.source_port = port_identity(p);
+      ++counters_.storm_syncs_sent;
+      send_message_on_port(p, sync, {});
+    }
+  });
+}
+
+void TimeAwareBridge::stop_sync_storm() { storm_.cancel(); }
 
 void TimeAwareBridge::on_ptp(std::size_t port_idx, const net::EthernetFrame& frame,
                              const net::RxMeta& meta) {
@@ -212,7 +242,10 @@ void TimeAwareBridge::finish_relay(std::uint32_t slot, std::optional<std::int64_
   // Residence time in the bridge's local clock, plus the upstream link
   // delay, both converted to GM time.
   const double residence_ns = static_cast<double>(*tx_ts - ctx.rx_ts);
-  const double added_ns = ctx.rate_ratio * (residence_ns + ctx.upstream_delay_ns);
+  double added_ns = ctx.rate_ratio * (residence_ns + ctx.upstream_delay_ns);
+  // Compromised-bridge correction tamper: the FollowUp claims more (or
+  // less) residence than actually elapsed for the attacked domain.
+  if (atk_corr_domain_ && *atk_corr_domain_ == ctx.domain) added_ns += atk_corr_bias_ns_;
 
   fup_tpl_.set_domain(ctx.domain);
   fup_tpl_.set_source_port(port_identity(ctx.out_port));

@@ -52,6 +52,7 @@ struct BridgeCounters {
   std::uint64_t announces_relayed = 0;
   std::uint64_t syncs_on_non_slave_port = 0;
   std::uint64_t malformed = 0;
+  std::uint64_t storm_syncs_sent = 0; ///< bogus Syncs injected by a compromise
 };
 
 class TimeAwareBridge {
@@ -68,6 +69,22 @@ class TimeAwareBridge {
   LinkDelayService& port_link_delay(std::size_t port_idx) { return *link_delay_.at(port_idx); }
   const BridgeCounters& counters() const { return counters_; }
   net::Switch& bridge_switch() { return sw_; }
+
+  // -- Compromised-bridge attack hooks (src/attack) -------------------------
+
+  /// Inflate the correction field of every Sync relayed for `domain` by
+  /// `bias_ns` (added on top of the honest residence + upstream-delay
+  /// accumulation in finish_relay). Downstream slaves of that domain see
+  /// its offset shifted by the bias.
+  void set_correction_attack(std::uint8_t domain, double bias_ns);
+  void clear_correction_attack();
+
+  /// Sync-storm DoS: flood standalone Sync messages for `domain`
+  /// (typically one no VM or bridge has configured, so every receiver
+  /// drops them after parsing) out of every connected port, one volley
+  /// per `period_ns`. Pure protocol-processing load.
+  void start_sync_storm(std::uint8_t domain, std::int64_t period_ns);
+  void stop_sync_storm();
 
  private:
   struct PendingSync {
@@ -120,6 +137,12 @@ class TimeAwareBridge {
   std::map<std::uint8_t, DomainState> domains_;
   BridgeCounters counters_;
   bool started_ = false;
+
+  // Attack state (inert unless src/attack arms it).
+  std::optional<std::uint8_t> atk_corr_domain_;
+  double atk_corr_bias_ns_ = 0.0;
+  sim::Simulation::PeriodicHandle storm_;
+  std::uint16_t storm_seq_ = 0;
 
   // Pre-built relay PDU images; every varying field (domain, egress port
   // identity, seq, correction, timestamps, TLV) is patched per transmission.

@@ -63,6 +63,11 @@ void LinkDelayService::send_request() {
       valid_ = false;
       nrr_head_ = 0;
       nrr_count_ = 0;
+      // The ratio belongs to the dead neighbor's oscillator; keeping it
+      // would poison the first meanLinkDelay computed after the neighbor
+      // comes back with a different rate (the ring needs two fresh
+      // exchanges before it can re-estimate).
+      neighbor_rate_ratio_ = 1.0;
     }
   }
   exchange_open_ = true;
@@ -77,6 +82,26 @@ void LinkDelayService::send_request() {
         }));
 }
 
+void LinkDelayService::set_turnaround_attack(double bias_ns, double skew_ppm) {
+  atk_turnaround_ = true;
+  atk_t3_bias_ns_ = bias_ns;
+  atk_t3_skew_ppm_ = skew_ppm;
+  atk_t3_epoch_ns_.reset();
+}
+
+void LinkDelayService::clear_turnaround_attack() {
+  atk_turnaround_ = false;
+  atk_t3_epoch_ns_.reset();
+}
+
+std::int64_t LinkDelayService::tampered_t3(std::int64_t t3) {
+  if (!atk_turnaround_) return t3;
+  if (!atk_t3_epoch_ns_) atk_t3_epoch_ns_ = t3;
+  const double skew =
+      atk_t3_skew_ppm_ * 1e-6 * static_cast<double>(t3 - *atk_t3_epoch_ns_);
+  return t3 + static_cast<std::int64_t>(std::llround(atk_t3_bias_ns_ + skew));
+}
+
 void LinkDelayService::on_message(const Message& msg, std::int64_t rx_ts) {
   if (const auto* req = std::get_if<PdelayReqMessage>(&msg)) {
     // ---- Responder: reply with t2 then t3.
@@ -89,7 +114,7 @@ void LinkDelayService::on_message(const Message& msg, std::int64_t rx_ts) {
           TxTsFn([this, seq, requesting](std::optional<std::int64_t> tx_ts) {
             if (!tx_ts) return;
             resp_fup_tpl_.set_sequence_id(seq);
-            resp_fup_tpl_.set_body_timestamp(Timestamp::from_ns(*tx_ts));
+            resp_fup_tpl_.set_body_timestamp(Timestamp::from_ns(tampered_t3(*tx_ts)));
             resp_fup_tpl_.set_requesting_port(requesting);
             send_(make_ptp_frame(resp_fup_tpl_), {});
           }));

@@ -57,6 +57,15 @@ class LinkDelayService {
   /// Feed any received Pdelay* message with its HW rx timestamp.
   void on_message(const Message& msg, std::int64_t rx_ts);
 
+  /// Pdelay-turnaround manipulation (attack library, responder side):
+  /// tamper the t3 this responder reports in PdelayRespFollowUp by a
+  /// constant `bias_ns` plus `skew_ppm` of the time elapsed since the
+  /// attack started. The peer *initiator* then under-measures its
+  /// meanLinkDelay by ~bias/2 and mis-estimates neighbor_rate_ratio_ by
+  /// ~skew_ppm (the reported remote clock appears to run fast/slow).
+  void set_turnaround_attack(double bias_ns, double skew_ppm);
+  void clear_turnaround_attack();
+
   bool valid() const { return valid_; }
   double mean_link_delay_ns() const { return mean_link_delay_ns_; }
   /// Most recent raw (unsmoothed) delay sample.
@@ -68,6 +77,7 @@ class LinkDelayService {
  private:
   void send_request();
   void complete_exchange();
+  std::int64_t tampered_t3(std::int64_t t3);
 
   sim::Simulation& sim_;
   PortIdentity identity_;
@@ -96,6 +106,14 @@ class LinkDelayService {
   std::vector<std::pair<std::int64_t, std::int64_t>> nrr_ring_;
   std::size_t nrr_head_ = 0;  // index of the oldest retained sample
   std::size_t nrr_count_ = 0;
+
+  // Responder-side t3 tamper (inert unless src/attack arms it). The skew
+  // epoch is the first tampered t3 after activation, so the linear term
+  // grows from zero in the responder's own timebase.
+  bool atk_turnaround_ = false;
+  double atk_t3_bias_ns_ = 0.0;
+  double atk_t3_skew_ppm_ = 0.0;
+  std::optional<std::int64_t> atk_t3_epoch_ns_;
 
   bool valid_ = false;
   double mean_link_delay_ns_ = 0.0;

@@ -47,7 +47,7 @@ PiServo::Result PiServo::sample(std::int64_t offset_ns, std::int64_t local_ts_ns
   const State prev = state_;
   if (c_samples_) c_samples_->inc();
 
-  if (state_ == State::kLocked && cfg_.step_threshold_ns > 0 &&
+  if (state_ != State::kUnlocked && cfg_.step_threshold_ns > 0 &&
       std::llabs(offset_ns) > cfg_.step_threshold_ns) {
     // Runaway offset: fall back to acquisition.
     state_ = State::kUnlocked;
@@ -76,7 +76,10 @@ PiServo::Result PiServo::sample(std::int64_t offset_ns, std::int64_t local_ts_ns
       sample_count_ = 0;
       if (cfg_.first_step_threshold_ns > 0 &&
           std::llabs(offset_ns) > cfg_.first_step_threshold_ns) {
-        state_ = State::kLocked;
+        // Hold kJump until the next sample so the trace shows the
+        // Unlocked -> Jump -> Locked sequence; the next sample's
+        // kLocked handling records the Jump -> Locked edge.
+        state_ = State::kJump;
         res.state = State::kJump;
         res.freq_ppb = clamp_freq(-integral_ppb_);
         if (c_jumps_) c_jumps_->inc();

@@ -60,12 +60,37 @@ std::int64_t Link::serialization_ns(const EthernetFrame& frame) const {
   return static_cast<std::int64_t>(std::llround(bits / cfg_.rate_bps * 1e9));
 }
 
+sim::Simulation& Link::sender_sim(bool from_a) {
+  return (!from_a && sim_b_) ? *sim_b_ : sim_;
+}
+
 std::int64_t Link::draw_delay(bool from_a) {
   const DelayModel& m = from_a ? cfg_.a_to_b : cfg_.b_to_a;
   util::RngStream& rng = (!from_a && rng_ba_) ? *rng_ba_ : rng_;
   const double jitter = rng.normal(0.0, m.jitter_sigma_ns);
-  const std::int64_t d = m.base_ns + static_cast<std::int64_t>(std::llround(jitter));
+  std::int64_t d = m.base_ns + static_cast<std::int64_t>(std::llround(jitter));
+  const DelayAttack& atk = from_a ? atk_ab_ : atk_ba_;
+  if (atk.active) {
+    const double elapsed_s =
+        static_cast<double>(sender_sim(from_a).now().ns() - atk.start_ns) * 1e-9;
+    d += atk.bias_ns +
+         static_cast<std::int64_t>(std::llround(atk.ramp_ns_per_s * std::max(0.0, elapsed_s)));
+  }
+  // The floor holds under attack too: min_delay_ns() stays a valid
+  // lookahead for boundary channels whatever the adversary injects.
   return std::max(d, m.base_ns / 2);
+}
+
+void Link::set_delay_attack(bool from_a, std::int64_t bias_ns, double ramp_ns_per_s) {
+  DelayAttack& atk = from_a ? atk_ab_ : atk_ba_;
+  atk.active = true;
+  atk.bias_ns = bias_ns;
+  atk.ramp_ns_per_s = ramp_ns_per_s;
+  atk.start_ns = sender_sim(from_a).now().ns();
+}
+
+void Link::clear_delay_attack(bool from_a) {
+  (from_a ? atk_ab_ : atk_ba_).active = false;
 }
 
 std::int64_t Link::min_delay_ns(bool from_a) const {

@@ -74,6 +74,15 @@ class Link {
   /// direction; used both for delivery and by tests.
   std::int64_t draw_delay(bool from_a);
 
+  /// Adversarial asymmetric path-delay injection (attack library): add
+  /// `bias_ns` plus `ramp_ns_per_s * elapsed` to every subsequent draw in
+  /// one direction. Only positive totals are meaningful -- the draw is
+  /// still clamped at the model floor base/2, so the boundary channel's
+  /// lookahead contract survives any attack magnitude. Must be called
+  /// from the sender region (it reads that region's clock).
+  void set_delay_attack(bool from_a, std::int64_t bias_ns, double ramp_ns_per_s);
+  void clear_delay_attack(bool from_a);
+
   /// Conservative lower bound on any delivery delay in the given direction
   /// (the boundary channel's lookahead): the delay-model floor base/2 plus
   /// the serialization time of an empty frame.
@@ -88,6 +97,14 @@ class Link {
        std::size_t region_b, Port& end_b, const LinkConfig& cfg,
        const std::string& name);
 
+  struct DelayAttack {
+    bool active = false;
+    std::int64_t bias_ns = 0;
+    double ramp_ns_per_s = 0.0;
+    std::int64_t start_ns = 0; ///< sender-region time at activation
+  };
+  sim::Simulation& sender_sim(bool from_a);
+
   sim::Simulation& sim_; ///< end A's Simulation (the only one, if local)
   sim::Simulation* sim_b_ = nullptr; ///< end B's Simulation (boundary only)
   Port& a_;
@@ -98,6 +115,7 @@ class Link {
   sim::PartitionRuntime* rt_ = nullptr;  ///< non-null for boundary links
   std::optional<util::RngStream> rng_ba_; ///< boundary: B->A direction stream
   std::uint32_t ch_ab_ = 0, ch_ba_ = 0;
+  DelayAttack atk_ab_, atk_ba_; ///< per-direction adversarial delay
 };
 
 } // namespace tsn::net

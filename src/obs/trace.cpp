@@ -19,6 +19,7 @@ const char* to_string(TraceKind kind) {
     case TraceKind::kTakeover: return "takeover";
     case TraceKind::kNoSuccessor: return "no_successor";
     case TraceKind::kPhaseChange: return "phase_change";
+    case TraceKind::kAttack: return "attack";
   }
   return "?";
 }

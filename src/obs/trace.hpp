@@ -32,6 +32,8 @@ enum class TraceKind : std::uint8_t {
   kTakeover,       ///< CLOCK_SYNCTIME moved to a healthy VM (a = new vm)
   kNoSuccessor,    ///< fail-over wanted but no healthy successor existed
   kPhaseChange,    ///< startup -> FTA transition (a = new phase)
+  kAttack,         ///< adversarial schedule edge (a = AttackKind, v0 = magnitude,
+                   ///< v1 = victim ECD; mask 1 = enable, 0 = disable)
 };
 
 const char* to_string(TraceKind kind);

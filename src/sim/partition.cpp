@@ -2,9 +2,29 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 #include "sweep/thread_pool.hpp"
+
+// Conservative-sync protocol contracts (no send below the sender's promise
+// plus lookahead, no arrival below the destination's promise). Plain
+// assert() normally -- free in Release builds -- but -DTSN_FORCE_CONTRACTS
+// keeps them armed regardless of NDEBUG so CI can run the partition
+// determinism matrix on an optimized build with the contracts enforced.
+#if defined(TSN_FORCE_CONTRACTS)
+#define TSN_CONTRACT(cond, msg)                                                   \
+  do {                                                                            \
+    if (!(cond)) {                                                                \
+      std::fprintf(stderr, "partition contract violated: %s (%s:%d)\n", msg,      \
+                   __FILE__, __LINE__);                                           \
+      std::abort();                                                               \
+    }                                                                             \
+  } while (0)
+#else
+#define TSN_CONTRACT(cond, msg) assert((cond) && msg)
+#endif
 
 namespace tsn::sim {
 namespace {
@@ -63,7 +83,7 @@ PartitionRuntime::~PartitionRuntime() = default;
 std::uint32_t PartitionRuntime::add_channel(std::size_t src, std::size_t dst,
                                             std::int64_t min_delay_ns) {
   assert(src < regions_.size() && dst < regions_.size() && src != dst);
-  assert(min_delay_ns > 0 && "conservative lookahead requires positive delay");
+  TSN_CONTRACT(min_delay_ns > 0, "conservative lookahead requires positive delay");
   const auto id = static_cast<std::uint32_t>(channels_.size());
   channels_.push_back(std::make_unique<Channel>(id, src, dst, min_delay_ns));
   Channel* ch = channels_.back().get();
@@ -86,15 +106,15 @@ std::uint32_t PartitionRuntime::control_channel(std::size_t src,
 void PartitionRuntime::post_remote(std::uint32_t channel_id, SimTime at,
                                    RemoteFn fn) {
   Channel& ch = *channels_[channel_id];
-  assert(t_current_region == ch.src() &&
-         "post_remote must run inside the channel's source region");
-  assert(at.ns() >=
-             regions_[ch.src()]->sim.now().ns() + ch.min_delay_ns() &&
-         "post_remote violates the channel's lookahead contract");
-  assert(at.ns() >=
-             regions_[ch.src()]->safe_until.load(std::memory_order_relaxed) +
-                 ch.min_delay_ns() &&
-         "send undercuts the source region's own published promise");
+  TSN_CONTRACT(t_current_region == ch.src(),
+               "post_remote must run inside the channel's source region");
+  TSN_CONTRACT(at.ns() >=
+                   regions_[ch.src()]->sim.now().ns() + ch.min_delay_ns(),
+               "post_remote violates the channel's lookahead contract");
+  TSN_CONTRACT(at.ns() >=
+                   regions_[ch.src()]->safe_until.load(std::memory_order_relaxed) +
+                       ch.min_delay_ns(),
+               "send undercuts the source region's own published promise");
   in_flight_.fetch_add(1, std::memory_order_release);
   ch.push(at, std::move(fn));
 }
@@ -102,7 +122,7 @@ void PartitionRuntime::post_remote(std::uint32_t channel_id, SimTime at,
 void PartitionRuntime::post_control(std::size_t dst_region, SimTime at,
                                     RemoteFn fn) {
   const std::size_t src = t_current_region;
-  assert(src != SIZE_MAX && "post_control outside region execution");
+  TSN_CONTRACT(src != SIZE_MAX, "post_control outside region execution");
   const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst_region;
   for (const auto& [k, id] : control_ids_) {
     if (k == key) {
@@ -110,7 +130,7 @@ void PartitionRuntime::post_control(std::size_t dst_region, SimTime at,
       return;
     }
   }
-  assert(false && "no control channel declared for this region pair");
+  TSN_CONTRACT(false, "no control channel declared for this region pair");
 }
 
 std::size_t PartitionRuntime::current_region() { return t_current_region; }
@@ -119,11 +139,11 @@ void PartitionRuntime::enqueue_remote(Region& region, Channel::Msg&& msg) {
   // A message below the destination's own promise means some promise
   // upstream lied (the 625 ms stage-init bug was exactly this shape);
   // below now() it is already too late to order correctly.
-  assert(msg.at.ns() >=
-             region.safe_until.load(std::memory_order_relaxed) &&
-         "arrival below the destination region's published promise");
-  assert(msg.at.ns() >= region.sim.now().ns() &&
-         "arrival behind the destination region's clock");
+  TSN_CONTRACT(msg.at.ns() >=
+                   region.safe_until.load(std::memory_order_relaxed),
+               "arrival below the destination region's published promise");
+  TSN_CONTRACT(msg.at.ns() >= region.sim.now().ns(),
+               "arrival behind the destination region's clock");
   std::uint32_t slot;
   if (!region.parked_free.empty()) {
     slot = region.parked_free.back();

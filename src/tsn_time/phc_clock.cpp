@@ -14,7 +14,8 @@ PhcClock::PhcClock(sim::Simulation& sim, const PhcModel& model, const std::strin
 
 void PhcClock::advance_to_now() {
   const long double local_elapsed = osc_.advance(sim_.now());
-  value_ns_ += local_elapsed * (1.0L + static_cast<long double>(freq_adj_ppb_) * 1e-9L);
+  value_ns_ += local_elapsed * (1.0L + static_cast<long double>(freq_adj_ppb_) * 1e-9L) *
+               (1.0L + static_cast<long double>(atk_drift_ppm_) * 1e-6L);
 }
 
 std::int64_t PhcClock::read() {
@@ -30,6 +31,11 @@ std::int64_t PhcClock::hw_timestamp() {
 void PhcClock::adj_frequency(double ppb) {
   advance_to_now();
   freq_adj_ppb_ = std::clamp(ppb, -model_.max_freq_adj_ppb, model_.max_freq_adj_ppb);
+}
+
+void PhcClock::set_drift_attack(double extra_ppm) {
+  advance_to_now(); // integrate the old rate up to now first
+  atk_drift_ppm_ = extra_ppm;
 }
 
 void PhcClock::step(std::int64_t delta_ns) {

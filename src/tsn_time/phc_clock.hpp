@@ -44,6 +44,14 @@ class PhcClock {
   /// Step the clock by delta_ns (linuxptp "clockadj_step").
   void step(std::int64_t delta_ns);
 
+  /// OS-timer manipulation (attack library): a hidden extra rate applied
+  /// on top of oscillator drift and the servo's adjustment, modelling a
+  /// compromised clock driver silently skewing the victim's timebase.
+  /// The servo chases it like real drift but never sees it.
+  void set_drift_attack(double extra_ppm);
+  void clear_drift_attack() { set_drift_attack(0.0); }
+  double drift_attack_ppm() const { return atk_drift_ppm_; }
+
   /// Current oscillator frequency error (hidden from the protocol stack;
   /// exposed for experiment instrumentation only).
   double true_drift_ppm() const { return osc_.drift_ppm(); }
@@ -63,6 +71,7 @@ class PhcClock {
   util::RngStream ts_rng_;
   long double value_ns_ = 0.0L;
   double freq_adj_ppb_ = 0.0;
+  double atk_drift_ppm_ = 0.0;
 };
 
 } // namespace tsn::time

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "gptp/servo.hpp"
+#include "obs/obs.hpp"
 
 namespace tsn::gptp {
 namespace {
@@ -95,6 +97,57 @@ TEST(PiServoTest, WarmStartIntegral) {
   const auto r = servo.sample(0, 0);
   // Even the very first (unlocked) sample programs the inherited frequency.
   EXPECT_DOUBLE_EQ(r.freq_ppb, 2500.0);
+}
+
+// Regression: the phase-jump decision used to flip kUnlocked -> kLocked in
+// one sample, so a servo-state trace never showed kJump and an attack or
+// reboot step was indistinguishable from a clean lock. The trace must show
+// the full Unlocked -> Jump -> Locked sequence with the previous state in
+// v1.
+TEST(PiServoTest, JumpTransitionVisibleInTrace) {
+  obs::Observability obs;
+  PiServo servo;
+  servo.attach_obs(obs.context(), "ecd0/servo");
+  servo.sample(1'000'000, 0); // acquisition; no state change, no record
+  EXPECT_EQ(servo.sample(1'000'000, kSecond).state, PiServo::State::kJump);
+  EXPECT_EQ(servo.sample(100, 2 * kSecond).state, PiServo::State::kLocked);
+
+  std::vector<obs::TraceRecord> states;
+  for (const obs::TraceRecord& r : obs.trace.snapshot()) {
+    if (r.kind == obs::TraceKind::kServoState) states.push_back(r);
+  }
+  ASSERT_EQ(states.size(), 2u);
+  EXPECT_EQ(states[0].a, static_cast<std::uint32_t>(PiServo::State::kJump));
+  EXPECT_EQ(static_cast<int>(states[0].v1), static_cast<int>(PiServo::State::kUnlocked));
+  EXPECT_EQ(states[0].t_ns, kSecond);
+  EXPECT_EQ(states[1].a, static_cast<std::uint32_t>(PiServo::State::kLocked));
+  EXPECT_EQ(static_cast<int>(states[1].v1), static_cast<int>(PiServo::State::kJump));
+  EXPECT_EQ(states[1].t_ns, 2 * kSecond);
+  EXPECT_EQ(obs.metrics.counter("ecd0/servo.jumps").value(), 1u);
+}
+
+TEST(PiServoTest, SmallOffsetLockProducesNoJumpRecord) {
+  obs::Observability obs;
+  PiServo servo;
+  servo.attach_obs(obs.context(), "ecd0/servo");
+  servo.sample(500, 0);
+  EXPECT_EQ(servo.sample(500, kSecond).state, PiServo::State::kLocked);
+  const auto recs = obs.trace.snapshot();
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].a, static_cast<std::uint32_t>(PiServo::State::kLocked));
+  EXPECT_EQ(static_cast<int>(recs[0].v1), static_cast<int>(PiServo::State::kUnlocked));
+}
+
+// Regression: the runaway-offset check used to test `state_ == kLocked`,
+// so a wild offset arriving while the servo still held kJump was fed
+// straight into the PI loop instead of restarting acquisition.
+TEST(PiServoTest, RunawayOffsetDuringJumpRestartsAcquisition) {
+  PiServoConfig cfg;
+  cfg.step_threshold_ns = 100'000;
+  PiServo servo(cfg);
+  servo.sample(0, 0);
+  EXPECT_EQ(servo.sample(50'000, kSecond).state, PiServo::State::kJump);
+  EXPECT_EQ(servo.sample(500'000, 2 * kSecond).state, PiServo::State::kUnlocked);
 }
 
 /// Closed-loop simulation: a simple discrete clock model disciplined by the

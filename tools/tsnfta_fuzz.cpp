@@ -11,6 +11,10 @@
 //   tsnfta_fuzz seeds=64 threads=4
 //   tsnfta_fuzz seeds=256 master_seed=7 duration_s=120 out=findings/
 //
+// attacks=1 (campaign and export modes) additionally derives a
+// seed-pure adversarial schedule per case (src/attack) and attaches the
+// attack-eviction oracle; verdict lines gain "attacks=N evicted=M".
+//
 // Replay mode: re-run one saved case (campaign finding or corpus file)
 // and print its verdict; exit 1 if it still fails.
 //
@@ -111,7 +115,8 @@ int main(int argc, char** argv) {
     const std::uint64_t master_seed = static_cast<std::uint64_t>(cli.get_int("master_seed", 1));
     const std::int64_t duration_ns = cli.get_int("duration_s", 120) * 1'000'000'000LL;
     const std::string out_dir = cli.get_string("out", ".");
-    check::FuzzCase c = check::derive_case(master_seed, index, duration_ns);
+    const bool with_attacks = cli.get_bool("attacks", false);
+    check::FuzzCase c = check::derive_case(master_seed, index, duration_ns, with_attacks);
     const check::CaseResult r = check::run_case(c);
     std::printf("case %llu: seed=%llu ecds=%zu f=%d kills=%llu verdict=%s\n",
                 (unsigned long long)index, (unsigned long long)c.scenario.seed, c.scenario.num_ecds,
@@ -123,6 +128,18 @@ int main(int argc, char** argv) {
     // even if the injector's RNG streams change later.
     check::FuzzCase scripted = c;
     scripted.replay = check::schedule_from_events(r.events);
+    if (with_attacks && do_shrink) {
+      std::printf("shrinking the fault schedule around the attack verdicts...\n");
+      const check::ShrinkOutcome sh = check::shrink_attack_case(scripted);
+      if (sh.reproduced) {
+        scripted = sh.minimized;
+        std::printf("  %zu -> %zu faults in %zu probe runs, signature [%s]\n",
+                    sh.stats.initial_size, sh.stats.final_size, sh.stats.tests_run,
+                    sh.target_invariant.c_str());
+      } else {
+        std::printf("  signature did not reproduce scripted; kept the un-shrunk schedule\n");
+      }
+    }
     const std::string name = cli.get_string(
         "name", util::format("fuzz_%llu_%llu", (unsigned long long)master_seed,
                              (unsigned long long)index));
@@ -138,11 +155,13 @@ int main(int argc, char** argv) {
   cfg.num_cases = static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("seeds", 64)));
   cfg.threads = static_cast<std::size_t>(std::max<std::int64_t>(0, cli.get_int("threads", 1)));
   cfg.duration_ns = cli.get_int("duration_s", 120) * 1'000'000'000LL;
+  cfg.attacks = cli.get_bool("attacks", false);
   const std::string out_dir = cli.get_string("out", ".");
 
-  std::printf("fuzz campaign: %zu cases from master_seed=%llu, %llds fault phase each\n",
+  std::printf("fuzz campaign: %zu cases from master_seed=%llu, %llds fault phase each%s\n",
               cfg.num_cases, (unsigned long long)cfg.master_seed,
-              (long long)(cfg.duration_ns / 1'000'000'000LL));
+              (long long)(cfg.duration_ns / 1'000'000'000LL),
+              cfg.attacks ? ", adversarial schedules armed" : "");
   const check::CampaignResult result = check::run_campaign(cfg);
   std::fputs(result.summary_text().c_str(), stdout);
 
@@ -156,7 +175,7 @@ int main(int argc, char** argv) {
     std::printf("\ncase %llu FAILED: %s\n", (unsigned long long)r.index, r.summary.c_str());
     print_violations(r);
     if (!r.brought_up) continue; // no schedule to persist
-    check::FuzzCase c = check::derive_case(cfg.master_seed, r.index, cfg.duration_ns);
+    check::FuzzCase c = check::derive_case(cfg.master_seed, r.index, cfg.duration_ns, cfg.attacks);
     const std::string stem =
         util::format("%s/fuzz_%llu_%llu", out_dir.c_str(), (unsigned long long)cfg.master_seed,
                      (unsigned long long)r.index);
