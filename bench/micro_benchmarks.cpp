@@ -3,6 +3,7 @@
 // wire format, and the clock models.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
@@ -10,6 +11,8 @@
 #include "core/ft_shmem.hpp"
 #include "core/fta.hpp"
 #include "core/seqlock.hpp"
+#include "experiments/harness.hpp"
+#include "experiments/scenario.hpp"
 #include "gptp/bridge.hpp"
 #include "gptp/messages.hpp"
 #include "gptp/servo.hpp"
@@ -17,6 +20,7 @@
 #include "net/link.hpp"
 #include "net/nic.hpp"
 #include "net/switch.hpp"
+#include "sim/fast_forward.hpp"
 #include "sim/simulation.hpp"
 #include "tsn_time/phc_clock.hpp"
 #include "util/rng.hpp"
@@ -367,6 +371,45 @@ void BM_AttackSyncStorm(benchmark::State& state) {
   benchmark::DoNotOptimize(slave.counters().offsets_computed);
 }
 BENCHMARK(BM_AttackSyncStorm);
+
+void BM_FastForwardHoldover(benchmark::State& state) {
+  // Fast-forward acceptance benchmark (DESIGN.md §12): a one-hour quiescent
+  // holdover run on the 8-ECD ring, event-simulated end to end at Arg(0)
+  // and with the analytic fast-forward mode at Arg(1). Manual timing covers
+  // only the post-calibration horizon -- the part fast-forward can skip --
+  // so the two arguments' real_time ratio is the analytic speedup.
+  const bool ff = state.range(0) != 0;
+  constexpr std::int64_t kHourNs = 3600 * 1'000'000'000LL;
+  for (auto _ : state) {
+    experiments::ScenarioConfig cfg;
+    cfg.seed = 7;
+    cfg.num_ecds = 8;
+    cfg.topology = experiments::TopologyKind::kRing;
+    cfg.partitions = 0;
+    experiments::Scenario sc(cfg);
+    experiments::ExperimentHarness h(sc);
+    h.bring_up();
+    h.calibrate();
+    if (ff) sc.enable_fast_forward();
+    const std::int64_t horizon = sc.now_ns() + kHourNs;
+    const auto t0 = std::chrono::steady_clock::now();
+    sc.run_to(horizon);
+    const auto t1 = std::chrono::steady_clock::now();
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
+    if (ff) {
+      const sim::FfStats& st = sc.fast_forward()->stats();
+      state.counters["skipped_s"] = static_cast<double>(st.skipped_ns) / 1e9;
+      state.counters["windows"] = static_cast<double>(st.windows);
+    }
+    benchmark::DoNotOptimize(sc.gm_clock_disagreement_ns());
+  }
+}
+BENCHMARK(BM_FastForwardHoldover)
+    ->Arg(0)
+    ->Arg(1)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -214,14 +214,33 @@ void AttackDriver::arm(experiments::Scenario& scenario, const AttackSchedule& sc
     // byte-identical across threads= and partitions= (no boundary
     // channels, no lookahead interaction).
     sim::Simulation& rsim = scenario.ecd(spec.ecd).sim();
+    ++scheduled_;
     rsim.at(sim::SimTime(armed_[i].start_abs_ns), [this, i] { apply(i, true); });
     if (armed_[i].end_abs_ns != INT64_MAX) {
+      ++scheduled_;
       rsim.at(sim::SimTime(armed_[i].end_abs_ns), [this, i] { apply(i, false); });
     }
   }
 }
 
+bool AttackDriver::any_active(std::int64_t now_ns) const {
+  for (const ArmedAttack& a : armed_) {
+    if (a.start_abs_ns <= now_ns && now_ns < a.end_abs_ns) return true;
+  }
+  return false;
+}
+
+std::int64_t AttackDriver::next_edge_ns(std::int64_t after_ns) const {
+  std::int64_t best = INT64_MAX;
+  for (const ArmedAttack& a : armed_) {
+    if (a.start_abs_ns > after_ns) best = std::min(best, a.start_abs_ns);
+    if (a.end_abs_ns != INT64_MAX && a.end_abs_ns > after_ns) best = std::min(best, a.end_abs_ns);
+  }
+  return best;
+}
+
 void AttackDriver::apply(std::size_t i, bool enable) {
+  ++fired_;
   const ArmedAttack& a = armed_[i];
   const AttackSpec& s = a.spec;
   Hook& h = hooks_[i];

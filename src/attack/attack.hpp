@@ -34,6 +34,8 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/persist.hpp"
+
 namespace tsn::experiments {
 class Scenario;
 }
@@ -113,7 +115,7 @@ struct ArmedAttack {
 /// stages and the run stays byte-identical across `threads=` and
 /// `partitions=` (no cross-region messaging is involved). Pushes a
 /// TraceKind::kAttack record into the victim region's ring at each edge.
-class AttackDriver {
+class AttackDriver : public sim::Persistent {
  public:
   /// Call once after bring-up (the suite may be armed before or after);
   /// spec.start_ns offsets are relative to the scenario's current time.
@@ -121,6 +123,24 @@ class AttackDriver {
   void arm(experiments::Scenario& scenario, const AttackSchedule& schedule);
 
   const std::vector<ArmedAttack>& armed() const { return armed_; }
+
+  /// True while any armed attack interval covers `now_ns`. Open-ended
+  /// attacks (end_abs_ns == INT64_MAX: overt steps and persistent biases)
+  /// count forever -- composed into the fast-forward model gate, this
+  /// keeps analytic windows off tampered dynamics for the rest of the
+  /// run, which is conservative but always sound.
+  bool any_active(std::int64_t now_ns) const;
+  /// Earliest attack enable/disable edge strictly after `after_ns`
+  /// (INT64_MAX when none): the fast-forward barrier.
+  std::int64_t next_edge_ns(std::int64_t after_ns) const;
+
+  // -- sim::Persistent ------------------------------------------------------
+  // Accounting-only, like the FaultInjector: the enable/disable edges are
+  // standing one-shot events the barrier keeps outside every window.
+  const char* persist_name() const override { return "attack-driver"; }
+  void save_state(sim::StateWriter&) override {}
+  void load_state(sim::StateReader&) override {}
+  std::size_t live_events() const override { return scheduled_ - fired_; }
 
  private:
   /// Pre-resolved victim objects, so the scheduled closures capture only
@@ -138,6 +158,8 @@ class AttackDriver {
 
   std::vector<ArmedAttack> armed_;
   std::vector<Hook> hooks_;
+  std::size_t scheduled_ = 0; ///< edge events arm() put on the queues
+  std::size_t fired_ = 0;     ///< edge events that have fired
 };
 
 } // namespace tsn::attack

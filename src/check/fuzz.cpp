@@ -69,6 +69,23 @@ FuzzCase derive_case(std::uint64_t master_seed, std::uint64_t index, std::int64_
   inj.standby_min_gap_ns = odd_ns(rng.uniform_int(8'000'000'000LL, 20'000'000'000LL));
   inj.standby_downtime_ns = odd_ns(rng.uniform_int(5'000'000'000LL, 20'000'000'000LL));
 
+  // Long horizons stretch the fault spacing with the duration instead of
+  // keeping the rate: the profile above is tuned so a two-minute window
+  // sees a handful of kills, and a week at a 12-30 s cadence would leave
+  // the fast-forward path no quiescent stretch to cross (and make every
+  // case mostly reconvergence transient). Same expected kill count per
+  // case whatever the horizon; downtimes stay physical.
+  constexpr std::int64_t kProfileBaseNs = 120'000'000'000LL;
+  if (duration_ns > kProfileBaseNs) {
+    const long double stretch =
+        static_cast<long double>(duration_ns) / static_cast<long double>(kProfileBaseNs);
+    inj.gm_kill_period_ns =
+        odd_ns(static_cast<std::int64_t>(static_cast<long double>(inj.gm_kill_period_ns) * stretch));
+    inj.standby_min_gap_ns =
+        odd_ns(static_cast<std::int64_t>(static_cast<long double>(inj.standby_min_gap_ns) * stretch));
+    inj.standby_kills_per_hour /= static_cast<double>(stretch);
+  }
+
   // A quarter of the cases run on the conservative-parallel runtime.
   // partitions = 1 keeps each fuzz worker single-threaded (the campaign
   // already parallelizes across cases) while still exercising every
@@ -91,7 +108,12 @@ CaseResult run_case(const FuzzCase& c) {
   out.index = c.index;
   out.case_seed = c.scenario.seed;
   try {
-    experiments::Scenario scenario(c.scenario);
+    // Fast-forward is serial-only; serial and partitioned executions of
+    // the same case are verdict-equivalent (partition-determinism suite),
+    // so forcing the serial runtime preserves the case's meaning.
+    experiments::ScenarioConfig scfg = c.scenario;
+    if (c.fast_forward) scfg.partitions = 0;
+    experiments::Scenario scenario(scfg);
     experiments::ExperimentHarness harness(scenario);
     harness.bring_up();
     out.brought_up = true;
@@ -156,14 +178,42 @@ CaseResult run_case(const FuzzCase& c) {
       injector.start();
     }
 
-    // Chunked so partitioned runs get their oracle sampling ticks at the
-    // stage boundaries (poll_now is a no-op when serial, and a serial
-    // run_until chunked at arbitrary times executes identically).
+    if (c.fast_forward) {
+      scenario.enable_fast_forward();
+      sim::FfController* ff = scenario.fast_forward();
+      // The suite parks and phase-realigns its poll across windows; the
+      // injector and attack driver are accounting-only participants whose
+      // scheduled edges double as barriers (windows never cross a kill,
+      // reboot or attack edge).
+      ff->add_participant(&suite);
+      ff->add_participant(&injector);
+      ff->add_barrier([&injector](std::int64_t t) { return injector.next_pending_ns(t); });
+      if (!c.attacks.empty()) {
+        ff->add_participant(&attack_driver);
+        ff->add_barrier(
+            [&attack_driver](std::int64_t t) { return attack_driver.next_edge_ns(t); });
+      }
+      ff->set_model_quiescent([&scenario, &suite, &attack_driver] {
+        const std::int64_t now = scenario.sim().now().ns();
+        return scenario.model_quiescent() && suite.ff_quiescent(now) &&
+               !attack_driver.any_active(now);
+      });
+    }
+
     const std::int64_t end = scenario.now_ns() + c.duration_ns;
-    const std::int64_t step = 1'000'000'000;
-    while (scenario.now_ns() < end) {
-      scenario.run_to(std::min(end, scenario.now_ns() + step));
-      suite.poll_now();
+    if (c.fast_forward) {
+      // One shot: chunking would cap every analytic window at the chunk
+      // size. Serial worlds sample through the suite's own periodic poll.
+      scenario.run_to(end);
+    } else {
+      // Chunked so partitioned runs get their oracle sampling ticks at the
+      // stage boundaries (poll_now is a no-op when serial, and a serial
+      // run_until chunked at arbitrary times executes identically).
+      const std::int64_t step = 1'000'000'000;
+      while (scenario.now_ns() < end) {
+        scenario.run_to(std::min(end, scenario.now_ns() + step));
+        suite.poll_now();
+      }
     }
     suite.finalize();
 
@@ -179,6 +229,8 @@ CaseResult run_case(const FuzzCase& c) {
       }
       out.summary += util::format(" attacks=%zu evicted=%zu", out.attack_verdicts.size(), evicted);
     }
+    out.events_executed = scenario.events_executed();
+    if (c.fast_forward) out.ff_stats = scenario.fast_forward()->stats();
   } catch (const std::exception& e) {
     out.summary = util::format("bringup-failed: %s", e.what());
   }
@@ -189,7 +241,9 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
   sweep::SweepRunner runner({.threads = cfg.threads});
   CampaignResult out;
   out.cases = runner.run_indexed(cfg.num_cases, [&cfg](std::size_t i) {
-    return run_case(derive_case(cfg.master_seed, i, cfg.duration_ns, cfg.attacks));
+    FuzzCase c = derive_case(cfg.master_seed, i, cfg.duration_ns, cfg.attacks);
+    c.fast_forward = cfg.fast_forward;
+    return run_case(c);
   });
   for (const CaseResult& r : out.cases) {
     if (r.failed()) ++out.failures;
@@ -269,6 +323,7 @@ std::string replay_to_text(const FuzzCase& c) {
   out += util::format("standby_min_gap_ns=%lld\n", (long long)inj.standby_min_gap_ns);
   out += util::format("standby_downtime_ns=%lld\n", (long long)inj.standby_downtime_ns);
   out += util::format("replay_raw=%d\n", c.replay.raw ? 1 : 0);
+  out += util::format("fast_forward=%d\n", c.fast_forward ? 1 : 0);
   for (std::size_t i = 0; i < c.replay.faults.size(); ++i) {
     const faults::ScheduledFault& f = c.replay.faults[i];
     out += util::format("fault%zu=%lld,%zu,%zu,%lld\n", i, (long long)f.at_ns, f.ecd, f.vm,
@@ -400,6 +455,7 @@ FuzzCase replay_from_text(const std::string& text) {
   inj.standby_downtime_ns = get_i("standby_downtime_ns", inj.standby_downtime_ns);
 
   c.replay.raw = get_i("replay_raw", 0) != 0;
+  c.fast_forward = get_i("fast_forward", 0) != 0;
   std::sort(faults.begin(), faults.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   for (auto& [ordinal, f] : faults) c.replay.faults.push_back(f);
@@ -438,6 +494,7 @@ ShrinkOutcome shrink_case(const FuzzCase& c, std::size_t max_tests) {
   out.minimized = c;
 
   const CaseResult base = run_case(c);
+  out.events_simulated += base.events_executed;
   if (!base.brought_up || base.violations.empty()) return out; // nothing to shrink
   out.target_invariant = base.violations.front().invariant;
   const std::string& target = out.target_invariant;
@@ -455,17 +512,128 @@ ShrinkOutcome shrink_case(const FuzzCase& c, std::size_t max_tests) {
   if (scripted.replay.empty()) {
     scripted.replay = schedule_from_events(base.events);
     out.minimized = scripted;
-    if (!fails_with(run_case(scripted))) return out; // timing divergence: report un-shrunk
+    const CaseResult check = run_case(scripted);
+    out.events_simulated += check.events_executed;
+    if (!fails_with(check)) return out; // timing divergence: report un-shrunk
   }
   out.reproduced = true;
 
   auto oracle = [&](const std::vector<faults::ScheduledFault>& candidate) {
     FuzzCase t = scripted;
     t.replay.faults = candidate;
-    return fails_with(run_case(t));
+    const CaseResult r = run_case(t);
+    out.events_simulated += r.events_executed;
+    return fails_with(r);
   };
   out.minimized = scripted;
   out.minimized.replay.faults = ddmin(scripted.replay.faults, oracle, &out.stats, max_tests);
+  return out;
+}
+
+ShrinkOutcome shrink_case_incremental(const FuzzCase& c, std::size_t max_tests) {
+  // The attack driver arms absolute schedules straight on the queues (not
+  // restorable), and snapshots are serial-only: both shapes keep the
+  // proven full-re-run path.
+  if (!c.attacks.empty() || c.scenario.partitions > 0) return shrink_case(c, max_tests);
+
+  ShrinkOutcome out;
+  out.minimized = c;
+
+  // A randomized case needs one observed run to extract the schedule (the
+  // violation class comes with it for free); a scripted corpus case skips
+  // straight to the shared world.
+  FuzzCase scripted = c;
+  if (scripted.replay.empty()) {
+    const CaseResult base = run_case(c);
+    out.events_simulated += base.events_executed;
+    if (!base.brought_up || base.violations.empty()) return out;
+    out.target_invariant = base.violations.front().invariant;
+    scripted.replay = schedule_from_events(base.events);
+    out.minimized = scripted;
+    if (scripted.replay.faults.empty()) return out;
+  }
+
+  try {
+    experiments::Scenario scenario(scripted.scenario);
+    experiments::ExperimentHarness harness(scenario);
+    harness.bring_up();
+    const auto cal = harness.calibrate();
+
+    // The shared baseline: one converged world, captured once at the
+    // first component-quiescent instant after calibration. Every
+    // scheduled fault must lie beyond the capture time or probes would
+    // schedule kills in the restored world's past.
+    if (!scenario.run_to_quiescence()) {
+      ShrinkOutcome fb = shrink_case(scripted, max_tests);
+      fb.events_simulated += out.events_simulated + scenario.events_executed();
+      return fb;
+    }
+    const sim::SimSnapshot snap = scenario.snapshot();
+    for (const faults::ScheduledFault& f : scripted.replay.faults) {
+      if (f.at_ns <= snap.now_ns) {
+        ShrinkOutcome fb = shrink_case(scripted, max_tests);
+        fb.events_simulated += out.events_simulated + scenario.events_executed();
+        return fb;
+      }
+    }
+    const std::int64_t end_ns = snap.now_ns + scripted.duration_ns;
+
+    // One probe = restore + fresh suite and injector + fault phase. The
+    // restore clears the queue first, so the previous probe's stale suite
+    // and injector closures (standing polls, pending reboots) die before
+    // anything could invoke their destroyed owners.
+    auto probe = [&](const std::vector<faults::ScheduledFault>& candidate) {
+      scenario.restore(snap);
+      InvariantSuite suite(scenario);
+      SuiteParams sp;
+      sp.bound_ns = cal.bound.pi_ns;
+      suite.add_default_invariants(sp);
+      faults::FaultInjector injector(scenario.sim(), scenario.ecd_ptrs(), scripted.injector);
+      suite.observe(injector);
+      suite.arm();
+      faults::ReplaySchedule sched;
+      sched.raw = scripted.replay.raw;
+      sched.faults = candidate;
+      injector.run(sched);
+      scenario.run_to(end_ns);
+      suite.finalize();
+      return suite.violations();
+    };
+    auto fails_with = [&out](const std::vector<Violation>& vio) {
+      for (const Violation& v : vio) {
+        if (v.invariant == out.target_invariant) return true;
+      }
+      return false;
+    };
+
+    // The violation must re-prove itself inside THIS harness: the
+    // snapshot timeline trails run_case's by the quiescence hunt, so the
+    // full schedule is re-verified (and, for corpus cases, the target
+    // class is learned) before any reduction is trusted.
+    const std::vector<Violation> full = probe(scripted.replay.faults);
+    if (out.target_invariant.empty()) {
+      if (full.empty()) {
+        out.events_simulated += scenario.events_executed();
+        return out;
+      }
+      out.target_invariant = full.front().invariant;
+    } else if (!fails_with(full)) {
+      out.minimized = scripted;
+      out.events_simulated += scenario.events_executed();
+      return out; // timing divergence: report un-shrunk
+    }
+    out.reproduced = true;
+
+    auto oracle = [&](const std::vector<faults::ScheduledFault>& candidate) {
+      return fails_with(probe(candidate));
+    };
+    out.minimized = scripted;
+    out.minimized.replay.faults = ddmin(scripted.replay.faults, oracle, &out.stats, max_tests);
+    out.events_simulated += scenario.events_executed();
+  } catch (const std::exception&) {
+    // Construction or bring-up failed: nothing to shrink (mirrors
+    // run_case's never-throw contract).
+  }
   return out;
 }
 
@@ -474,6 +642,7 @@ ShrinkOutcome shrink_attack_case(const FuzzCase& c, std::size_t max_tests) {
   out.minimized = c;
 
   const CaseResult base = run_case(c);
+  out.events_simulated += base.events_executed;
   if (!base.brought_up) return out;
 
   // The preserved property is the whole oracle signature: the verdict
@@ -502,7 +671,9 @@ ShrinkOutcome shrink_attack_case(const FuzzCase& c, std::size_t max_tests) {
       out.stats.final_size = 0;
       return out;
     }
-    if (signature(run_case(scripted)) != target) return out; // timing divergence
+    const CaseResult check = run_case(scripted);
+    out.events_simulated += check.events_executed;
+    if (signature(check) != target) return out; // timing divergence
   }
   out.reproduced = true;
 
@@ -513,7 +684,9 @@ ShrinkOutcome shrink_attack_case(const FuzzCase& c, std::size_t max_tests) {
     if (candidate.empty()) return false;
     FuzzCase t = scripted;
     t.replay.faults = candidate;
-    return signature(run_case(t)) == target;
+    const CaseResult r = run_case(t);
+    out.events_simulated += r.events_executed;
+    return signature(r) == target;
   };
   out.minimized = scripted;
   out.minimized.replay.faults = ddmin(scripted.replay.faults, oracle, &out.stats, max_tests);

@@ -41,6 +41,14 @@ struct FuzzCase {
   /// the AttackExclusionInvariant; start_ns offsets are relative to the
   /// end of bring-up, like the injector's clock.
   attack::AttackSchedule attacks;
+  /// Run the fault phase under the fast-forward controller (DESIGN.md
+  /// §12): quiescent stretches advance analytically, every fault/attack
+  /// edge is a barrier, and the invariant suite's armed deadlines keep
+  /// windows shut until their evidence has flowed. Forces the serial
+  /// runtime (the ff machinery is serial-only; serial and partitioned
+  /// runs of one case are verdict-equivalent by the partition-determinism
+  /// suite, but not byte-identical).
+  bool fast_forward = false;
 };
 
 /// Derive case `index` of the campaign keyed by `master_seed`. Pure: the
@@ -64,6 +72,11 @@ struct CaseResult {
   std::vector<faults::InjectionEvent> events; ///< for schedule extraction
   /// Per-attack oracle verdicts (empty unless the case carried attacks).
   std::vector<AttackExclusionInvariant::Verdict> attack_verdicts;
+  /// Executive events the run consumed (world construction through
+  /// finalize); the incremental-shrink benchmark's cost unit.
+  std::uint64_t events_executed = 0;
+  /// Fast-forward telemetry (all-zero when the case ran with ff off).
+  sim::FfStats ff_stats;
 
   bool failed() const { return !brought_up || !violations.empty(); }
 };
@@ -80,6 +93,9 @@ struct CampaignConfig {
   std::int64_t duration_ns = 120'000'000'000LL;
   /// Attack campaign: every case also carries a derived attack schedule.
   bool attacks = false;
+  /// Run every case under the fast-forward controller (FuzzCase::
+  /// fast_forward); the week-horizon smoke campaign's switch.
+  bool fast_forward = false;
 };
 
 struct CampaignResult {
@@ -121,6 +137,10 @@ struct ShrinkOutcome {
   /// un-shrunk scripted case for manual inspection.
   bool reproduced = false;
   std::string target_invariant; ///< the violation class being preserved
+  /// Total executive events all runs of this shrink consumed (base run,
+  /// verification, every oracle probe). The incremental shrinker's whole
+  /// point is making this strictly smaller than the full-re-run ddmin's.
+  std::uint64_t events_simulated = 0;
 };
 
 /// Minimize a failing case's fault schedule with ddmin. If the case was a
@@ -137,5 +157,15 @@ ShrinkOutcome shrink_case(const FuzzCase& c, std::size_t max_tests = 128);
 /// replays; for failing cases shrink_case() already preserves the
 /// violation class with the attacks riding along.
 ShrinkOutcome shrink_attack_case(const FuzzCase& c, std::size_t max_tests = 64);
+
+/// shrink_case(), but every ddmin probe starts from a SimSnapshot taken
+/// at the converged post-calibration steady state instead of re-building
+/// and re-converging the world: one bring-up is paid once, each probe
+/// costs restore + fault-phase simulation only, so the events_simulated
+/// total is strictly below the full-re-run shrinker's for any non-trivial
+/// schedule. Fault-only serial cases only; attack or partitioned cases
+/// fall back to shrink_case() (the attack driver arms non-restorable
+/// absolute schedules, and snapshots are serial-only).
+ShrinkOutcome shrink_case_incremental(const FuzzCase& c, std::size_t max_tests = 128);
 
 } // namespace tsn::check

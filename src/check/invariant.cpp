@@ -14,6 +14,7 @@ void Invariant::on_trace(const obs::TraceRecord&, const obs::TraceRing&) {}
 void Invariant::on_injection(const faults::InjectionEvent&) {}
 void Invariant::on_sample(std::int64_t) {}
 void Invariant::finalize(std::int64_t) {}
+bool Invariant::ff_quiescent(std::int64_t) const { return true; }
 
 void Invariant::report(std::int64_t t_ns, std::string message) {
   if (sink_) sink_->report(Violation{std::string(name()), t_ns, std::move(message)});
@@ -204,6 +205,16 @@ void PrecisionBoundInvariant::check_deadlines(std::int64_t now_ns, bool at_end) 
 void PrecisionBoundInvariant::on_sample(std::int64_t now_ns) { check_deadlines(now_ns, false); }
 void PrecisionBoundInvariant::finalize(std::int64_t now_ns) { check_deadlines(now_ns, true); }
 
+bool PrecisionBoundInvariant::ff_quiescent(std::int64_t now_ns) const {
+  // An armed reconvergence deadline (or an open grace window) is waiting
+  // for aggregate evidence that an analytic window would withhold.
+  if (now_ns < grace_until_ns_) return false;
+  for (const auto& [vm, s] : sources_) {
+    if (!s.converged && s.deadline_ns != INT64_MIN) return false;
+  }
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // FailoverLatencyInvariant
 
@@ -262,6 +273,13 @@ void FailoverLatencyInvariant::expire(std::int64_t now_ns, bool at_end) {
 
 void FailoverLatencyInvariant::on_sample(std::int64_t now_ns) { expire(now_ns, false); }
 void FailoverLatencyInvariant::finalize(std::int64_t now_ns) { expire(now_ns, true); }
+
+bool FailoverLatencyInvariant::ff_quiescent(std::int64_t) const {
+  for (const auto& p : pending_) {
+    if (p) return false; // unanswered active-VM kill: takeover in flight
+  }
+  return true;
+}
 
 // ---------------------------------------------------------------------------
 // SynctimeMonotonicityInvariant
@@ -460,6 +478,15 @@ void AttackExclusionInvariant::check_deadlines(std::int64_t now_ns, bool at_end)
 void AttackExclusionInvariant::on_sample(std::int64_t now_ns) { check_deadlines(now_ns, false); }
 void AttackExclusionInvariant::finalize(std::int64_t now_ns) { check_deadlines(now_ns, true); }
 
+bool AttackExclusionInvariant::ff_quiescent(std::int64_t now_ns) const {
+  for (const Verdict& v : verdicts_) {
+    if (!v.attack.spec.expect_excluded || v.excluded_at_ns || v.deadline_missed) continue;
+    // Eviction window still open: honest aggregates are the evidence.
+    if (now_ns >= v.attack.start_abs_ns) return false;
+  }
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // InvariantSuite
 
@@ -546,6 +573,34 @@ void InvariantSuite::poll(std::int64_t now_ns) {
 void InvariantSuite::poll_now() {
   if (!armed_ || finalized_ || !scenario_.partitioned()) return;
   poll(scenario_.now_ns());
+}
+
+bool InvariantSuite::ff_quiescent(std::int64_t now_ns) const {
+  if (!armed_ || finalized_) return true;
+  if (!injections_.empty()) return false; // buffered, not yet dispatched
+  for (const auto& inv : invariants_) {
+    if (!inv->ff_quiescent(now_ns)) return false;
+  }
+  return true;
+}
+
+void InvariantSuite::ff_park() {
+  parked_poll_ = poll_.active();
+  if (!parked_poll_) return;
+  park_due_ns_ = poll_.next_due_ns();
+  poll_.cancel();
+  // One last poll at the park instant: everything already traced belongs
+  // to the pre-window world and must be judged with pre-window deadlines.
+  poll(scenario_.sim().now().ns());
+}
+
+void InvariantSuite::ff_resume() {
+  if (!parked_poll_) return;
+  parked_poll_ = false;
+  poll_ = scenario_.sim().every(
+      sim::SimTime(
+          sim::align_phase(park_due_ns_, poll_period_ns_, scenario_.sim().now().ns())),
+      poll_period_ns_, [this](sim::SimTime t) { poll(t.ns()); });
 }
 
 void InvariantSuite::dispatch_until(std::int64_t now_ns) {

@@ -41,6 +41,7 @@
 #include "attack/attack.hpp"
 #include "faults/injector.hpp"
 #include "obs/trace.hpp"
+#include "sim/persist.hpp"
 #include "sim/simulation.hpp"
 
 namespace tsn::experiments {
@@ -76,6 +77,11 @@ class Invariant {
   virtual void on_sample(std::int64_t now_ns);
   /// End-of-run accounting checks.
   virtual void finalize(std::int64_t now_ns);
+  /// True when this invariant holds no armed deadline at `now_ns`: a
+  /// fast-forward window would starve it of the evidence (aggregates,
+  /// takeover records) the deadline is waiting for, turning a healthy run
+  /// into a spurious violation. Default: always quiescent.
+  virtual bool ff_quiescent(std::int64_t now_ns) const;
 
  protected:
   void report(std::int64_t t_ns, std::string message);
@@ -107,6 +113,7 @@ class PrecisionBoundInvariant : public Invariant {
   void on_injection(const faults::InjectionEvent& ev) override;
   void on_sample(std::int64_t now_ns) override;
   void finalize(std::int64_t now_ns) override;
+  bool ff_quiescent(std::int64_t now_ns) const override;
 
   /// Exempt a (compromised) source VM from judgment inside [from_ns,
   /// until_ns]: the attack library perturbs that VM's own timebase, and
@@ -158,6 +165,7 @@ class FailoverLatencyInvariant : public Invariant {
   void on_injection(const faults::InjectionEvent& ev) override;
   void on_sample(std::int64_t now_ns) override;
   void finalize(std::int64_t now_ns) override;
+  bool ff_quiescent(std::int64_t now_ns) const override;
 
  private:
   struct Pending {
@@ -283,6 +291,7 @@ class AttackExclusionInvariant : public Invariant {
   void on_trace(const obs::TraceRecord& r, const obs::TraceRing& ring) override;
   void on_sample(std::int64_t now_ns) override;
   void finalize(std::int64_t now_ns) override;
+  bool ff_quiescent(std::int64_t now_ns) const override;
 
   const std::vector<Verdict>& verdicts() const { return verdicts_; }
 
@@ -311,7 +320,7 @@ struct SuiteParams {
   std::int64_t poll_period_ns = 50'000'000;
 };
 
-class InvariantSuite : public ViolationSink {
+class InvariantSuite : public ViolationSink, public sim::Persistent {
  public:
   explicit InvariantSuite(experiments::Scenario& scenario);
   ~InvariantSuite();
@@ -358,6 +367,27 @@ class InvariantSuite : public ViolationSink {
 
   void report(Violation v) override;
 
+  /// True when no invariant is sitting on an armed deadline: the suite's
+  /// contribution to the ff model predicate. Compose it with the
+  /// scenario's own gate when arming fast-forward:
+  ///   ff->set_model_quiescent([&] {
+  ///     return sc.model_quiescent() && suite.ff_quiescent(sc.sim().now().ns());
+  ///   });
+  bool ff_quiescent(std::int64_t now_ns) const;
+
+  // -- sim::Persistent ------------------------------------------------------
+  // The suite joins the ff controller so its 50 ms poll parks across
+  // analytic windows (ff_park runs one final poll first, so nothing
+  // drained pre-window is judged with post-window eyes). It is
+  // observational: no restorable state (fuzz probes build a fresh suite
+  // per replay), so save/load are no-ops.
+  const char* persist_name() const override { return "invariant-suite"; }
+  void save_state(sim::StateWriter&) override {}
+  void load_state(sim::StateReader&) override {}
+  std::size_t live_events() const override { return poll_.active() ? 1u : 0u; }
+  void ff_park() override;
+  void ff_resume() override;
+
  private:
   void poll(std::int64_t now_ns);
   void dispatch_until(std::int64_t now_ns);
@@ -378,6 +408,10 @@ class InvariantSuite : public ViolationSink {
   std::int64_t poll_period_ns_ = 50'000'000;
   std::size_t max_violations_ = 200;
   std::uint64_t suppressed_ = 0;
+
+  // Fast-forward park state.
+  bool parked_poll_ = false;
+  std::int64_t park_due_ns_ = 0;
 };
 
 } // namespace tsn::check

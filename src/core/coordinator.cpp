@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/persist.hpp"
 #include "util/log.hpp"
 
 namespace tsn::core {
@@ -148,6 +149,23 @@ void MultiDomainCoordinator::enter_fta_phase() {
   TSN_LOG_INFO("fta", "%s: entering FTA phase", name_.c_str());
   trace(obs::TraceKind::kPhaseChange, static_cast<std::uint32_t>(SyncPhase::kFta), 0, 0, 0);
   if (on_phase_change) on_phase_change(SyncPhase::kFta);
+}
+
+void MultiDomainCoordinator::save_state(sim::StateWriter& w) const {
+  servo_.save_state(w);
+  w.i64(startup_ok_streak_);
+  w.u64(last_validity_.size());
+  for (const bool v : last_validity_) w.b(v);
+  // Counters live in the metrics registry, which is observational and
+  // deliberately outside snapshot state.
+}
+
+void MultiDomainCoordinator::load_state(sim::StateReader& r) {
+  servo_.load_state(r);
+  startup_ok_streak_ = static_cast<int>(r.i64());
+  const std::uint64_t n = r.u64();
+  last_validity_.assign(n, false);
+  for (std::uint64_t i = 0; i < n; ++i) last_validity_[i] = r.b();
 }
 
 void MultiDomainCoordinator::fta_step(const gptp::MasterOffsetSample& sample) {

@@ -78,6 +78,12 @@ class MultiDomainCoordinator {
   void on_offset(const gptp::MasterOffsetSample& sample);
 
   SyncPhase phase() const { return shmem_.phase(); }
+  /// Shared-servo discipline state (ff quiescence checks want kLocked).
+  gptp::PiServo::State servo_state() const { return servo_.state(); }
+
+  // -- Snapshot support (callback-driven: no standing events) --------------
+  void save_state(sim::StateWriter& w) const;
+  void load_state(sim::StateReader& r);
   /// Reads the live counters into a plain struct (by value: the backing
   /// store is the metrics registry, not a member struct).
   CoordinatorStats stats() const;

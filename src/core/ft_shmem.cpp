@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sim/persist.hpp"
+
 namespace tsn::core {
 
 FtShmem::FtShmem(std::size_t num_domains) : num_domains_(num_domains) {
@@ -46,6 +48,56 @@ void FtShmem::set_gm_valid(std::size_t idx, bool valid) {
 bool FtShmem::gm_valid(std::size_t idx) const {
   if (idx >= num_domains_) throw std::out_of_range("FtShmem: bad domain index");
   return valid_[idx].load(std::memory_order_acquire);
+}
+
+void FtShmem::save_state(sim::StateWriter& w) const {
+  for (std::size_t i = 0; i < num_domains_; ++i) {
+    const std::uint32_t count = sample_counts_[i].load(std::memory_order_acquire);
+    w.u32(count);
+    const GmOffsetRecord rec = count ? offsets_[i].load() : GmOffsetRecord{};
+    w.f64(rec.offset_ns);
+    w.i64(rec.local_rx_ts);
+    w.f64(rec.rate_ratio);
+    w.u32(rec.sample_count);
+    w.b(valid_[i].load(std::memory_order_acquire));
+  }
+  w.i64(adjust_last_.load(std::memory_order_acquire));
+  w.f64(servo_integral_.load(std::memory_order_acquire));
+  w.u8(phase_.load(std::memory_order_acquire));
+  w.u64(aggregations_.load(std::memory_order_acquire));
+}
+
+void FtShmem::load_state(sim::StateReader& r) {
+  for (std::size_t i = 0; i < num_domains_; ++i) {
+    sample_counts_[i].store(r.u32(), std::memory_order_release);
+    GmOffsetRecord rec;
+    rec.offset_ns = r.f64();
+    rec.local_rx_ts = r.i64();
+    rec.rate_ratio = r.f64();
+    rec.sample_count = r.u32();
+    offsets_[i].store(rec);
+    valid_[i].store(r.b(), std::memory_order_release);
+  }
+  adjust_last_.store(r.i64(), std::memory_order_release);
+  servo_integral_.store(r.f64(), std::memory_order_release);
+  phase_.store(r.u8(), std::memory_order_release);
+  aggregations_.store(r.u64(), std::memory_order_release);
+}
+
+void FtShmem::ff_shift(std::int64_t shift_ns, std::int64_t entry_now_ns,
+                       std::int64_t freshness_ns) {
+  for (std::size_t i = 0; i < num_domains_; ++i) {
+    if (sample_counts_[i].load(std::memory_order_acquire) == 0) continue;
+    GmOffsetRecord rec = offsets_[i].load();
+    if (entry_now_ns - rec.local_rx_ts <= freshness_ns) {
+      rec.local_rx_ts += shift_ns;
+      offsets_[i].store(rec);
+    }
+  }
+  const std::int64_t last = adjust_last_.load(std::memory_order_acquire);
+  if (last != INT64_MIN) {
+    adjust_last_.store(last + shift_ns, std::memory_order_release);
+  }
 }
 
 } // namespace tsn::core

@@ -22,6 +22,11 @@
 
 #include "core/seqlock.hpp"
 
+namespace tsn::sim {
+class StateWriter;
+class StateReader;
+} // namespace tsn::sim
+
 namespace tsn::core {
 
 inline constexpr std::size_t kMaxDomains = 8;
@@ -78,6 +83,17 @@ class FtShmem {
     return aggregations_.load(std::memory_order_acquire);
   }
   void count_aggregation() { aggregations_.fetch_add(1, std::memory_order_acq_rel); }
+
+  // -- Snapshot / fast-forward support -------------------------------------
+  void save_state(sim::StateWriter& w) const;
+  void load_state(sim::StateReader& r);
+  /// Fast-forward: shift the gate stamp and the rx stamps of slots that
+  /// were *fresh at window entry* (`entry_now_ns`, same timebase as
+  /// local_rx_ts -- the owning VM's PHC) by `shift_ns`. Stale slots keep
+  /// their old stamps, so a down GM's slot stays classified stale after
+  /// the jump instead of briefly looking fresh-but-ancient.
+  void ff_shift(std::int64_t shift_ns, std::int64_t entry_now_ns,
+                std::int64_t freshness_ns);
 
  private:
   std::size_t num_domains_;

@@ -1,9 +1,12 @@
 #include "experiments/scenario.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "core/ft_shmem.hpp"
+#include "core/fta.hpp"
 #include "util/log.hpp"
 #include "util/str.hpp"
 
@@ -123,6 +126,8 @@ obs::TraceRing& Scenario::region_trace(std::size_t r) {
 void Scenario::run_to(std::int64_t t_ns) {
   if (runtime_) {
     runtime_->run_until(sim::SimTime(t_ns));
+  } else if (ff_) {
+    ff_->run_to(sim::SimTime(t_ns));
   } else {
     sim_.run_until(sim::SimTime(t_ns));
   }
@@ -479,6 +484,203 @@ obs::MetricsSnapshot Scenario::metrics_snapshot() {
   s.gauges["trace.records_total"] = static_cast<double>(trace_total);
   s.gauges["trace.records_dropped"] = static_cast<double>(trace_dropped);
   return s;
+}
+
+std::vector<sim::Persistent*> Scenario::persist_targets() {
+  std::vector<sim::Persistent*> out;
+  out.reserve(ecds_.size() + switches_.size() + bridges_.size() + links_.size() + 1);
+  for (auto& e : ecds_) out.push_back(e.get());
+  for (auto& s : switches_) out.push_back(s.get());
+  for (auto& b : bridges_) out.push_back(b.get());
+  for (auto& l : links_) out.push_back(l.get());
+  out.push_back(probe_.get());
+  return out;
+}
+
+sim::SimSnapshot Scenario::snapshot() {
+  if (runtime_) {
+    throw std::logic_error("Scenario::snapshot() is serial-only; a partitioned "
+                           "world has one queue per region");
+  }
+  return sim::take_snapshot(sim_, persist_targets());
+}
+
+void Scenario::restore(const sim::SimSnapshot& snap) {
+  if (runtime_) throw std::logic_error("Scenario::restore() is serial-only");
+  sim::restore_snapshot(sim_, persist_targets(), snap);
+}
+
+bool Scenario::run_to_quiescence(std::int64_t max_wait_ns) {
+  if (runtime_) throw std::logic_error("Scenario::run_to_quiescence() is serial-only");
+  const std::vector<sim::Persistent*> targets = persist_targets();
+  // Sync/pdelay transients (frames in flight, bridge relays, coordinator
+  // evaluations) retire within a few milliseconds of each 125 ms volley,
+  // so millisecond probing lands on a clean instant almost immediately.
+  constexpr std::int64_t kStepNs = 1'000'000;
+  const std::int64_t deadline = sim_.now().ns() + max_wait_ns;
+  while (!sim::components_quiescent(sim_, targets)) {
+    if (sim_.now().ns() >= deadline) return false;
+    sim_.run_until(sim::SimTime{sim_.now().ns() + kStepNs});
+  }
+  return true;
+}
+
+void Scenario::enable_fast_forward(const sim::FfConfig& fcfg) {
+  if (runtime_) {
+    throw std::logic_error("Scenario::enable_fast_forward() is serial-only; the "
+                           "partitioned runtime has its own horizon protocol");
+  }
+  if (ff_) throw std::logic_error("fast-forward already enabled");
+  ff_cfg_ = fcfg;
+  ff_ = std::make_unique<sim::FfController>(sim_, fcfg);
+  for (sim::Persistent* p : persist_targets()) ff_->add_participant(p);
+  ff_->set_model_quiescent([this] { return model_quiescent(); });
+  ff_->set_analytic_prepare([this](std::int64_t park) { analytic_prepare(park); });
+  ff_->set_analytic_advance(
+      [this](std::int64_t from, std::int64_t to) { analytic_advance(from, to); });
+}
+
+bool Scenario::model_quiescent() {
+  for (std::size_t x = 0; x < ecds_.size(); ++x) {
+    hv::Ecd& e = *ecds_[x];
+    for (std::size_t i = 0; i < e.vm_count(); ++i) {
+      hv::ClockSyncVm& v = e.vm(i);
+      // The monitor's view must agree with the VM's liveness: a
+      // just-killed VM is structurally quiescent (zero standing events)
+      // before its heartbeat goes stale, and opening a window there would
+      // postpone the takeover by the whole window span. Likewise a
+      // recovering VM whose comeback the monitor has not processed yet.
+      if (v.running() == e.monitor().detected_failed(i)) return false;
+      if (v.compromised()) return false;
+      if (!v.running()) continue; // steady "down", monitor agrees
+      if (e.monitor().voted_out(i)) return false;
+      if (hv::SyncTimeUpdater* u = v.updater()) {
+        if (!u->running()) return false;
+        if (u->param_corruption() != 0 || u->rate_corruption() != 0.0) return false;
+      }
+      if (core::MultiDomainCoordinator* c = v.coordinator()) {
+        if (c->phase() != core::SyncPhase::kFta) return false;
+        if (c->servo_state() != gptp::PiServo::State::kLocked) return false;
+      }
+      // coordinator == nullptr: a baseline free-running GM -- trivially
+      // steady (nothing disciplines its clock).
+    }
+  }
+  for (auto& b : bridges_) {
+    if (b->attack_armed()) return false;
+  }
+  for (auto& l : links_) {
+    if (l->attack_armed()) return false;
+  }
+  return probe_->idle();
+}
+
+std::optional<double> Scenario::ff_aggregate_rel(std::int64_t t_ref) {
+  std::vector<double> readings;
+  readings.reserve(ff_pull_.ensemble.size());
+  for (time::PhcClock* phc : ff_pull_.ensemble) {
+    readings.push_back(static_cast<double>(phc->read() - t_ref));
+  }
+  return core::aggregate(readings, cfg_.aggregation, cfg_.fta_f);
+}
+
+void Scenario::analytic_prepare(std::int64_t park_ns) {
+  // Capture the stepper's entry state from the LIVE model, before the
+  // controller parks the servos and drains the queue. The 2.5 s drain
+  // runs every clock open-loop on its last frequency trim -- after a long
+  // window those trims are stale by the oscillator wander the window
+  // accumulated, so the drain can smear the ensemble apart by trim-error
+  // x drain-span. Anchoring the residuals here means the first analytic
+  // step pulls that smear back out, exactly as the live servos would
+  // have; capturing after the drain instead locks it into the window and
+  // ratchets the spread at every boundary until the validity layer's
+  // disagreement filter evicts the whole ensemble (no quorum, servos
+  // frozen, clocks diverging on stale trims -- unrecoverable).
+  ff_pull_.ensemble.clear();
+  ff_pull_.pulls.clear();
+  ff_pull_.armed = false;
+
+  // Ensemble members: the running domain GMs (domain d+1 is rooted at
+  // vm(d, 0)); a down GM's domain is exactly what the validity layer
+  // would flag stale under event simulation.
+  for (std::size_t d = 0; d < domain_count(); ++d) {
+    hv::ClockSyncVm& v = gm_vm(d);
+    if (v.running()) ff_pull_.ensemble.push_back(&v.nic().phc());
+  }
+
+  const std::optional<double> entry_agg = ff_aggregate_rel(park_ns);
+  if (!entry_agg) return;
+  // entry_agg empty = no aggregation quorum: every clock holds its
+  // frequency across the window, matching the event-simulated
+  // "aggregation_skipped_no_quorum" behaviour.
+
+  // Pulled clocks: every running VM that aggregates (has a coordinator);
+  // model_quiescent() already guaranteed their servos are locked.
+  for (auto& ecd : ecds_) {
+    for (std::size_t i = 0; i < ecd->vm_count(); ++i) {
+      hv::ClockSyncVm& v = ecd->vm(i);
+      if (!v.running() || v.coordinator() == nullptr) continue;
+      time::PhcClock& phc = v.nic().phc();
+      ff_pull_.pulls.push_back(
+          {&phc, static_cast<double>(phc.read() - park_ns) - *entry_agg});
+    }
+  }
+  ff_pull_.armed = true;
+}
+
+void Scenario::analytic_advance(std::int64_t from_ns, std::int64_t to_ns) {
+  // One analytic "FTA round" per stride (never finer than the sync
+  // interval, capped at cfg.max_steps): at each step the ensemble
+  // aggregate E_k is recomputed from the GM PHCs -- which keep wandering
+  // through their coarse O(1) oscillator integration, statistically as
+  // they would under event simulation -- and every locked aggregating
+  // clock is stepped so it keeps the offset from the aggregate it had at
+  // park (the locked servo's fixed point; see analytic_prepare). All
+  // arithmetic on clock readings is relative to the step time t_k:
+  // absolute nanoseconds at week scale (~6e14) carry 0.125 ns of double
+  // ulp, the relative offsets are microseconds.
+  const std::int64_t span = to_ns - from_ns;
+  const std::int64_t ival =
+      std::max<std::int64_t>(std::max<std::int64_t>(1, cfg_.sync_interval_ns),
+                             ff_cfg_.analytic_step_ns);
+  const std::int64_t want = span / ival;
+  const std::int64_t n =
+      std::max<std::int64_t>(1, std::min<std::int64_t>(ff_cfg_.max_steps, want));
+
+  // Direct callers (tests driving the stepper without the controller):
+  // anchor the residuals at from_ns, drain smear included.
+  if (!ff_pull_.armed && ff_pull_.ensemble.empty()) analytic_prepare(from_ns);
+
+  const bool pull = ff_pull_.armed && !ff_pull_.pulls.empty();
+  for (std::int64_t k = 1; k <= n; ++k) {
+    const std::int64_t t_k =
+        from_ns + static_cast<std::int64_t>(
+                      static_cast<__int128>(span) * k / n);
+    sim_.advance_to(sim::SimTime{t_k});
+    if (!pull) continue;
+    for (time::PhcClock* phc : ff_pull_.ensemble) phc->catch_up_coarse();
+    for (const FfPull& p : ff_pull_.pulls) p.phc->catch_up_coarse();
+    const std::optional<double> agg = ff_aggregate_rel(t_k);
+    if (!agg) continue; // quorum lost mid-window: hold frequency
+    for (const FfPull& p : ff_pull_.pulls) {
+      const double cur = static_cast<double>(p.phc->read() - t_k);
+      const double tgt = *agg + p.residual_ns;
+      p.phc->step(static_cast<std::int64_t>(std::llround(tgt - cur)));
+    }
+  }
+  // Flush every clock in the world through the window analytically:
+  // clocks the stepper never touched (TSCs, switch PHCs, down VMs) would
+  // otherwise pay the full quantum-by-quantum wander integration lazily
+  // at their first post-window read -- 360k RNG draws each after an hour.
+  for (auto& ecd : ecds_) {
+    ecd->tsc().catch_up_coarse();
+    for (std::size_t i = 0; i < ecd->vm_count(); ++i)
+      ecd->vm(i).nic().phc().catch_up_coarse();
+  }
+  for (auto& sw : switches_) sw->phc().catch_up_coarse();
+  ff_pull_.ensemble.clear();
+  ff_pull_.pulls.clear();
+  ff_pull_.armed = false;
 }
 
 double Scenario::gm_clock_disagreement_ns() {

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -40,8 +41,10 @@
 #include "net/link.hpp"
 #include "net/switch.hpp"
 #include "obs/obs.hpp"
+#include "sim/fast_forward.hpp"
 #include "sim/partition.hpp"
 #include "sim/simulation.hpp"
+#include "sim/snapshot.hpp"
 
 namespace tsn::experiments {
 
@@ -186,6 +189,41 @@ class Scenario {
   obs::TraceRing& region_trace(std::size_t r);
   std::size_t region_count() const { return runtime_ ? runtime_->region_count() : 1; }
 
+  // -- Snapshot / fast-forward (serial mode only) --------------------------
+
+  /// Every persistent component of this world, in boot order (ECDs, then
+  /// switches, bridges, links, probe). The PathDelayMeter is deliberately
+  /// absent: it is calibration infrastructure whose sweeps block quiescence
+  /// structurally while they run, and its results feed analysis, not the
+  /// clocks.
+  std::vector<sim::Persistent*> persist_targets();
+
+  /// Copy-out / copy-in of the whole world (sim::take_snapshot over
+  /// persist_targets()). Both throw in partitioned mode and when some
+  /// in-flight event is unaccounted for (components_quiescent() fails).
+  sim::SimSnapshot snapshot();
+  void restore(const sim::SimSnapshot& snap);
+
+  /// Advance the world (plain event simulation, millisecond probing)
+  /// until every live queue entry is accounted for by a persistent
+  /// component -- i.e. until snapshot() would succeed. Returns false if
+  /// no component-quiescent instant appears within `max_wait_ns` (e.g. a
+  /// PathDelayMeter sweep is still running). Serial mode only.
+  bool run_to_quiescence(std::int64_t max_wait_ns = 2'000'000'000);
+
+  /// Arm the fast-forward analytic mode: run_to() then crosses quiescent
+  /// windows analytically (DESIGN.md §12). Call after start(); harnesses
+  /// with scheduled faults/attacks must add barriers on fast_forward()
+  /// so windows never cross an injection edge.
+  void enable_fast_forward(const sim::FfConfig& cfg = {});
+  sim::FfController* fast_forward() { return ff_.get(); }
+
+  /// Model-level quiescence: every running VM locked in FTA steady state,
+  /// monitor view consistent with VM liveness, no armed attacks or
+  /// corruptions anywhere, probe idle. (The structural queue check is the
+  /// FfController's; this is the injected model predicate.)
+  bool model_quiescent();
+
   /// Registry snapshot plus the event-queue totals harvested as gauges
   /// ("sim.events_executed", "sim.events_scheduled", ...). Partitioned:
   /// region registries merged in region order; only scheduling totals
@@ -202,6 +240,16 @@ class Scenario {
   void build_probe();
   sim::Simulation& sim_for(std::size_t ecd_idx);
   obs::ObsContext obs_for(std::size_t ecd_idx);
+  /// Captures the analytic stepper's entry state (ensemble membership,
+  /// per-clock residuals vs the aggregate) from the live model at park
+  /// time, before the controller's drain lets the clocks smear apart on
+  /// stale frequency trims.
+  void analytic_prepare(std::int64_t park_ns);
+  /// Analytic clock advance over [from_ns, to_ns] for the ff controller:
+  /// steps the ensemble at the sync cadence, pulling every locked
+  /// aggregating PHC so it keeps its at-park offset from the aggregate.
+  void analytic_advance(std::int64_t from_ns, std::int64_t to_ns);
+  std::optional<double> ff_aggregate_rel(std::int64_t t_ref);
 
   ScenarioConfig cfg_;
   Topology topo_;
@@ -227,6 +275,17 @@ class Scenario {
   std::vector<std::unique_ptr<net::Link>> links_;
   std::unique_ptr<measure::PrecisionProbe> probe_;
   std::unique_ptr<measure::PathDelayMeter> path_meter_;
+  std::unique_ptr<sim::FfController> ff_;
+  sim::FfConfig ff_cfg_;
+  struct FfPull {
+    time::PhcClock* phc;
+    double residual_ns; ///< clock - aggregate at window park
+  };
+  struct {
+    std::vector<time::PhcClock*> ensemble;
+    std::vector<FfPull> pulls;
+    bool armed = false; ///< prepare ran and found an aggregation quorum
+  } ff_pull_;
 };
 
 } // namespace tsn::experiments

@@ -1,5 +1,7 @@
 #include "faults/attacker.hpp"
 
+#include <limits>
+
 #include "util/log.hpp"
 
 namespace tsn::faults {
@@ -9,8 +11,22 @@ void Attacker::start() {
   // fit the event queue's inline closure storage, and steps_ is immutable
   // once scheduled.
   for (std::size_t i = 0; i < steps_.size(); ++i) {
-    sim_.at(sim::SimTime(steps_[i].at_ns), [this, i] { execute(steps_[i]); });
+    ++scheduled_;
+    sim_.at(sim::SimTime(steps_[i].at_ns), [this, i] {
+      ++executed_;
+      execute(steps_[i]);
+    });
   }
+}
+
+std::int64_t Attacker::next_pending_ns(std::int64_t after_ns) const {
+  // Steps need not be sorted by time; any step past `after_ns` is still
+  // pending (the barrier is only consulted with after_ns >= now).
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  for (const AttackStep& s : steps_) {
+    if (s.at_ns > after_ns) best = std::min(best, s.at_ns);
+  }
+  return best;
 }
 
 void Attacker::execute(const AttackStep& step) {

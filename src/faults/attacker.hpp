@@ -14,6 +14,7 @@
 
 #include "faults/kernel_vuln.hpp"
 #include "hv/clock_sync_vm.hpp"
+#include "sim/persist.hpp"
 #include "sim/simulation.hpp"
 
 namespace tsn::faults {
@@ -30,7 +31,7 @@ struct AttackResult {
   bool success = false;
 };
 
-class Attacker {
+class Attacker : public sim::Persistent {
  public:
   Attacker(sim::Simulation& sim, KernelVulnDb db) : sim_(sim), db_(std::move(db)) {}
 
@@ -45,6 +46,20 @@ class Attacker {
   /// Fired after each attempt.
   std::function<void(const AttackResult&)> on_attempt;
 
+  /// Earliest exploit attempt strictly after `after_ns` (INT64_MAX when
+  /// none): the fast-forward barrier keeping analytic windows off every
+  /// scheduled attack edge. (A *successful* exploit additionally blocks
+  /// the model predicate via ClockSyncVm::compromised() from then on.)
+  std::int64_t next_pending_ns(std::int64_t after_ns) const;
+
+  // -- sim::Persistent ------------------------------------------------------
+  // Accounting-only, like the FaultInjector: scheduled attempts are
+  // standing one-shot events the barrier keeps outside every window.
+  const char* persist_name() const override { return "attacker"; }
+  void save_state(sim::StateWriter&) override {}
+  void load_state(sim::StateReader&) override {}
+  std::size_t live_events() const override { return scheduled_ - executed_; }
+
  private:
   void execute(const AttackStep& step);
 
@@ -52,6 +67,8 @@ class Attacker {
   KernelVulnDb db_;
   std::vector<AttackStep> steps_;
   std::vector<AttackResult> results_;
+  std::size_t scheduled_ = 0; ///< attempts start() put on the queue
+  std::size_t executed_ = 0;  ///< attempts that have fired
 };
 
 } // namespace tsn::faults

@@ -1,6 +1,7 @@
 #include "faults/injector.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/log.hpp"
 
@@ -21,6 +22,26 @@ void FaultInjector::set_partitioned(sim::PartitionRuntime* rt,
     rt_->control_channel(home_region_, r); // kill commands out
     rt_->control_channel(r, home_region_); // outcome reports back
   }
+}
+
+std::int64_t FaultInjector::next_pending_ns(std::int64_t after_ns) const {
+  const auto it = pending_times_.upper_bound(after_ns);
+  return it == pending_times_.end() ? std::numeric_limits<std::int64_t>::max() : *it;
+}
+
+void FaultInjector::tracked_at(sim::Simulation& on, std::int64_t at_ns,
+                               std::function<void()> fn) {
+  if (rt_ != nullptr) {
+    // Partitioned: regions would race on the multiset, and the serial-only
+    // ff/snapshot machinery never reads it there.
+    on.at(sim::SimTime(at_ns), [fn = std::move(fn)] { fn(); });
+    return;
+  }
+  pending_times_.insert(at_ns);
+  on.at(sim::SimTime(at_ns), [this, at_ns, fn = std::move(fn)] {
+    pending_times_.erase(pending_times_.find(at_ns));
+    fn();
+  });
 }
 
 bool FaultInjector::peer_running(std::size_t ecd_idx, std::size_t vm_idx) const {
@@ -83,7 +104,7 @@ void FaultInjector::execute_kill(std::size_t ecd_idx, std::size_t vm_idx, bool g
     record_kill(ev, gm_schedule);
   }
 
-  local.after(downtime_ns, [this, ecd_idx, vm_idx, remote] {
+  tracked_at(local, local.now().ns() + downtime_ns, [this, ecd_idx, vm_idx, remote] {
     hv::ClockSyncVm& target = ecds_[ecd_idx]->vm(vm_idx);
     sim::Simulation& lsim = ecds_[ecd_idx]->sim();
     target.boot(/*first_boot=*/false);
@@ -124,7 +145,7 @@ void FaultInjector::schedule_gm_round(std::uint64_t round) {
   // period cadence the schedule promises).
   const std::int64_t at =
       start_ns_ + static_cast<std::int64_t>(round + 1) * cfg_.gm_kill_period_ns;
-  sim_.at(sim::SimTime(at), [this, round] {
+  tracked_at(sim_, at, [this, round] {
     const std::size_t ecd_idx = round % ecds_.size();
     // The GM duty sits on VM 0 of each ECD (static configuration).
     for (std::size_t vm_idx = 0; vm_idx < ecds_[ecd_idx]->vm_count(); ++vm_idx) {
@@ -142,7 +163,7 @@ void FaultInjector::schedule_standby(std::size_t ecd_idx) {
   const double mean_gap_ns = 3.6e12 / std::max(cfg_.standby_kills_per_hour, 1e-9);
   const std::int64_t gap = std::max<std::int64_t>(
       static_cast<std::int64_t>(rng_.exponential(mean_gap_ns)), cfg_.standby_min_gap_ns);
-  sim_.after(gap, [this, ecd_idx] {
+  tracked_at(sim_, sim_.now().ns() + gap, [this, ecd_idx] {
     // Kill a non-GM VM of this node.
     for (std::size_t vm_idx = 0; vm_idx < ecds_[ecd_idx]->vm_count(); ++vm_idx) {
       if (!ecds_[ecd_idx]->vm(vm_idx).is_gm()) {
@@ -164,7 +185,7 @@ void FaultInjector::run(const ReplaySchedule& schedule) {
   replay_mode_ = true;
   for (const ScheduledFault& f : schedule.faults) {
     const bool raw = schedule.raw;
-    sim_.at(sim::SimTime(f.at_ns), [this, f, raw] {
+    tracked_at(sim_, f.at_ns, [this, f, raw] {
       kill(f.ecd, f.vm, /*gm_schedule=*/false, f.downtime_ns, raw);
     });
   }

@@ -25,6 +25,7 @@
 
 #include "hv/ecd.hpp"
 #include "sim/partition.hpp"
+#include "sim/persist.hpp"
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
 
@@ -89,7 +90,7 @@ struct ReplaySchedule {
   std::size_t size() const { return faults.size(); }
 };
 
-class FaultInjector {
+class FaultInjector : public sim::Persistent {
  public:
   FaultInjector(sim::Simulation& sim, std::vector<hv::Ecd*> ecds, const InjectorConfig& cfg);
 
@@ -123,6 +124,23 @@ class FaultInjector {
     listeners_.push_back(std::move(fn));
   }
 
+  /// Earliest scheduled kill/reboot strictly after `after_ns`, INT64_MAX
+  /// when none: the fast-forward barrier. Register it on the controller as
+  ///   ff->add_barrier([&inj](std::int64_t t) { return inj.next_pending_ns(t); });
+  /// so no analytic window ever crosses an injection edge.
+  std::int64_t next_pending_ns(std::int64_t after_ns) const;
+
+  // -- sim::Persistent ------------------------------------------------------
+  // The injector joins the ff controller purely for event accounting: its
+  // scheduled kills and reboots are standing one-shot events the barrier
+  // keeps outside every window, so they need no park/advance. It carries
+  // no restorable state -- the incremental shrinker re-creates a fresh
+  // injector per probe (snapshots are taken before any injector runs).
+  const char* persist_name() const override { return "fault-injector"; }
+  void save_state(sim::StateWriter&) override {}
+  void load_state(sim::StateReader&) override {}
+  std::size_t live_events() const override { return pending_times_.size(); }
+
  private:
   bool peer_running(std::size_t ecd_idx, std::size_t vm_idx) const;
   void kill(std::size_t ecd_idx, std::size_t vm_idx, bool gm_schedule,
@@ -137,6 +155,10 @@ class FaultInjector {
   void notify(const InjectionEvent& ev);
   void schedule_gm_round(std::uint64_t round);
   void schedule_standby(std::size_t ecd_idx);
+  /// Schedule `fn` at `at_ns` on `on`, tracked in pending_times_ (serial
+  /// mode only: partitioned regions would race on the multiset, and the
+  /// ff/snapshot machinery that consumes it is serial-only anyway).
+  void tracked_at(sim::Simulation& on, std::int64_t at_ns, std::function<void()> fn);
 
   sim::Simulation& sim_;
   std::vector<hv::Ecd*> ecds_;
@@ -148,6 +170,8 @@ class FaultInjector {
   std::vector<std::function<void(const InjectionEvent&)>> listeners_;
   bool replay_mode_ = false;
   std::int64_t start_ns_ = 0; ///< when start() armed the randomized schedule
+  /// Fire times of every scheduled kill/reboot still pending (serial mode).
+  std::multiset<std::int64_t> pending_times_;
   sim::PartitionRuntime* rt_ = nullptr;
   std::vector<std::size_t> ecd_regions_;
   std::size_t home_region_ = 0;

@@ -1,5 +1,7 @@
 #include "gptp/bmca.hpp"
 
+#include "sim/persist.hpp"
+
 namespace tsn::gptp {
 
 PriorityVector PriorityVector::from_announce(const AnnounceMessage& msg) {
@@ -65,6 +67,47 @@ BmcaEngine::Decision BmcaEngine::evaluate(std::int64_t now_ns) {
     d.parent_port = best->source;
   }
   return d;
+}
+
+void BmcaEngine::save_state(sim::StateWriter& w) const {
+  w.u64(foreign_.size());
+  for (const auto& [id, f] : foreign_) {
+    w.u64(id);
+    w.u8(f.vector.priority1);
+    w.u8(f.vector.quality.clock_class);
+    w.u8(f.vector.quality.clock_accuracy);
+    w.u16(f.vector.quality.offset_scaled_log_variance);
+    w.u8(f.vector.priority2);
+    w.u64(f.vector.identity.to_u64());
+    w.u16(f.vector.steps_removed);
+    w.u64(f.source.clock.to_u64());
+    w.u16(f.source.port);
+    w.i64(f.last_seen_ns);
+  }
+}
+
+void BmcaEngine::load_state(sim::StateReader& r) {
+  foreign_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t id = r.u64();
+    Foreign f;
+    f.vector.priority1 = r.u8();
+    f.vector.quality.clock_class = r.u8();
+    f.vector.quality.clock_accuracy = r.u8();
+    f.vector.quality.offset_scaled_log_variance = r.u16();
+    f.vector.priority2 = r.u8();
+    f.vector.identity = ClockIdentity::from_u64(r.u64());
+    f.vector.steps_removed = r.u16();
+    f.source.clock = ClockIdentity::from_u64(r.u64());
+    f.source.port = r.u16();
+    f.last_seen_ns = r.i64();
+    foreign_.emplace(id, f);
+  }
+}
+
+void BmcaEngine::ff_advance(const sim::FfWindow& w) {
+  for (auto& [id, f] : foreign_) f.last_seen_ns += w.span_ns();
 }
 
 } // namespace tsn::gptp

@@ -11,6 +11,12 @@
 #include "gptp/messages.hpp"
 #include "gptp/types.hpp"
 
+namespace tsn::sim {
+class StateWriter;
+class StateReader;
+struct FfWindow;
+} // namespace tsn::sim
+
 namespace tsn::gptp {
 
 /// The fields compared by the BMCA, in comparison order.
@@ -56,6 +62,13 @@ class BmcaEngine {
 
   std::size_t foreign_master_count() const { return foreign_.size(); }
   const Config& config() const { return cfg_; }
+
+  /// Snapshot support: the foreign-master table.
+  void save_state(sim::StateWriter& w) const;
+  void load_state(sim::StateReader& r);
+  /// Fast-forward: shift last-seen stamps so foreign masters keep the age
+  /// they had when the window opened.
+  void ff_advance(const sim::FfWindow& w);
 
  private:
   struct Foreign {

@@ -106,11 +106,17 @@ void TimeAwareBridge::clear_correction_attack() {
 
 void TimeAwareBridge::start_sync_storm(std::uint8_t domain, std::int64_t period_ns) {
   if (storm_.active()) return;
-  storm_ = sim_.every(sim_.now(), period_ns, [this, domain](sim::SimTime) {
+  storm_domain_ = domain;
+  storm_period_ns_ = period_ns;
+  arm_storm(sim_.now().ns());
+}
+
+void TimeAwareBridge::arm_storm(std::int64_t first_ns) {
+  storm_ = sim_.every(sim::SimTime{first_ns}, storm_period_ns_, [this](sim::SimTime) {
     SyncMessage sync;
     sync.header.type = MessageType::kSync;
     sync.header.two_step = false; // standalone: no FollowUp ever comes
-    sync.header.domain = domain;
+    sync.header.domain = storm_domain_;
     sync.header.sequence_id = ++storm_seq_;
     for (std::size_t p = 0; p < sw_.port_count(); ++p) {
       if (!sw_.port(p).connected()) continue;
@@ -122,6 +128,100 @@ void TimeAwareBridge::start_sync_storm(std::uint8_t domain, std::int64_t period_
 }
 
 void TimeAwareBridge::stop_sync_storm() { storm_.cancel(); }
+
+void TimeAwareBridge::save_state(sim::StateWriter& w) {
+  w.b(started_);
+  w.u64(counters_.syncs_relayed);
+  w.u64(counters_.followups_relayed);
+  w.u64(counters_.announces_relayed);
+  w.u64(counters_.syncs_on_non_slave_port);
+  w.u64(counters_.malformed);
+  w.u64(counters_.storm_syncs_sent);
+  for (auto& ld : link_delay_) ld->save_state(w);
+  for (const auto& [domain, ds] : domains_) {
+    w.b(ds.pending.has_value());
+    const PendingSync p = ds.pending.value_or(PendingSync{});
+    w.u16(p.seq);
+    w.i64(p.rx_ts);
+    w.i64(p.correction_scaled);
+    w.u64(p.source.clock.to_u64());
+    w.u16(p.source.port);
+    w.u64(p.ingress_port);
+  }
+  w.b(atk_corr_domain_.has_value());
+  w.u8(atk_corr_domain_.value_or(0));
+  w.f64(atk_corr_bias_ns_);
+  w.b(storm_.active());
+  w.i64(storm_.next_due_ns());
+  w.u16(storm_seq_);
+  w.u8(storm_domain_);
+  w.i64(storm_period_ns_);
+}
+
+void TimeAwareBridge::load_state(sim::StateReader& r) {
+  started_ = r.b();
+  counters_.syncs_relayed = r.u64();
+  counters_.followups_relayed = r.u64();
+  counters_.announces_relayed = r.u64();
+  counters_.syncs_on_non_slave_port = r.u64();
+  counters_.malformed = r.u64();
+  counters_.storm_syncs_sent = r.u64();
+  for (auto& ld : link_delay_) ld->load_state(r);
+  for (auto& [domain, ds] : domains_) {
+    const bool has = r.b();
+    PendingSync p;
+    p.seq = r.u16();
+    p.rx_ts = r.i64();
+    p.correction_scaled = r.i64();
+    p.source = PortIdentity{ClockIdentity::from_u64(r.u64()), 0};
+    p.source.port = r.u16();
+    p.ingress_port = r.u64();
+    ds.pending.reset();
+    if (has) ds.pending = p;
+  }
+  const bool has_corr = r.b();
+  const std::uint8_t corr_domain = r.u8();
+  atk_corr_domain_.reset();
+  if (has_corr) atk_corr_domain_ = corr_domain;
+  atk_corr_bias_ns_ = r.f64();
+  const bool storm_active = r.b();
+  const std::int64_t storm_due = r.i64();
+  storm_seq_ = r.u16();
+  storm_domain_ = r.u8();
+  storm_period_ns_ = r.i64();
+  storm_ = {};
+  if (storm_active) {
+    arm_storm(sim::align_phase(storm_due, storm_period_ns_, sim_.now().ns()));
+  }
+}
+
+std::size_t TimeAwareBridge::live_events() const {
+  std::size_t n = storm_.active() ? 1u : 0u;
+  for (const auto& ld : link_delay_) n += ld->live_events();
+  return n;
+}
+
+void TimeAwareBridge::ff_park() {
+  for (auto& ld : link_delay_) ld->ff_park();
+  parked_storm_ = storm_.active();
+  park_storm_due_ns_ = storm_.next_due_ns();
+  storm_.cancel();
+}
+
+void TimeAwareBridge::ff_advance(const sim::FfWindow& w) {
+  for (auto& ld : link_delay_) ld->ff_advance(w);
+  // A Sync whose FollowUp has not arrived by a multi-second quiescent
+  // window is an abandoned relay; its seq is long gone after the jump.
+  for (auto& [domain, ds] : domains_) ds.pending.reset();
+}
+
+void TimeAwareBridge::ff_resume() {
+  for (auto& ld : link_delay_) ld->ff_resume();
+  if (parked_storm_) {
+    parked_storm_ = false;
+    arm_storm(sim::align_phase(park_storm_due_ns_, storm_period_ns_, sim_.now().ns()));
+  }
+}
 
 void TimeAwareBridge::on_ptp(std::size_t port_idx, const net::EthernetFrame& frame,
                              const net::RxMeta& meta) {

@@ -23,6 +23,7 @@
 #include "gptp/messages.hpp"
 #include "gptp/msg_template.hpp"
 #include "net/switch.hpp"
+#include "sim/persist.hpp"
 #include "sim/simulation.hpp"
 
 namespace tsn::gptp {
@@ -55,7 +56,7 @@ struct BridgeCounters {
   std::uint64_t storm_syncs_sent = 0; ///< bogus Syncs injected by a compromise
 };
 
-class TimeAwareBridge {
+class TimeAwareBridge : public sim::Persistent {
  public:
   TimeAwareBridge(sim::Simulation& sim, net::Switch& sw, const BridgeConfig& cfg,
                   const std::string& name);
@@ -85,6 +86,19 @@ class TimeAwareBridge {
   /// per `period_ns`. Pure protocol-processing load.
   void start_sync_storm(std::uint8_t domain, std::int64_t period_ns);
   void stop_sync_storm();
+
+  /// True while an adversarial relay corruption or sync storm is armed
+  /// (a fast-forward barrier: a compromised bridge stays event-simulated).
+  bool attack_armed() const { return atk_corr_domain_.has_value() || storm_.active(); }
+
+  // -- sim::Persistent ------------------------------------------------------
+  const char* persist_name() const override { return name_.c_str(); }
+  void save_state(sim::StateWriter& w) override;
+  void load_state(sim::StateReader& r) override;
+  std::size_t live_events() const override;
+  void ff_park() override;
+  void ff_advance(const sim::FfWindow& w) override;
+  void ff_resume() override;
 
  private:
   struct PendingSync {
@@ -127,6 +141,8 @@ class TimeAwareBridge {
                             LinkDelayService::TxTsFn on_tx);
   std::uint32_t alloc_relay_slot();
   PortIdentity port_identity(std::size_t port_idx) const;
+  /// (Re-)create the storm periodic from storm_domain_/storm_period_ns_.
+  void arm_storm(std::int64_t first_ns);
 
   sim::Simulation& sim_;
   net::Switch& sw_;
@@ -143,6 +159,12 @@ class TimeAwareBridge {
   double atk_corr_bias_ns_ = 0.0;
   sim::Simulation::PeriodicHandle storm_;
   std::uint16_t storm_seq_ = 0;
+  std::uint8_t storm_domain_ = 0;      ///< remembered for re-arming
+  std::int64_t storm_period_ns_ = 0;   ///< 0 = storm never armed
+
+  // Fast-forward park state.
+  bool parked_storm_ = false;
+  std::int64_t park_storm_due_ns_ = 0;
 
   // Pre-built relay PDU images; every varying field (domain, egress port
   // identity, seq, correction, timestamps, TLV) is patched per transmission.

@@ -142,7 +142,9 @@ void PtpInstance::schedule_at_phc(std::int64_t target_phc, std::function<void()>
   const double rate = nic_.phc().effective_rate();
   const auto dt = static_cast<std::int64_t>(std::llround(static_cast<double>(remaining) / rate));
   const std::uint64_t epoch = epoch_;
-  sim_.after(std::max<std::int64_t>(dt, 1), [this, target_phc, fn = std::move(fn), epoch]() mutable {
+  const std::int64_t delay = std::max<std::int64_t>(dt, 1);
+  hop_due_ns_ = sim_.now().ns() + delay;
+  sim_.after(delay, [this, target_phc, fn = std::move(fn), epoch]() mutable {
     if (epoch != epoch_ || !running_) return;
     schedule_at_phc(target_phc, std::move(fn));
   });
@@ -421,6 +423,214 @@ void PtpInstance::send_announce() {
 void PtpInstance::on_announce_msg(const AnnounceMessage& msg) {
   if (!bmca_) return;
   bmca_->on_announce(msg, sim_.now().ns());
+}
+
+void PtpInstance::arm_sync_hop_at(std::int64_t due_ns) {
+  const std::uint64_t epoch = epoch_;
+  hop_due_ns_ = due_ns;
+  if (cfg_.align_launch) {
+    const std::int64_t boundary = next_boundary_phc_;
+    sim_.at(sim::SimTime{due_ns}, [this, boundary, epoch] {
+      if (epoch != epoch_ || !running_) return;
+      schedule_at_phc(boundary - cfg_.launch_guard_ns,
+                      [this, boundary] { prepare_sync_tx(boundary); });
+    });
+  } else {
+    sim_.at(sim::SimTime{due_ns}, [this, epoch] {
+      if (epoch != epoch_ || !running_) return;
+      schedule_at_phc(next_boundary_phc_, [this] { prepare_sync_tx(0); });
+    });
+  }
+}
+
+void PtpInstance::save_state(sim::StateWriter& w) {
+  w.b(running_);
+  w.u8(static_cast<std::uint8_t>(role_));
+  w.u16(sync_seq_);
+  w.i64(next_boundary_phc_);
+  w.i64(hop_due_ns_);
+  w.rng(fault_rng_);
+  w.b(pending_sync_.has_value());
+  if (pending_sync_) {
+    w.u16(pending_sync_->seq);
+    w.i64(pending_sync_->rx_ts);
+    w.i64(pending_sync_->correction_scaled);
+    w.u64(pending_sync_->source.clock.to_u64());
+    w.u16(pending_sync_->source.port);
+  }
+  w.i64(last_sync_rx_sim_ns_);
+  w.b(e2e_last_sync_.has_value());
+  w.f64(e2e_last_sync_ ? e2e_last_sync_->first : 0.0);
+  w.i64(e2e_last_sync_ ? e2e_last_sync_->second : 0);
+  w.u16(delay_req_seq_);
+  w.opt_i64(e2e_t3_);
+  w.f64(e2e_delay_ns_);
+  w.b(gm_receiving_);
+  w.b(sync_check_.active());
+  w.i64(sync_check_.next_due_ns());
+  w.b(delay_req_timer_.active());
+  w.i64(delay_req_timer_.next_due_ns());
+  w.b(announce_tx_.active());
+  w.i64(announce_tx_.next_due_ns());
+  w.b(bmca_eval_.active());
+  w.i64(bmca_eval_.next_due_ns());
+  if (bmca_) bmca_->save_state(w);
+  w.u16(announce_seq_);
+  w.b(local_servo_.has_value());
+  if (local_servo_) local_servo_->save_state(w);
+  w.i64(malicious_pot_offset_ns_);
+  w.u64(counters_.syncs_sent);
+  w.u64(counters_.followups_sent);
+  w.u64(counters_.syncs_received);
+  w.u64(counters_.offsets_computed);
+  w.u64(counters_.tx_timestamp_timeouts);
+  w.u64(counters_.deadline_misses);
+  w.u64(counters_.sync_receipt_timeouts);
+  w.u64(counters_.malformed_messages);
+  w.u64(counters_.delay_reqs_answered);
+  w.u64(counters_.delay_resps_received);
+}
+
+void PtpInstance::load_state(sim::StateReader& r) {
+  ++epoch_; // invalidate anything captured before the restore
+  sync_check_ = {};
+  delay_req_timer_ = {};
+  announce_tx_ = {};
+  bmca_eval_ = {};
+  running_ = r.b();
+  role_ = static_cast<PortRole>(r.u8());
+  sync_seq_ = r.u16();
+  next_boundary_phc_ = r.i64();
+  const std::int64_t hop_due = r.i64();
+  r.rng(fault_rng_);
+  if (r.b()) {
+    PendingSync p;
+    p.seq = r.u16();
+    p.rx_ts = r.i64();
+    p.correction_scaled = r.i64();
+    p.source.clock = ClockIdentity::from_u64(r.u64());
+    p.source.port = r.u16();
+    pending_sync_ = p;
+  } else {
+    pending_sync_.reset();
+  }
+  last_sync_rx_sim_ns_ = r.i64();
+  const bool has_e2e = r.b();
+  const double e2e_t1 = r.f64();
+  const std::int64_t e2e_t2 = r.i64();
+  e2e_last_sync_ = has_e2e ? std::optional<std::pair<double, std::int64_t>>({e2e_t1, e2e_t2})
+                           : std::nullopt;
+  delay_req_seq_ = r.u16();
+  e2e_t3_ = r.opt_i64<std::int64_t>();
+  e2e_delay_ns_ = r.f64();
+  gm_receiving_ = r.b();
+  const bool sc_run = r.b();
+  const std::int64_t sc_due = r.i64();
+  const bool dr_run = r.b();
+  const std::int64_t dr_due = r.i64();
+  const bool at_run = r.b();
+  const std::int64_t at_due = r.i64();
+  const bool be_run = r.b();
+  const std::int64_t be_due = r.i64();
+  if (bmca_) bmca_->load_state(r);
+  announce_seq_ = r.u16();
+  const bool has_servo = r.b();
+  if (has_servo) {
+    if (!local_servo_) local_servo_ = PiServo();
+    local_servo_->load_state(r);
+  }
+  malicious_pot_offset_ns_ = r.i64();
+  counters_.syncs_sent = r.u64();
+  counters_.followups_sent = r.u64();
+  counters_.syncs_received = r.u64();
+  counters_.offsets_computed = r.u64();
+  counters_.tx_timestamp_timeouts = r.u64();
+  counters_.deadline_misses = r.u64();
+  counters_.sync_receipt_timeouts = r.u64();
+  counters_.malformed_messages = r.u64();
+  counters_.delay_reqs_answered = r.u64();
+  counters_.delay_resps_received = r.u64();
+  if (!running_) {
+    hop_due_ns_ = -1;
+    return;
+  }
+  // Re-arm standing events in the same order start() creates them so
+  // same-timestamp firings keep their boot-time relative sequence order.
+  const bool master_chain = role_ == PortRole::kMaster && hop_due >= 0;
+  if (master_chain && !cfg_.use_bmca) arm_sync_hop_at(hop_due);
+  if (sc_run) {
+    sync_check_ = sim_.every(sim::SimTime{sc_due}, cfg_.sync_interval_ns,
+                             [this](sim::SimTime t) { check_sync_receipt(t); });
+  }
+  if (dr_run) {
+    delay_req_timer_ = sim_.every(sim::SimTime{dr_due}, cfg_.delay_req_interval_ns,
+                                  [this](sim::SimTime) { send_delay_req(); });
+  }
+  if (at_run) {
+    announce_tx_ = sim_.every(sim::SimTime{at_due}, cfg_.announce_interval_ns,
+                              [this](sim::SimTime) { send_announce(); });
+  }
+  if (be_run) {
+    bmca_eval_ = sim_.every(sim::SimTime{be_due}, cfg_.announce_interval_ns,
+                            [this](sim::SimTime) { evaluate_bmca(); });
+  }
+  if (master_chain && cfg_.use_bmca) arm_sync_hop_at(hop_due);
+}
+
+std::size_t PtpInstance::live_events() const {
+  if (!running_) return 0;
+  std::size_t n = 0;
+  if (role_ == PortRole::kMaster) ++n; // the sync-chain hop
+  if (sync_check_.active()) ++n;
+  if (delay_req_timer_.active()) ++n;
+  if (announce_tx_.active()) ++n;
+  if (bmca_eval_.active()) ++n;
+  return n;
+}
+
+void PtpInstance::ff_park() {
+  park_sync_check_ = {sync_check_.active(), sync_check_.next_due_ns()};
+  park_delay_req_ = {delay_req_timer_.active(), delay_req_timer_.next_due_ns()};
+  park_announce_ = {announce_tx_.active(), announce_tx_.next_due_ns()};
+  park_bmca_ = {bmca_eval_.active(), bmca_eval_.next_due_ns()};
+  sync_check_.cancel();
+  delay_req_timer_.cancel();
+  announce_tx_.cancel();
+  bmca_eval_.cancel();
+  ++epoch_; // kills the sync-chain hop and any in-flight tx callbacks
+}
+
+void PtpInstance::ff_advance(const sim::FfWindow& w) {
+  if (last_sync_rx_sim_ns_ >= 0) last_sync_rx_sim_ns_ += w.span_ns();
+  e2e_t3_.reset(); // force a clean first post-resume E2E exchange
+  if (bmca_) bmca_->ff_advance(w);
+}
+
+void PtpInstance::ff_resume() {
+  if (!running_) return;
+  const auto rearm = [this](const ParkedPeriodic& p, std::int64_t period,
+                            std::function<void(sim::SimTime)> fn) {
+    if (!p.running) return sim::Simulation::PeriodicHandle{};
+    return sim_.every(
+        sim::SimTime{sim::align_phase(p.due_ns, period, sim_.now().ns())}, period,
+        std::move(fn));
+  };
+  // Masters recompute the next launch boundary from the (analytically
+  // advanced) PHC -- the sync grid is PHC-aligned, not sim-time-aligned.
+  if (role_ == PortRole::kMaster && !cfg_.use_bmca) schedule_next_sync_tx();
+  sync_check_ = rearm(park_sync_check_, cfg_.sync_interval_ns,
+                      [this](sim::SimTime t) { check_sync_receipt(t); });
+  delay_req_timer_ = rearm(park_delay_req_, cfg_.delay_req_interval_ns,
+                           [this](sim::SimTime) { send_delay_req(); });
+  announce_tx_ = rearm(park_announce_, cfg_.announce_interval_ns,
+                       [this](sim::SimTime) { send_announce(); });
+  bmca_eval_ = rearm(park_bmca_, cfg_.announce_interval_ns,
+                     [this](sim::SimTime) { evaluate_bmca(); });
+  if (role_ == PortRole::kMaster && cfg_.use_bmca) schedule_next_sync_tx();
+  park_sync_check_ = {};
+  park_delay_req_ = {};
+  park_announce_ = {};
+  park_bmca_ = {};
 }
 
 void PtpInstance::evaluate_bmca() {

@@ -117,6 +117,15 @@ class PtpInstance {
   using FaultCallback = std::function<void(const std::string& kind)>;
   void set_fault_callback(FaultCallback cb) { fault_cb_ = std::move(cb); }
 
+  // -- Snapshot / fast-forward support (driven by the owning stack; see
+  //    sim/persist.hpp for the contract) -----------------------------------
+  void save_state(sim::StateWriter& w);
+  void load_state(sim::StateReader& r);
+  std::size_t live_events() const;
+  void ff_park();
+  void ff_advance(const sim::FfWindow& w);
+  void ff_resume();
+
   const InstanceConfig& config() const { return cfg_; }
   const InstanceCounters& counters() const { return counters_; }
   PortRole role() const { return role_; }
@@ -130,6 +139,12 @@ class PtpInstance {
 
  private:
   void schedule_next_sync_tx();
+  /// Re-create the pending sync-chain hop at exactly `due_ns` (snapshot
+  /// restore): popping it re-enters schedule_at_phc just like the
+  /// original in-queue hop closure would, so PHC read times -- and with
+  /// them the oscillator integration segmentation -- are reproduced
+  /// bit-exactly.
+  void arm_sync_hop_at(std::int64_t due_ns);
   void prepare_sync_tx(std::int64_t launch_phc);
   void transmit_sync(std::int64_t launch_phc);
   void on_sync(const SyncMessage& msg, std::int64_t rx_ts);
@@ -164,6 +179,7 @@ class PtpInstance {
   // Master state.
   std::uint16_t sync_seq_ = 0;
   std::int64_t next_boundary_phc_ = 0;
+  std::int64_t hop_due_ns_ = -1; ///< sim-time due of the pending chain hop
   util::RngStream fault_rng_;
   InstanceFaultModel fault_model_;
 
@@ -198,6 +214,13 @@ class PtpInstance {
   sim::Simulation::PeriodicHandle announce_tx_;
   sim::Simulation::PeriodicHandle bmca_eval_;
   std::uint16_t announce_seq_ = 0;
+
+  // Phases remembered across ff_park()/ff_resume().
+  struct ParkedPeriodic {
+    bool running = false;
+    std::int64_t due_ns = 0;
+  };
+  ParkedPeriodic park_sync_check_, park_delay_req_, park_announce_, park_bmca_;
 
   OffsetCallback offset_cb_;
   std::optional<PiServo> local_servo_;

@@ -21,6 +21,7 @@
 #include "gptp/messages.hpp"
 #include "gptp/msg_template.hpp"
 #include "net/frame_pool.hpp"
+#include "sim/persist.hpp"
 #include "sim/simulation.hpp"
 #include "util/inline_fn.hpp"
 
@@ -65,6 +66,15 @@ class LinkDelayService {
   /// ~skew_ppm (the reported remote clock appears to run fast/slow).
   void set_turnaround_attack(double bias_ns, double skew_ppm);
   void clear_turnaround_attack();
+
+  // -- Snapshot / fast-forward support (driven by the owning stack/bridge,
+  //    which is the Persistent; see sim/persist.hpp) ------------------------
+  void save_state(sim::StateWriter& w) const;
+  void load_state(sim::StateReader& r);
+  std::size_t live_events() const { return periodic_.active() ? 1 : 0; }
+  void ff_park();
+  void ff_advance(const sim::FfWindow& w);
+  void ff_resume();
 
   bool valid() const { return valid_; }
   double mean_link_delay_ns() const { return mean_link_delay_ns_; }
@@ -120,6 +130,10 @@ class LinkDelayService {
   double raw_link_delay_ns_ = 0.0;
   double neighbor_rate_ratio_ = 1.0;
   std::uint64_t completed_ = 0;
+
+  // Phase remembered across ff_park()/ff_resume().
+  bool parked_running_ = false;
+  std::int64_t park_due_ns_ = 0;
 };
 
 } // namespace tsn::gptp

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "sim/persist.hpp"
+
 namespace tsn::gptp {
 
 PiServo::PiServo(const PiServoConfig& cfg) : cfg_(cfg) {}
@@ -18,6 +20,22 @@ void PiServo::reset() {
   // The integral (learned frequency error) survives a reset on purpose:
   // losing it after a reference switch would re-learn the oscillator's
   // static drift from scratch. Call set_integral_ppb(0) for a cold reset.
+}
+
+void PiServo::save_state(sim::StateWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(state_));
+  w.i64(sample_count_);
+  w.i64(first_offset_);
+  w.i64(first_ts_);
+  w.f64(integral_ppb_);
+}
+
+void PiServo::load_state(sim::StateReader& r) {
+  state_ = static_cast<State>(r.u8());
+  sample_count_ = static_cast<int>(r.i64());
+  first_offset_ = r.i64();
+  first_ts_ = r.i64();
+  integral_ppb_ = r.f64();
 }
 
 void PiServo::attach_obs(obs::ObsContext ctx, const std::string& name) {

@@ -12,6 +12,11 @@
 
 #include "obs/obs.hpp"
 
+namespace tsn::sim {
+class StateWriter;
+class StateReader;
+} // namespace tsn::sim
+
 namespace tsn::gptp {
 
 struct PiServoConfig {
@@ -56,6 +61,11 @@ class PiServo {
   double integral_ppb() const { return integral_ppb_; }
 
   State state() const { return state_; }
+
+  /// Snapshot support: discipline state only (obs attachments are not
+  /// persisted -- re-attach after restoring into a fresh servo).
+  void save_state(sim::StateWriter& w) const;
+  void load_state(sim::StateReader& r);
 
   /// Attach observability under `name` (e.g. "c11/fta.servo"): counts
   /// samples, phase jumps and runaway unlock-resets in `<name>.*` and

@@ -52,6 +52,41 @@ void PtpStack::stop() {
   for (auto& inst : instances_) inst->stop();
 }
 
+void PtpStack::save_state(sim::StateWriter& w) {
+  w.b(started_);
+  w.u64(malformed_);
+  link_delay_.save_state(w);
+  for (auto& inst : instances_) inst->save_state(w);
+}
+
+void PtpStack::load_state(sim::StateReader& r) {
+  started_ = r.b();
+  malformed_ = r.u64();
+  link_delay_.load_state(r);
+  for (auto& inst : instances_) inst->load_state(r);
+}
+
+std::size_t PtpStack::live_events() const {
+  std::size_t n = link_delay_.live_events();
+  for (const auto& inst : instances_) n += inst->live_events();
+  return n;
+}
+
+void PtpStack::ff_park() {
+  link_delay_.ff_park();
+  for (auto& inst : instances_) inst->ff_park();
+}
+
+void PtpStack::ff_advance(const sim::FfWindow& w) {
+  link_delay_.ff_advance(w);
+  for (auto& inst : instances_) inst->ff_advance(w);
+}
+
+void PtpStack::ff_resume() {
+  link_delay_.ff_resume();
+  for (auto& inst : instances_) inst->ff_resume();
+}
+
 void PtpStack::on_rx(const net::EthernetFrame& frame, const net::RxMeta& meta) {
   if (!started_) return;
   const auto msg = parse(frame.payload);

@@ -40,6 +40,15 @@ class PtpStack {
   /// Total malformed frames dropped by the demux.
   std::uint64_t malformed_frames() const { return malformed_; }
 
+  // -- Snapshot / fast-forward support (aggregates the link-delay service
+  //    and every domain instance; driven by the owning VM) -----------------
+  void save_state(sim::StateWriter& w);
+  void load_state(sim::StateReader& r);
+  std::size_t live_events() const;
+  void ff_park();
+  void ff_advance(const sim::FfWindow& w);
+  void ff_resume();
+
  private:
   void on_rx(const net::EthernetFrame& frame, const net::RxMeta& meta);
 

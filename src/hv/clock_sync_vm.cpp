@@ -1,5 +1,6 @@
 #include "hv/clock_sync_vm.hpp"
 
+#include "sim/persist.hpp"
 #include "util/log.hpp"
 
 namespace tsn::hv {
@@ -120,6 +121,83 @@ void ClockSyncVm::compromise(std::int64_t malicious_pot_offset_ns) {
       inst->set_malicious_pot_offset(malicious_pot_offset_ns);
     }
   }
+}
+
+void ClockSyncVm::save_state(sim::StateWriter& w) {
+  w.b(running_);
+  w.i64(malicious_pot_offset_ns_);
+  w.str(kernel_version_);
+  w.u64(past_tx_timeouts_);
+  w.u64(past_deadline_misses_);
+  w.b(cfg_.coordinator.skip_startup); // boot(!first) mutates this
+  nic_.phc().save_state(w);
+  updater_->save_state(w);
+  if (running_) {
+    if (ft_shmem_) ft_shmem_->save_state(w);
+    if (coordinator_) coordinator_->save_state(w);
+    stack_->save_state(w);
+  }
+}
+
+void ClockSyncVm::load_state(sim::StateReader& r) {
+  const bool was_running = r.b();
+  malicious_pot_offset_ns_ = r.i64();
+  kernel_version_ = r.str();
+  past_tx_timeouts_ = r.u64();
+  past_deadline_misses_ = r.u64();
+  cfg_.coordinator.skip_startup = r.b();
+  // Reconcile the boot state before restoring component state into it.
+  if (was_running && !running_) {
+    running_ = true;
+    nic_.set_up(true);
+    build_stack();
+  } else if (!was_running && running_) {
+    // Manual teardown: shutdown() would fold live counters into the
+    // `past_` totals we just restored.
+    running_ = false;
+    updater_->stop();
+    if (stack_) stack_->stop();
+    nic_.set_up(false);
+    stack_.reset();
+    coordinator_.reset();
+    ft_shmem_.reset();
+  }
+  nic_.phc().load_state(r);
+  updater_->load_state(r);
+  if (running_) {
+    if (ft_shmem_) ft_shmem_->load_state(r);
+    if (coordinator_) coordinator_->load_state(r);
+    stack_->load_state(r);
+  }
+}
+
+std::size_t ClockSyncVm::live_events() const {
+  std::size_t n = updater_->live_events();
+  if (stack_) n += stack_->live_events();
+  return n;
+}
+
+void ClockSyncVm::ff_park() {
+  ff_entry_phc_ = nic_.phc().read();
+  if (stack_) stack_->ff_park();
+  updater_->ff_park();
+}
+
+void ClockSyncVm::ff_advance(const sim::FfWindow& w) {
+  // The analytic stepper has already advanced the NIC PHC; shift the
+  // FTSHMEM stamps (which live in this PHC's timebase) by the same amount,
+  // preserving at-entry freshness classification.
+  const std::int64_t shift = nic_.phc().read() - ff_entry_phc_;
+  if (ft_shmem_) {
+    ft_shmem_->ff_shift(shift, ff_entry_phc_, cfg_.coordinator.validity.freshness_window_ns);
+  }
+  if (stack_) stack_->ff_advance(w);
+  updater_->ff_advance(w);
+}
+
+void ClockSyncVm::ff_resume() {
+  if (stack_) stack_->ff_resume();
+  updater_->ff_resume();
 }
 
 void ClockSyncVm::set_fault_model(const gptp::InstanceFaultModel& m) {

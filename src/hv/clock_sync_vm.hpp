@@ -23,6 +23,12 @@
 #include "obs/obs.hpp"
 #include "sim/simulation.hpp"
 
+namespace tsn::sim {
+class StateWriter;
+class StateReader;
+struct FfWindow;
+} // namespace tsn::sim
+
 namespace tsn::hv {
 
 struct ClockSyncVmConfig {
@@ -95,6 +101,19 @@ class ClockSyncVm {
   std::uint64_t total_tx_timestamp_timeouts() const;
   std::uint64_t total_deadline_misses() const;
 
+  // -- Snapshot / fast-forward support -------------------------------------
+  // save_state captures the NIC PHC plus the whole software stack; load
+  // reconciles the boot state first (building or tearing down the stack to
+  // match the snapshot) and then restores into the live components. The
+  // externally-owned fault model is config, not state: the harness that
+  // drives faults re-applies it after a restore.
+  void save_state(sim::StateWriter& w);
+  void load_state(sim::StateReader& r);
+  std::size_t live_events() const;
+  void ff_park();
+  void ff_advance(const sim::FfWindow& w);
+  void ff_resume();
+
  private:
   void build_stack();
 
@@ -117,6 +136,9 @@ class ClockSyncVm {
   FaultCallback fault_cb_;
   std::uint64_t past_tx_timeouts_ = 0;
   std::uint64_t past_deadline_misses_ = 0;
+
+  /// NIC PHC reading at ff_park, for FTSHMEM's freshness-preserving shift.
+  std::int64_t ff_entry_phc_ = 0;
 };
 
 } // namespace tsn::hv

@@ -24,4 +24,39 @@ void Ecd::start() {
   monitor_.start();
 }
 
+void Ecd::save_state(sim::StateWriter& w) {
+  tsc_.save_state(w);
+  st_shmem_.save_state(w);
+  for (auto& vm : vms_) vm->save_state(w);
+  monitor_.save_state(w);
+}
+
+void Ecd::load_state(sim::StateReader& r) {
+  tsc_.load_state(r);
+  st_shmem_.load_state(r);
+  for (auto& vm : vms_) vm->load_state(r);
+  monitor_.load_state(r);
+}
+
+std::size_t Ecd::live_events() const {
+  std::size_t n = monitor_.live_events();
+  for (const auto& vm : vms_) n += vm->live_events();
+  return n;
+}
+
+void Ecd::ff_park() {
+  for (auto& vm : vms_) vm->ff_park();
+  monitor_.ff_park();
+}
+
+void Ecd::ff_advance(const sim::FfWindow& w) {
+  for (auto& vm : vms_) vm->ff_advance(w);
+  monitor_.ff_advance(w);
+}
+
+void Ecd::ff_resume() {
+  for (auto& vm : vms_) vm->ff_resume();
+  monitor_.ff_resume();
+}
+
 } // namespace tsn::hv

@@ -14,6 +14,7 @@
 #include "hv/monitor.hpp"
 #include "hv/st_shmem.hpp"
 #include "obs/obs.hpp"
+#include "sim/persist.hpp"
 #include "sim/simulation.hpp"
 #include "tsn_time/phc_clock.hpp"
 
@@ -26,7 +27,7 @@ struct EcdConfig {
   MonitorConfig monitor;
 };
 
-class Ecd {
+class Ecd : public sim::Persistent {
  public:
   Ecd(sim::Simulation& sim, const EcdConfig& cfg, obs::ObsContext obs = {});
 
@@ -51,6 +52,17 @@ class Ecd {
 
   /// CLOCK_SYNCTIME as a co-located application VM would read it.
   std::optional<std::int64_t> read_synctime() { return hv::read_synctime(st_shmem_, tsc_.read()); }
+
+  // -- sim::Persistent: the ECD is one snapshot/ff unit. Internal order
+  // mirrors boot order (VMs in index order, then the monitor) so the
+  // re-armed chains keep their relative event ordering.
+  const char* persist_name() const override { return cfg_.name.c_str(); }
+  void save_state(sim::StateWriter& w) override;
+  void load_state(sim::StateReader& r) override;
+  std::size_t live_events() const override;
+  void ff_park() override;
+  void ff_advance(const sim::FfWindow& w) override;
+  void ff_resume() override;
 
  private:
   sim::Simulation& sim_;

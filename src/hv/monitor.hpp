@@ -25,6 +25,12 @@
 #include "sim/simulation.hpp"
 #include "tsn_time/phc_clock.hpp"
 
+namespace tsn::sim {
+class StateWriter;
+class StateReader;
+struct FfWindow;
+} // namespace tsn::sim
+
 namespace tsn::hv {
 
 struct MonitorConfig {
@@ -88,6 +94,24 @@ class HvMonitor {
   /// True when the majority vote currently excludes VM `idx`.
   bool voted_out(std::size_t idx) const { return idx < voted_out_.size() && voted_out_[idx]; }
 
+  /// True when the monitor currently classifies VM `idx` as fail-silent.
+  /// The fast-forward quiescence gate requires this to agree with the VM's
+  /// actual running() state: a just-killed VM whose heartbeat is not yet
+  /// stale must keep the window shut until the takeover has played out.
+  bool detected_failed(std::size_t idx) const { return idx < failed_.size() && failed_[idx]; }
+
+  // -- Snapshot / fast-forward support -------------------------------------
+  // Counters live in the metrics registry (observational, outside snapshot
+  // state). Heartbeat ages stay consistent across a window because the
+  // updaters re-stamp in their own ff_advance, which runs before this
+  // monitor's first post-resume poll (registration order = boot order).
+  void save_state(sim::StateWriter& w) const;
+  void load_state(sim::StateReader& r);
+  std::size_t live_events() const { return periodic_.active() ? 1u : 0u; }
+  void ff_park();
+  void ff_advance(const sim::FfWindow&) {}
+  void ff_resume();
+
  private:
   void check();
   void majority_vote(std::int64_t tsc_now);
@@ -111,6 +135,10 @@ class HvMonitor {
   /// ongoing; keeps no_successor from counting once per tick.
   bool no_successor_latched_ = false;
   sim::Simulation::PeriodicHandle periodic_;
+
+  // Fast-forward park state.
+  bool parked_running_ = false;
+  std::int64_t park_due_ns_ = 0;
 
   /// Owned fallback so stats() works when no shared registry is wired in.
   std::unique_ptr<obs::MetricsRegistry> own_metrics_;

@@ -15,6 +15,11 @@
 
 #include "core/seqlock.hpp"
 
+namespace tsn::sim {
+class StateWriter;
+class StateReader;
+} // namespace tsn::sim
+
 namespace tsn::hv {
 
 inline constexpr std::size_t kMaxClockSyncVms = 4;
@@ -67,6 +72,15 @@ class StShmem {
   SyncTimeParams read_candidate(std::size_t vm_index) const {
     return candidates_.at(vm_index).load();
   }
+
+  // -- Snapshot support ------------------------------------------------------
+  // No ff_shift needed: the timestamps here are heartbeats and base_tsc
+  // values in the ECD TSC timebase, and every *running* updater republishes
+  // params + heartbeat in its own ff_advance before the monitor's first
+  // post-resume poll. Down VMs' heartbeats stay stale, which is exactly the
+  // classification the monitor should see after the jump.
+  void save_state(sim::StateWriter& w) const;
+  void load_state(sim::StateReader& r);
 
  private:
   core::SeqLock<SyncTimeParams> params_;

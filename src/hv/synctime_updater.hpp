@@ -24,6 +24,12 @@
 #include "sim/simulation.hpp"
 #include "tsn_time/phc_clock.hpp"
 
+namespace tsn::sim {
+class StateWriter;
+class StateReader;
+struct FfWindow;
+} // namespace tsn::sim
+
 namespace tsn::hv {
 
 enum class SyncTimeMode { kPiFeedback, kFeedForward };
@@ -73,6 +79,18 @@ class SyncTimeUpdater {
   /// Last CLOCK_SYNCTIME-vs-PHC error seen by the feedback servo (ns).
   double last_error_ns() const { return last_error_ns_; }
 
+  // -- Snapshot / fast-forward support -------------------------------------
+  void save_state(sim::StateWriter& w) const;
+  void load_state(sim::StateReader& r);
+  std::size_t live_events() const { return periodic_.active() ? 1u : 0u; }
+  void ff_park();
+  /// Re-anchor the virtual clock on the analytically advanced PHC (keeping
+  /// the at-park residual), restart the feed-forward baseline, and publish
+  /// params + heartbeat immediately so the monitor's first post-resume poll
+  /// sees this VM fresh.
+  void ff_advance(const sim::FfWindow& w);
+  void ff_resume();
+
  private:
   void tick();
   void tick_feedback(std::int64_t tsc, std::int64_t phc);
@@ -106,6 +124,11 @@ class SyncTimeUpdater {
 
   std::uint64_t publications_ = 0;
   obs::ObsContext obs_;
+
+  // Fast-forward park state.
+  bool parked_running_ = false;
+  std::int64_t park_due_ns_ = 0;
+  long double park_residual_ = 0.0L; ///< virt_value_ - PHC at park
 };
 
 } // namespace tsn::hv

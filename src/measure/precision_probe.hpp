@@ -16,6 +16,7 @@
 #include "hv/ecd.hpp"
 #include "net/nic.hpp"
 #include "sim/partition.hpp"
+#include "sim/persist.hpp"
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
 #include "util/series.hpp"
@@ -43,7 +44,7 @@ struct ProbeConfig {
   std::int64_t collect_delay_ns = 100'000'000;
 };
 
-class PrecisionProbe {
+class PrecisionProbe : public sim::Persistent {
  public:
   struct Receiver {
     std::string name;
@@ -83,6 +84,23 @@ class PrecisionProbe {
   std::uint64_t intervals_measured() const { return measured_; }
   std::uint64_t intervals_skipped() const { return skipped_; }
 
+  /// True when no interval is waiting for its evaluation callback (the
+  /// model-quiescence gate: a probe mid-collection keeps the window shut;
+  /// the in-flight evaluate event also blocks it structurally).
+  bool idle() const { return pending_.empty(); }
+
+  // -- sim::Persistent ------------------------------------------------------
+  // Probes that would have fired inside a fast-forward window are simply
+  // skipped: the series has no points there (the probe measures, it does
+  // not influence the clocks), and the send periodic re-arms on its
+  // pre-park phase grid.
+  const char* persist_name() const override { return name_.c_str(); }
+  void save_state(sim::StateWriter& w) override;
+  void load_state(sim::StateReader& r) override;
+  std::size_t live_events() const override { return periodic_.active() ? 1 : 0; }
+  void ff_park() override;
+  void ff_resume() override;
+
  private:
   void send_probe();
   void evaluate(std::uint32_t seq);
@@ -102,6 +120,10 @@ class PrecisionProbe {
   util::TimeSeries series_;
   std::uint64_t measured_ = 0;
   std::uint64_t skipped_ = 0;
+
+  // Fast-forward park state.
+  bool parked_running_ = false;
+  std::int64_t park_due_ns_ = 0;
 };
 
 } // namespace tsn::measure

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "net/port.hpp"
 #include "sim/partition.hpp"
+#include "sim/persist.hpp"
 
 namespace tsn::net {
 
@@ -91,6 +93,33 @@ void Link::set_delay_attack(bool from_a, std::int64_t bias_ns, double ramp_ns_pe
 
 void Link::clear_delay_attack(bool from_a) {
   (from_a ? atk_ab_ : atk_ba_).active = false;
+}
+
+void Link::save_state(sim::StateWriter& w) {
+  w.rng(rng_);
+  w.b(rng_ba_.has_value());
+  if (rng_ba_) w.rng(*rng_ba_);
+  for (const DelayAttack* atk : {&atk_ab_, &atk_ba_}) {
+    w.b(atk->active);
+    w.i64(atk->bias_ns);
+    w.f64(atk->ramp_ns_per_s);
+    w.i64(atk->start_ns);
+  }
+}
+
+void Link::load_state(sim::StateReader& r) {
+  r.rng(rng_);
+  const bool has_ba = r.b();
+  if (has_ba != rng_ba_.has_value()) {
+    throw std::runtime_error("Link::load_state: boundary topology mismatch for " + name_);
+  }
+  if (rng_ba_) r.rng(*rng_ba_);
+  for (DelayAttack* atk : {&atk_ab_, &atk_ba_}) {
+    atk->active = r.b();
+    atk->bias_ns = r.i64();
+    atk->ramp_ns_per_s = r.f64();
+    atk->start_ns = r.i64();
+  }
 }
 
 std::int64_t Link::min_delay_ns(bool from_a) const {

@@ -19,6 +19,7 @@
 #include "net/frame.hpp"
 #include "net/frame_pool.hpp"
 #include "sim/partition.hpp"
+#include "sim/persist.hpp"
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
 
@@ -42,7 +43,7 @@ struct LinkConfig {
   double rate_bps = 1e9;
 };
 
-class Link {
+class Link : public sim::Persistent {
  public:
   Link(sim::Simulation& sim, Port& end_a, Port& end_b, const LinkConfig& cfg,
        const std::string& name);
@@ -91,6 +92,17 @@ class Link {
   bool is_boundary() const { return rt_ != nullptr; }
   const LinkConfig& config() const { return cfg_; }
   const std::string& name() const { return name_; }
+
+  /// True when either direction currently has an adversarial delay armed
+  /// (a fast-forward barrier: attacked paths must stay event-simulated).
+  bool attack_armed() const { return atk_ab_.active || atk_ba_.active; }
+
+  // -- sim::Persistent: delay RNG streams + armed attack state. In-flight
+  // deliveries are queue transients excluded by the quiescence gate; no
+  // standing events, so the ff hooks keep their no-op defaults.
+  const char* persist_name() const override { return name_.c_str(); }
+  void save_state(sim::StateWriter& w) override;
+  void load_state(sim::StateReader& r) override;
 
  private:
   Link(sim::PartitionRuntime& rt, std::size_t region_a, Port& end_a,

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "sim/persist.hpp"
 #include "util/log.hpp"
 #include "util/str.hpp"
 
@@ -45,6 +46,16 @@ bool Switch::is_member(std::uint16_t vid, std::size_t port_idx) const {
   if (vid == 0) return true; // default VLAN spans all ports
   auto it = vlan_members_.find(vid);
   return it != vlan_members_.end() && it->second.count(port_idx) > 0;
+}
+
+void Switch::save_state(sim::StateWriter& w) {
+  phc_.save_state(w);
+  w.rng(residence_rng_);
+}
+
+void Switch::load_state(sim::StateReader& r) {
+  phc_.load_state(r);
+  r.rng(residence_rng_);
 }
 
 std::int64_t Switch::draw_residence_ns() {

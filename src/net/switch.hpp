@@ -19,6 +19,7 @@
 #include "net/frame.hpp"
 #include "net/frame_pool.hpp"
 #include "net/port.hpp"
+#include "sim/persist.hpp"
 #include "sim/simulation.hpp"
 #include "tsn_time/phc_clock.hpp"
 #include "util/rng.hpp"
@@ -38,7 +39,7 @@ struct SwitchConfig {
   time::PhcModel phc;
 };
 
-class Switch : public FrameSink {
+class Switch : public FrameSink, public sim::Persistent {
  public:
   Switch(sim::Simulation& sim, const SwitchConfig& cfg, const std::string& name);
 
@@ -71,6 +72,14 @@ class Switch : public FrameSink {
 
   /// Residence delay draw (exposed for tests).
   std::int64_t draw_residence_ns();
+
+  // -- sim::Persistent: free-running PHC + residence RNG. The VLAN/FDB
+  // tables are static configuration; in-flight frames are queue transients
+  // that the quiescence gate excludes. No standing events, so the ff hooks
+  // keep their no-op defaults.
+  const char* persist_name() const override { return name_.c_str(); }
+  void save_state(sim::StateWriter& w) override;
+  void load_state(sim::StateReader& r) override;
 
  private:
   std::size_t index_of(const Port& p) const;

@@ -15,6 +15,31 @@ void EventQueue::reserve(std::size_t n) {
   nodes_.reserve(n);
 }
 
+void EventQueue::clear() {
+  active_.clear();
+  active_pos_ = 0;
+  staged_.clear();
+  scratch_.clear();
+  for (auto& level : bucket_head_) level.fill(kNone);
+  for (auto& level : bitmap_) level.fill(0);
+  wheel_count_ = 0;
+  for (auto& node : nodes_) node.entry.fn.reset();
+  nodes_.clear();
+  node_free_ = kNone;
+  heap_.clear();
+  // Bump every slot generation so outstanding EventHandles turn into
+  // harmless no-ops, then return all slots to the free list in a fixed
+  // order -- slot indices never influence pop order, but determinism is
+  // cheap to keep everywhere.
+  for (auto& g : slot_gen_) ++g;
+  free_slots_.clear();
+  for (std::uint32_t s = 0; s < slot_gen_.size(); ++s) free_slots_.push_back(s);
+  live_ = 0;
+  // cur_ (activation cursor) and next_seq_ stay: restore re-arms events at
+  // or after the restored now(), and behind-cursor inserts go to staging
+  // with pop order unchanged; stats_ are lifetime totals.
+}
+
 std::uint32_t EventQueue::alloc_node(SimTime at, std::uint64_t seq,
                                      std::uint32_t slot, std::uint32_t gen,
                                      EventFn&& fn) {

@@ -161,6 +161,15 @@ class EventQueue {
   /// Pre-size the heap and the cancellation slab.
   void reserve(std::size_t n);
 
+  /// Discard every buffered entry without executing it (snapshot restore).
+  /// All outstanding EventHandles are invalidated (their generations are
+  /// bumped, so cancel()/pending() stay safe no-ops); closures are
+  /// destroyed, releasing whatever they captured. The insertion sequence
+  /// counter and the activation cursor stay monotonic -- re-scheduled
+  /// events get fresh sequence numbers but identical *relative* order,
+  /// which is all pop-order determinism requires. Lifetime stats are kept.
+  void clear();
+
   const QueueStats& stats() const { return stats_; }
 
  private:

@@ -1,0 +1,117 @@
+// Fast-forward analytic mode (DESIGN.md §12): when a region of the model
+// is quiescent -- steady-state periodic traffic only, no pending faults,
+// attacks or state-machine transitions inside a lookahead window -- the
+// controller parks every participant (cancelling its standing events),
+// drains the now-dead closures, advances the clocks analytically across
+// the window in ~O(1), shifts time-stamped component state, and re-arms
+// the periodic chains phase-aligned. Around "interesting" times (fault
+// edges, attack edges, anything a barrier reports) it drops back into
+// ordinary event-by-event simulation.
+//
+// The controller is model-agnostic: quiescence of the *model* (servos
+// locked, coordinators in steady phase, probes idle) comes from an
+// injected predicate, the analytic clock advance from an injected
+// callback, and "interesting times" from barrier functions. Quiescence
+// of the *queue* is structural: live_size() must equal the sum of the
+// participants' live_events() (see sim/persist.hpp for the contract).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/persist.hpp"
+#include "sim/sim_time.hpp"
+
+namespace tsn::sim {
+
+class Simulation;
+
+struct FfConfig {
+  /// Never enter a window shorter than this (entry/exit overhead and the
+  /// drain span make small windows a net loss). Must exceed drain_span_ns.
+  std::int64_t min_window_ns = 5'000'000'000;
+  /// No fast-forward before this absolute sim time: lets servos converge
+  /// and -- when an invariant suite is armed -- lets its reconvergence
+  /// deadlines expire while real aggregation evidence is still flowing.
+  std::int64_t settle_ns = 30'000'000'000;
+  /// Cadence of quiescence probes while the model is active.
+  std::int64_t check_period_ns = 250'000'000;
+  /// After parking, run the queue this far so every cancelled chain's
+  /// already-posted closure pops as a no-op. Must exceed the longest
+  /// participant period (the 1 s suite poll is the worst case).
+  std::int64_t drain_span_ns = 2'500'000'000;
+  /// Upper bound on analytic stepper iterations per window (the scenario
+  /// stepper reads it from here; the controller itself does not step).
+  int max_steps = 131072;
+  /// Analytic stepper stride: the scenario stepper pulls the disciplined
+  /// clocks onto the aggregate once per stride (never finer than the sync
+  /// interval). Between pulls the clocks free-run on their parked trims,
+  /// so the stride bounds the intra-window divergence at roughly the
+  /// residual rate error times the stride -- ~1 ppm of wander against a
+  /// frozen trim makes 1 s ≈ 1 us, comfortably inside the tolerance
+  /// contract, at 1/8 the per-window work of sync-interval stepping.
+  std::int64_t analytic_step_ns = 1'000'000'000;
+};
+
+struct FfStats {
+  std::uint64_t windows = 0;        ///< fast-forward windows entered
+  std::int64_t skipped_ns = 0;      ///< total sim time crossed analytically
+  std::uint64_t checks = 0;         ///< quiescence probes performed
+  std::uint64_t blocked_model = 0;  ///< probes rejected by the model predicate
+  std::uint64_t blocked_events = 0; ///< probes rejected by unaccounted events
+};
+
+class FfController {
+ public:
+  FfController(Simulation& sim, FfConfig cfg);
+
+  /// Registration order is the park/advance/resume order; register in
+  /// boot order so re-armed same-timestamp chains keep the relative
+  /// sequence order a cold boot would give them.
+  void add_participant(Persistent* p);
+  /// Barrier: earliest "interesting" sim time strictly after `t`, or
+  /// INT64_MAX when none. Windows never cross a barrier.
+  void add_barrier(std::function<std::int64_t(std::int64_t)> next_after);
+  /// Model-level quiescence (servos locked, no active attacks, ...).
+  void set_model_quiescent(std::function<bool()> fn);
+  /// Called with sim.now() == park_ns before the participants park and
+  /// the queue drains: the stepper's chance to capture entry state
+  /// (ensemble membership, per-clock residuals) from the live model. The
+  /// drain that follows runs every clock open-loop on its last servo
+  /// frequency trim; the spread it accrues must be pulled back out by the
+  /// first analytic step, not locked into the window's residuals.
+  void set_analytic_prepare(std::function<void(std::int64_t)> fn);
+  /// Analytic clock advance over [from_ns, to_ns]; called after the park
+  /// drain with sim.now() == from_ns; must leave sim.now() == to_ns.
+  void set_analytic_advance(std::function<void(std::int64_t, std::int64_t)> fn);
+
+  /// Drive the simulation to `limit`, fast-forwarding through quiescent
+  /// windows. Returns the number of events executed (analytic windows
+  /// execute none). Behaves like Simulation::run_until(limit) otherwise.
+  std::uint64_t run_to(SimTime limit);
+
+  std::size_t expected_live() const;
+  /// Structural + model quiescence right now (no side effects).
+  bool quiescent();
+
+  const FfStats& stats() const { return stats_; }
+  const std::vector<FfWindow>& windows() const { return windows_; }
+  const std::vector<Persistent*>& participants() const { return participants_; }
+
+ private:
+  std::int64_t next_barrier(std::int64_t after) const;
+  std::uint64_t enter_window(std::int64_t to_ns);
+
+  Simulation& sim_;
+  FfConfig cfg_;
+  std::vector<Persistent*> participants_;
+  std::vector<std::function<std::int64_t(std::int64_t)>> barriers_;
+  std::function<bool()> model_quiescent_;
+  std::function<void(std::int64_t)> analytic_prepare_;
+  std::function<void(std::int64_t, std::int64_t)> analytic_advance_;
+  std::vector<FfWindow> windows_;
+  FfStats stats_;
+};
+
+} // namespace tsn::sim

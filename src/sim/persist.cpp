@@ -1,0 +1,58 @@
+#include "sim/persist.hpp"
+
+#include <sstream>
+
+namespace tsn::sim {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+} // namespace
+
+void StateWriter::put(const void* p, std::size_t n) {
+  const auto* bytes = static_cast<const std::uint8_t*>(p);
+  buf_.insert(buf_.end(), bytes, bytes + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    hash_ ^= bytes[i];
+    hash_ *= kFnvPrime;
+  }
+}
+
+void StateWriter::begin_section(std::string_view name) {
+  // The marker byte keeps a section boundary from being confused with
+  // string payload of the previous section.
+  u8(0xA5);
+  str(name);
+}
+
+void StateWriter::rng(const util::RngStream& s) {
+  std::ostringstream os;
+  os << const_cast<util::RngStream&>(s).engine();
+  str(os.str());
+}
+
+void StateReader::get(void* p, std::size_t n) {
+  if (pos_ + n > buf_.size()) {
+    throw std::runtime_error("StateReader: archive truncated");
+  }
+  std::memcpy(p, buf_.data() + pos_, n);
+  pos_ += n;
+}
+
+void StateReader::begin_section(std::string_view name) {
+  if (u8() != 0xA5) {
+    throw std::runtime_error("StateReader: bad section marker before '" + std::string(name) + "'");
+  }
+  const std::string found = str();
+  if (found != name) {
+    throw std::runtime_error("StateReader: expected section '" + std::string(name) +
+                             "', found '" + found + "'");
+  }
+}
+
+void StateReader::rng(util::RngStream& s) {
+  std::istringstream is(str());
+  is >> s.engine();
+  if (!is) throw std::runtime_error("StateReader: bad RNG engine state");
+}
+
+} // namespace tsn::sim

@@ -26,6 +26,7 @@ EventHandle Simulation::after(std::int64_t delay_ns, EventFn fn) {
 }
 
 void Simulation::schedule_periodic(SimTime when, PeriodicHandle::Task* task) {
+  task->next_due_ns = when.ns();
   queue_.post(when, [this, when, task]() {
     if (!task->alive) return;
     task->fn(when);
@@ -37,7 +38,7 @@ Simulation::PeriodicHandle Simulation::every(SimTime first, std::int64_t period_
                                              std::function<void(SimTime)> fn) {
   assert(period_ns > 0);
   periodic_.push_back(std::make_unique<PeriodicHandle::Task>(
-      PeriodicHandle::Task{std::move(fn), period_ns, true}));
+      PeriodicHandle::Task{std::move(fn), period_ns, first.ns(), true}));
   PeriodicHandle handle;
   handle.task_ = periodic_.back().get();
   schedule_periodic(first, handle.task_);

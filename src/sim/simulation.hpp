@@ -45,12 +45,17 @@ class Simulation {
    public:
     void cancel() { if (task_) task_->alive = false; }
     bool active() const { return task_ && task_->alive; }
+    /// Next scheduled firing time of an active task; the phase a parked
+    /// or snapshotted chain is re-armed on (sim/persist.hpp).
+    std::int64_t next_due_ns() const { return task_ ? task_->next_due_ns : 0; }
+    std::int64_t period_ns() const { return task_ ? task_->period_ns : 0; }
 
    private:
     friend class Simulation;
     struct Task {
       std::function<void(SimTime)> fn;
       std::int64_t period_ns = 0;
+      std::int64_t next_due_ns = 0;
       bool alive = false;
     };
     Task* task_ = nullptr;
@@ -73,6 +78,10 @@ class Simulation {
   void advance_to(SimTime t) {
     if (t > now_) now_ = t;
   }
+  /// Snapshot restore: set now() to an arbitrary (possibly earlier) time.
+  /// Only valid with an empty/cleared queue or when every pending event
+  /// lies at or after `t` -- the run loop asserts event times >= now().
+  void restore_now(SimTime t) { now_ = t; }
   /// Run the next `max_events` events regardless of time.
   std::uint64_t run_events(std::uint64_t max_events);
   /// Stop the current run_until() loop after the current event returns.
@@ -80,6 +89,7 @@ class Simulation {
 
   std::uint64_t events_executed() const { return events_executed_; }
   EventQueue& queue() { return queue_; }
+  const EventQueue& queue() const { return queue_; }
 
  private:
   void schedule_periodic(SimTime when, PeriodicHandle::Task* task);

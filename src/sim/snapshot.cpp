@@ -1,0 +1,60 @@
+#include "sim/snapshot.hpp"
+
+#include <stdexcept>
+
+#include "sim/simulation.hpp"
+
+namespace tsn::sim {
+
+std::size_t expected_live_events(const std::vector<Persistent*>& targets) {
+  std::size_t n = 0;
+  for (const Persistent* p : targets) n += p->live_events();
+  return n;
+}
+
+bool components_quiescent(const Simulation& sim,
+                          const std::vector<Persistent*>& targets) {
+  return sim.queue().live_size() == expected_live_events(targets);
+}
+
+SimSnapshot take_snapshot(const Simulation& sim,
+                          const std::vector<Persistent*>& targets) {
+  StateWriter w;
+  w.begin_section("sim");
+  w.i64(sim.now().ns());
+  w.u64(targets.size());
+  for (Persistent* p : targets) {
+    w.begin_section(p->persist_name());
+    p->save_state(w);
+  }
+  SimSnapshot snap;
+  snap.now_ns = sim.now().ns();
+  snap.events_executed = sim.events_executed();
+  snap.hash = w.hash();
+  snap.bytes = w.data();
+  return snap;
+}
+
+void restore_snapshot(Simulation& sim,
+                      const std::vector<Persistent*>& targets,
+                      const SimSnapshot& snap) {
+  sim.queue().clear();
+  sim.restore_now(SimTime{snap.now_ns});
+  StateReader r(snap.bytes);
+  r.begin_section("sim");
+  if (r.i64() != snap.now_ns) {
+    throw std::runtime_error("SimSnapshot: header time does not match snapshot");
+  }
+  if (r.u64() != targets.size()) {
+    throw std::runtime_error("SimSnapshot: component count changed since capture");
+  }
+  for (Persistent* p : targets) {
+    r.begin_section(p->persist_name());
+    p->load_state(r);
+  }
+  if (!r.at_end()) {
+    throw std::runtime_error("SimSnapshot: trailing bytes after restore");
+  }
+}
+
+} // namespace tsn::sim

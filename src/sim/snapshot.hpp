@@ -1,0 +1,55 @@
+// Whole-world snapshot / restore over a list of Persistent components
+// (DESIGN.md §12). Snapshots are only taken at *component-quiescent*
+// instants -- every live entry in the event queue is a standing event
+// some component re-creates in load_state() -- so the queue itself is
+// never serialized. components_quiescent() is the structural check.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/persist.hpp"
+
+namespace tsn::sim {
+
+class Simulation;
+
+/// A copy-out of the world at one instant. `bytes` is the flat archive
+/// (process-private, unversioned); `hash` is the FNV-1a over it -- two
+/// snapshots of identical worlds hash equal, which is what the rollback
+/// property test asserts. `events_executed` records the executive's
+/// lifetime event counter at capture purely for reporting; restore does
+/// NOT rewind it (the incremental shrinker relies on its monotonicity
+/// to charge probe costs).
+struct SimSnapshot {
+  std::int64_t now_ns = 0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t hash = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Sum of live_events() over `targets`: the number of queue entries the
+/// components collectively account for in their idle steady state.
+std::size_t expected_live_events(const std::vector<Persistent*>& targets);
+
+/// True when every live queue entry is accounted for by some component
+/// (no in-flight frames, ETF launches or pending evaluations). Both
+/// take_snapshot() and fast-forward entry require this.
+bool components_quiescent(const Simulation& sim,
+                          const std::vector<Persistent*>& targets);
+
+/// Serialize all targets (in list order -- which must match the order
+/// they will be restored in). Precondition: components_quiescent().
+SimSnapshot take_snapshot(const Simulation& sim,
+                          const std::vector<Persistent*>& targets);
+
+/// Restore: clears the event queue (invalidating every outstanding
+/// EventHandle), rewinds now() and loads each target in list order;
+/// components re-create their standing events inside load_state().
+/// `targets` must be the same list, in the same order, as at capture --
+/// the section names catch mismatches and throw std::runtime_error.
+void restore_snapshot(Simulation& sim,
+                      const std::vector<Persistent*>& targets,
+                      const SimSnapshot& snap);
+
+} // namespace tsn::sim

@@ -15,6 +15,11 @@
 #include "sim/sim_time.hpp"
 #include "util/rng.hpp"
 
+namespace tsn::sim {
+class StateWriter;
+class StateReader;
+} // namespace tsn::sim
+
 namespace tsn::time {
 
 struct OscillatorModel {
@@ -37,12 +42,30 @@ class Oscillator {
   /// caller can accumulate without rounding bias. `to` must be monotonic.
   long double advance(sim::SimTime to);
 
+  /// O(1) analytic advance for the fast-forward stepper (DESIGN.md §12).
+  /// Instead of walking every wander quantum, samples the (drift
+  /// increment, drift time-integral) pair jointly from the random walk's
+  /// closed-form Gaussian distribution -- three normal draws regardless of
+  /// span. Statistically equivalent to advance() away from the +/-max
+  /// bound (reflection is applied only to the endpoint and the integral's
+  /// implied average is clamped), but NOT draw-identical: the RNG stream
+  /// advances differently, so trajectories diverge from an advance() run
+  /// at the first coarse call. Falls back to advance() for short spans.
+  long double advance_coarse(sim::SimTime to);
+
   double drift_ppm() const { return drift_.value(); }
   sim::SimTime last_advanced() const { return last_; }
+
+  /// Snapshot support: walk position, RNG engine and integration cursor.
+  void save_state(sim::StateWriter& w) const;
+  void load_state(sim::StateReader& r);
 
  private:
   long double integrate_segment(std::int64_t dt_ns) const;
   void wander_step();
+  /// Reflect a drift value into [-max_drift_ppm, +max_drift_ppm], the same
+  /// boundary behaviour the per-step walk has.
+  double fold_drift(double v) const;
 
   OscillatorModel model_;
   util::RngStream rng_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/persist.hpp"
+
 namespace tsn::time {
 
 PhcClock::PhcClock(sim::Simulation& sim, const PhcModel& model, const std::string& name)
@@ -14,6 +16,12 @@ PhcClock::PhcClock(sim::Simulation& sim, const PhcModel& model, const std::strin
 
 void PhcClock::advance_to_now() {
   const long double local_elapsed = osc_.advance(sim_.now());
+  value_ns_ += local_elapsed * (1.0L + static_cast<long double>(freq_adj_ppb_) * 1e-9L) *
+               (1.0L + static_cast<long double>(atk_drift_ppm_) * 1e-6L);
+}
+
+void PhcClock::catch_up_coarse() {
+  const long double local_elapsed = osc_.advance_coarse(sim_.now());
   value_ns_ += local_elapsed * (1.0L + static_cast<long double>(freq_adj_ppb_) * 1e-9L) *
                (1.0L + static_cast<long double>(atk_drift_ppm_) * 1e-6L);
 }
@@ -41,6 +49,23 @@ void PhcClock::set_drift_attack(double extra_ppm) {
 void PhcClock::step(std::int64_t delta_ns) {
   advance_to_now();
   value_ns_ += static_cast<long double>(delta_ns);
+}
+
+void PhcClock::save_state(sim::StateWriter& w) {
+  advance_to_now();
+  osc_.save_state(w);
+  w.rng(ts_rng_);
+  w.ld(value_ns_);
+  w.f64(freq_adj_ppb_);
+  w.f64(atk_drift_ppm_);
+}
+
+void PhcClock::load_state(sim::StateReader& r) {
+  osc_.load_state(r);
+  r.rng(ts_rng_);
+  value_ns_ = r.ld();
+  freq_adj_ppb_ = r.f64();
+  atk_drift_ppm_ = r.f64();
 }
 
 double PhcClock::effective_rate() const {

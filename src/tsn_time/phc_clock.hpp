@@ -44,6 +44,14 @@ class PhcClock {
   /// Step the clock by delta_ns (linuxptp "clockadj_step").
   void step(std::int64_t delta_ns);
 
+  /// Integrate the clock up to the current simulation time through the
+  /// oscillator's O(1) analytic path (Oscillator::advance_coarse) instead
+  /// of quantum-by-quantum. The fast-forward stepper calls this on every
+  /// clock it touches -- and on the whole world at window exit -- so that
+  /// no clock ever pays a multi-minute lazy integration on its first
+  /// post-window read. A no-op when the clock is already current.
+  void catch_up_coarse();
+
   /// OS-timer manipulation (attack library): a hidden extra rate applied
   /// on top of oscillator drift and the servo's adjustment, modelling a
   /// compromised clock driver silently skewing the victim's timebase.
@@ -60,6 +68,12 @@ class PhcClock {
   double effective_rate() const;
 
   const std::string& name() const { return name_; }
+
+  /// Snapshot support: oscillator, timestamp RNG, accumulator and rates.
+  /// save_state first advances the clock to now() so capture-and-continue
+  /// and restore resume from bit-identical integration state.
+  void save_state(sim::StateWriter& w);
+  void load_state(sim::StateReader& r);
 
  private:
   void advance_to_now();

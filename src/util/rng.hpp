@@ -50,6 +50,8 @@ class BoundedRandomWalk {
   /// Advance one step; reflects at the bounds.
   double step(RngStream& rng);
   double value() const { return value_; }
+  /// Restore a previously observed position (snapshot/rollback).
+  void set_value(double v) { value_ = v; }
 
  private:
   double value_;

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 namespace tsn::util {
 
@@ -60,6 +61,35 @@ std::string hms(std::int64_t ns) {
   return format("%02lld:%02lld:%02lld", static_cast<long long>(total_s / 3600),
                 static_cast<long long>((total_s / 60) % 60),
                 static_cast<long long>(total_s % 60));
+}
+
+std::int64_t parse_duration_ns(std::string_view s) {
+  s = trim(s);
+  double scale_s = 1.0;
+  if (!s.empty()) {
+    switch (s.back()) {
+      case 's': scale_s = 1.0; s.remove_suffix(1); break;
+      case 'm': scale_s = 60.0; s.remove_suffix(1); break;
+      case 'h': scale_s = 3600.0; s.remove_suffix(1); break;
+      case 'd': scale_s = 86'400.0; s.remove_suffix(1); break;
+      case 'w': scale_s = 604'800.0; s.remove_suffix(1); break;
+      default: break;
+    }
+  }
+  const std::string num(s);
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(num, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad duration: '" + num + "'");
+  }
+  if (used != num.size() || value < 0.0) {
+    throw std::invalid_argument("bad duration: '" + num + "'");
+  }
+  const double ns = value * scale_s * 1e9;
+  if (!(ns < 9.2e18)) throw std::invalid_argument("duration overflows ns: '" + num + "'");
+  return static_cast<std::int64_t>(ns);
 }
 
 } // namespace tsn::util

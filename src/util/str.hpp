@@ -30,4 +30,10 @@ std::string human_ns(std::int64_t ns);
 /// Render nanoseconds since experiment start as "hh:mm:ss".
 std::string hms(std::int64_t ns);
 
+/// Parse a human duration into nanoseconds: a plain number is seconds,
+/// an s/m/h/d/w suffix scales it ("90", "90s", "15m", "36h", "1w").
+/// Fractions are allowed ("0.5h"). Throws std::invalid_argument on
+/// malformed input, a negative value, or ns overflow.
+std::int64_t parse_duration_ns(std::string_view s);
+
 } // namespace tsn::util

@@ -1,0 +1,256 @@
+// Differential-equivalence harness for the fast-forward analytic mode
+// (DESIGN.md §12): every cell of a {topology} x {fault profile} matrix is
+// run twice -- ff=off (pure event simulation) and ff=on -- and must yield
+// identical invariant verdicts and attack-oracle verdicts, while the ff
+// run actually skips most of the horizon analytically. A deeper
+// scenario-level test additionally checks bit-identical trace prefixes
+// before fast-forward arms and boundary clock states within tolerance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.hpp"
+#include "experiments/harness.hpp"
+#include "experiments/scenario.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace tsn;
+using experiments::TopologyKind;
+
+constexpr std::int64_t kSec = 1'000'000'000LL;
+
+enum class FaultProfile { kQuiet, kScriptedKills, kDelayAttack };
+
+const char* profile_name(FaultProfile p) {
+  switch (p) {
+    case FaultProfile::kQuiet: return "quiet";
+    case FaultProfile::kScriptedKills: return "kills";
+    case FaultProfile::kDelayAttack: return "delay-attack";
+  }
+  return "?";
+}
+
+check::FuzzCase make_cell(TopologyKind topo, std::size_t n, FaultProfile p) {
+  check::FuzzCase c;
+  c.duration_ns = 80 * kSec;
+  c.scenario.seed = 7;
+  c.scenario.num_ecds = n;
+  c.scenario.topology = topo;
+  c.scenario.partitions = 0;
+  // Keep the randomized injector structurally silent so each cell's fault
+  // content is exactly its profile.
+  c.injector.gm_kill_period_ns = 100'000 * kSec;
+  c.injector.standby_kills_per_hour = 0.0;
+  switch (p) {
+    case FaultProfile::kQuiet:
+      break;
+    case FaultProfile::kScriptedKills:
+      // Absolute sim times, comfortably past bring-up + calibration
+      // (~40 s); non-overlapping GM kills on distinct ECDs, inside the
+      // fail-silent fault hypothesis.
+      c.replay.faults.push_back({55 * kSec + 1, 1, 0, 8 * kSec});
+      c.replay.faults.push_back({70 * kSec + 1, 2, 0, 8 * kSec});
+      break;
+    case FaultProfile::kDelayAttack: {
+      attack::AttackSpec s;
+      s.kind = attack::AttackKind::kDelayConst;
+      s.ecd = 0;
+      s.start_ns = 15 * kSec + 1; // relative to arming (end of bring-up)
+      s.duration_ns = 20 * kSec;  // bounded, so ff can re-engage after it
+      s.magnitude = 40'000.0;     // 4x the validity threshold: overt
+      s.expect_excluded = true;
+      c.attacks.push_back(s);
+      break;
+    }
+  }
+  return c;
+}
+
+void expect_same_violations(const std::vector<check::Violation>& a,
+                            const std::vector<check::Violation>& b,
+                            const std::string& cell) {
+  if (a.size() != b.size()) {
+    for (const check::Violation& v : a)
+      ADD_FAILURE() << cell << " ff=off: [" << v.invariant << "] t=" << v.t_ns
+                    << " " << v.message;
+    for (const check::Violation& v : b)
+      ADD_FAILURE() << cell << " ff=on:  [" << v.invariant << "] t=" << v.t_ns
+                    << " " << v.message;
+  }
+  ASSERT_EQ(a.size(), b.size()) << cell;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].invariant, b[i].invariant) << cell << " #" << i;
+    EXPECT_EQ(a[i].t_ns, b[i].t_ns) << cell << " #" << i;
+    EXPECT_EQ(a[i].message, b[i].message) << cell << " #" << i;
+  }
+}
+
+void expect_same_attack_verdicts(
+    const std::vector<check::AttackExclusionInvariant::Verdict>& a,
+    const std::vector<check::AttackExclusionInvariant::Verdict>& b,
+    const std::string& cell) {
+  ASSERT_EQ(a.size(), b.size()) << cell;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].attack.spec, b[i].attack.spec) << cell << " #" << i;
+    EXPECT_EQ(a[i].attack.start_abs_ns, b[i].attack.start_abs_ns) << cell;
+    EXPECT_EQ(a[i].excluded_at_ns.has_value(), b[i].excluded_at_ns.has_value())
+        << cell << " #" << i;
+    if (a[i].excluded_at_ns && b[i].excluded_at_ns) {
+      // The verdict (evicted, deadline met) must be identical; the exact
+      // eviction instant may shift by a few aggregation cycles across the
+      // analytic boundary (tolerance contract, DESIGN.md §12).
+      EXPECT_NEAR(static_cast<double>(*a[i].excluded_at_ns),
+                  static_cast<double>(*b[i].excluded_at_ns), 1e9)
+          << cell << " #" << i;
+    }
+    EXPECT_EQ(a[i].deadline_missed, b[i].deadline_missed) << cell << " #" << i;
+  }
+}
+
+struct Cell {
+  TopologyKind topo;
+  std::size_t n;
+  FaultProfile profile;
+};
+
+TEST(FfDifferentialTest, MatrixVerdictsIdenticalWithAndWithoutFastForward) {
+  const Cell cells[] = {
+      {TopologyKind::kMesh, 4, FaultProfile::kQuiet},
+      {TopologyKind::kMesh, 4, FaultProfile::kScriptedKills},
+      {TopologyKind::kMesh, 4, FaultProfile::kDelayAttack},
+      {TopologyKind::kRing, 8, FaultProfile::kQuiet},
+      {TopologyKind::kRing, 8, FaultProfile::kScriptedKills},
+      {TopologyKind::kRing, 8, FaultProfile::kDelayAttack},
+  };
+  for (const Cell& cell : cells) {
+    const std::string name =
+        std::string(experiments::topology_name(cell.topo)) +
+        std::to_string(cell.n) + "/" + profile_name(cell.profile);
+
+    check::FuzzCase off = make_cell(cell.topo, cell.n, cell.profile);
+    check::FuzzCase on = off;
+    on.fast_forward = true;
+
+    const check::CaseResult r_off = check::run_case(off);
+    const check::CaseResult r_on = check::run_case(on);
+
+    ASSERT_TRUE(r_off.brought_up) << name << ": " << r_off.summary;
+    ASSERT_TRUE(r_on.brought_up) << name << ": " << r_on.summary;
+
+    // Identical verdicts: suite summary, every violation, every
+    // attack-oracle verdict.
+    EXPECT_EQ(r_off.summary, r_on.summary) << name;
+    EXPECT_EQ(r_off.failed(), r_on.failed()) << name;
+    expect_same_violations(r_off.violations, r_on.violations, name);
+    expect_same_attack_verdicts(r_off.attack_verdicts, r_on.attack_verdicts,
+                                name);
+
+    // The ff run must actually have fast-forwarded, and cheaper than the
+    // event-simulated control.
+    EXPECT_GT(r_on.ff_stats.windows, 0u) << name;
+    EXPECT_GT(r_on.ff_stats.skipped_ns, 10 * kSec) << name;
+    EXPECT_LT(r_on.events_executed, r_off.events_executed) << name;
+    // The control never touches the ff machinery.
+    EXPECT_EQ(r_off.ff_stats.windows, 0u) << name;
+    EXPECT_EQ(r_off.ff_stats.skipped_ns, 0) << name;
+  }
+}
+
+// Scenario-level differential run: before fast-forward is armed the two
+// executions are the same program, so their trace rings must match bit
+// for bit; after the horizon the boundary clock state must agree within
+// the analytic tolerance and both stay inside the calibrated bound Pi.
+TEST(FfDifferentialTest, TracePrefixBitIdenticalAndBoundaryStateWithinTolerance) {
+  experiments::ScenarioConfig cfg;
+  cfg.seed = 5;
+  cfg.num_ecds = 4;
+  cfg.topology = TopologyKind::kMesh;
+  cfg.partitions = 0;
+
+  constexpr std::int64_t kEnd = 150 * kSec;
+  // Chunks must comfortably exceed FfConfig::min_window_ns (5 s) plus a
+  // check period, or no window ever fits inside one; they must also stay
+  // small enough that a fully-simulated chunk cannot overflow the 4096
+  // record ring between harvests (asserted below).
+  constexpr std::int64_t kChunk = 10 * kSec;
+
+  struct RunOut {
+    std::vector<obs::TraceRecord> records;
+    std::int64_t ff_enabled_at_ns = 0;
+    double disagreement_ns = 0.0;
+    double pi_ns = 0.0;
+    sim::FfStats stats;
+  };
+
+  auto run_one = [&](bool ff) {
+    RunOut out;
+    experiments::Scenario sc(cfg);
+    experiments::ExperimentHarness h(sc);
+    h.bring_up();
+    const auto cal = h.calibrate();
+    out.pi_ns = cal.bound.pi_ns;
+    out.ff_enabled_at_ns = sc.now_ns();
+    if (ff) sc.enable_fast_forward();
+    std::uint64_t cursor = 0;
+    sc.trace().read_since(cursor, out.records);
+    for (std::int64_t t = sc.now_ns() + kChunk; t <= kEnd; t += kChunk) {
+      sc.run_to(t);
+      const std::uint64_t before = cursor;
+      sc.trace().read_since(cursor, out.records);
+      EXPECT_LT(cursor - before, 4096u) << "trace ring overflowed a harvest";
+    }
+    sc.run_to(kEnd);
+    sc.trace().read_since(cursor, out.records);
+    out.disagreement_ns = sc.gm_clock_disagreement_ns();
+    if (ff) out.stats = sc.fast_forward()->stats();
+    return out;
+  };
+
+  const RunOut off = run_one(false);
+  const RunOut on = run_one(true);
+
+  // Same program up to the arming instant.
+  ASSERT_EQ(off.ff_enabled_at_ns, on.ff_enabled_at_ns);
+  const std::int64_t armed = on.ff_enabled_at_ns;
+
+  // Bit-identical trace prefix: every record stamped before the arming
+  // instant must match field for field (ff can alter nothing there).
+  std::size_t prefix_off = 0, prefix_on = 0;
+  while (prefix_off < off.records.size() &&
+         off.records[prefix_off].t_ns <= armed)
+    ++prefix_off;
+  while (prefix_on < on.records.size() && on.records[prefix_on].t_ns <= armed)
+    ++prefix_on;
+  ASSERT_EQ(prefix_off, prefix_on);
+  ASSERT_GT(prefix_off, 0u);
+  for (std::size_t i = 0; i < prefix_off; ++i) {
+    const obs::TraceRecord& a = off.records[i];
+    const obs::TraceRecord& b = on.records[i];
+    ASSERT_EQ(a.t_ns, b.t_ns) << "record " << i;
+    ASSERT_EQ(a.kind, b.kind) << "record " << i;
+    ASSERT_EQ(a.source, b.source) << "record " << i;
+    ASSERT_EQ(a.a, b.a) << "record " << i;
+    ASSERT_EQ(a.mask, b.mask) << "record " << i;
+    ASSERT_EQ(a.v0, b.v0) << "record " << i;
+    ASSERT_EQ(a.v1, b.v1) << "record " << i;
+  }
+
+  // The ff run crossed a real share of the horizon analytically.
+  EXPECT_GT(on.stats.windows, 0u);
+  EXPECT_GT(on.stats.skipped_ns, (kEnd - armed) / 4);
+
+  // Boundary clock state: both runs end synchronized well inside Pi, and
+  // the analytic trajectory lands within tolerance of the simulated one.
+  EXPECT_GT(off.pi_ns, 0.0);
+  EXPECT_LT(off.disagreement_ns, off.pi_ns);
+  EXPECT_LT(on.disagreement_ns, on.pi_ns);
+  EXPECT_LT(std::abs(on.disagreement_ns - off.disagreement_ns),
+            0.5 * off.pi_ns);
+}
+
+} // namespace

@@ -60,5 +60,23 @@ TEST(StrTest, Hms) {
   EXPECT_EQ(hms(86399LL * 1000000000LL), "23:59:59");
 }
 
+TEST(StrTest, ParseDurationNs) {
+  EXPECT_EQ(parse_duration_ns("90"), 90'000'000'000LL);
+  EXPECT_EQ(parse_duration_ns("90s"), 90'000'000'000LL);
+  EXPECT_EQ(parse_duration_ns("15m"), 900'000'000'000LL);
+  EXPECT_EQ(parse_duration_ns("36h"), 129'600'000'000'000LL);
+  EXPECT_EQ(parse_duration_ns("1d"), 86'400'000'000'000LL);
+  EXPECT_EQ(parse_duration_ns("1w"), 604'800'000'000'000LL);
+  EXPECT_EQ(parse_duration_ns("0.5h"), 1'800'000'000'000LL);
+  EXPECT_EQ(parse_duration_ns(" 2m "), 120'000'000'000LL);
+  EXPECT_EQ(parse_duration_ns("0"), 0);
+  EXPECT_THROW(parse_duration_ns(""), std::invalid_argument);
+  EXPECT_THROW(parse_duration_ns("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_duration_ns("5x"), std::invalid_argument);
+  EXPECT_THROW(parse_duration_ns("-3s"), std::invalid_argument);
+  EXPECT_THROW(parse_duration_ns("12h30"), std::invalid_argument);
+  EXPECT_THROW(parse_duration_ns("1e12w"), std::invalid_argument);
+}
+
 } // namespace
 } // namespace tsn::util

@@ -7,14 +7,18 @@ Usage:
 
 Prints a per-benchmark table of real-time deltas (positive = candidate is
 slower). Exits non-zero when any benchmark regressed by more than
---threshold percent (default 10), so CI can flag perf drift; benchmarks
-present in only one file are reported but never fail the comparison.
+--threshold percent (default 10), so CI can flag perf drift; ungated
+benchmarks present in only one file are reported but never fail the
+comparison.
 
 With --gate, only benchmarks whose name starts with one of the given
 prefixes can fail the run -- the blocking CI job pins the named hot
 paths while the rest of the table stays informational. A gate prefix
 that matches nothing in the baseline is itself an error (a renamed
-benchmark must not silently un-gate).
+benchmark must not silently un-gate), and a gated benchmark that is
+present in the baseline but missing from the candidate run is an
+explicit gate failure (a deleted or crashed benchmark must not pass
+by absence).
 """
 
 import argparse
@@ -70,6 +74,7 @@ def main():
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'candidate':>12}  {'delta':>8}")
 
     regressions = []
+    missing = []
     for name in names:
         if name not in base:
             print(f"{name:<{width}}  {'-':>12}  {cand[name][0]:>12.1f}  {'new':>8}")
@@ -77,7 +82,7 @@ def main():
         if name not in cand:
             print(f"{name:<{width}}  {base[name][0]:>12.1f}  {'-':>12}  {'gone':>8}")
             if gates and gated(name):
-                regressions.append((name, float("inf")))
+                missing.append(name)
             continue
         b, bu = base[name]
         c, cu = cand[name]
@@ -92,6 +97,16 @@ def main():
         if delta > args.threshold and gated(name):
             regressions.append((name, delta))
 
+    if missing:
+        print(
+            f"\n{len(missing)} gated benchmark(s) missing from the candidate "
+            "run (deleted, renamed, or the binary crashed before reaching "
+            "them) -- a gated benchmark must fail loudly, not pass by "
+            "absence:",
+            file=sys.stderr,
+        )
+        for name in missing:
+            print(f"  {name}: present in baseline, absent in candidate", file=sys.stderr)
     if regressions:
         print(
             f"\n{len(regressions)} benchmark(s) regressed more than "
@@ -100,6 +115,7 @@ def main():
         )
         for name, delta in regressions:
             print(f"  {name}: {delta:+.1f}%", file=sys.stderr)
+    if missing or regressions:
         return 1
     print(f"\nno regression beyond {args.threshold:.1f}%")
     return 0

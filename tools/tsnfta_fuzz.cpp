@@ -10,10 +10,18 @@
 //
 //   tsnfta_fuzz seeds=64 threads=4
 //   tsnfta_fuzz seeds=256 master_seed=7 duration_s=120 out=findings/
+//   tsnfta_fuzz seeds=64 ff=1 horizon=1w threads=4
 //
 // attacks=1 (campaign and export modes) additionally derives a
 // seed-pure adversarial schedule per case (src/attack) and attaches the
 // attack-eviction oracle; verdict lines gain "attacks=N evicted=M".
+//
+// ff=1 runs each case's fault phase under the fast-forward controller
+// (DESIGN.md §12): quiescent stretches advance analytically, fault and
+// attack edges are barriers. horizon=DURATION ("600s", "90m", "36h",
+// "1w") sets the fault-phase length like duration_s= but with a unit
+// suffix; derive_case stretches the fault spacing with the horizon, so
+// week-scale ff campaigns finish in minutes of wall clock.
 //
 // Replay mode: re-run one saved case (campaign finding or corpus file)
 // and print its verdict; exit 1 if it still fails.
@@ -81,6 +89,19 @@ int main(int argc, char** argv) {
   }
   util::set_log_level(util::parse_log_level(cli.get_string("log", "warn")));
   const bool do_shrink = cli.get_bool("shrink", true);
+  const bool fast_forward = cli.get_bool("ff", false);
+
+  // horizon= ("600s", "90m", "36h", "1w") and duration_s= are the same
+  // knob; horizon wins when both are given.
+  std::int64_t duration_ns = cli.get_int("duration_s", 120) * 1'000'000'000LL;
+  if (cli.has("horizon")) {
+    try {
+      duration_ns = util::parse_duration_ns(cli.get_string("horizon"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "tsnfta_fuzz: %s\n", e.what());
+      return 2;
+    }
+  }
 
   // ---- replay mode -------------------------------------------------------
   if (cli.has("replay")) {
@@ -92,9 +113,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "tsnfta_fuzz: %s\n", e.what());
       return 2;
     }
-    std::printf("replaying %s (seed %llu, %zu ECDs, f=%d, %zu scripted faults)\n", path.c_str(),
+    if (fast_forward) c.fast_forward = true;
+    std::printf("replaying %s (seed %llu, %zu ECDs, f=%d, %zu scripted faults%s)\n", path.c_str(),
                 (unsigned long long)c.scenario.seed, c.scenario.num_ecds, c.scenario.fta_f,
-                c.replay.size());
+                c.replay.size(), c.fast_forward ? ", ff" : "");
     const check::CaseResult r = check::run_case(c);
     std::printf("verdict: %s (kills=%llu, Pi=%.2f us)\n", r.summary.c_str(),
                 (unsigned long long)r.injector_stats.total_kills, r.bound_ns / 1000.0);
@@ -113,10 +135,10 @@ int main(int argc, char** argv) {
   if (cli.has("export")) {
     const std::uint64_t index = static_cast<std::uint64_t>(cli.get_int("export", 0));
     const std::uint64_t master_seed = static_cast<std::uint64_t>(cli.get_int("master_seed", 1));
-    const std::int64_t duration_ns = cli.get_int("duration_s", 120) * 1'000'000'000LL;
     const std::string out_dir = cli.get_string("out", ".");
     const bool with_attacks = cli.get_bool("attacks", false);
     check::FuzzCase c = check::derive_case(master_seed, index, duration_ns, with_attacks);
+    c.fast_forward = fast_forward;
     const check::CaseResult r = check::run_case(c);
     std::printf("case %llu: seed=%llu ecds=%zu f=%d kills=%llu verdict=%s\n",
                 (unsigned long long)index, (unsigned long long)c.scenario.seed, c.scenario.num_ecds,
@@ -154,14 +176,16 @@ int main(int argc, char** argv) {
   cfg.master_seed = static_cast<std::uint64_t>(cli.get_int("master_seed", 1));
   cfg.num_cases = static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("seeds", 64)));
   cfg.threads = static_cast<std::size_t>(std::max<std::int64_t>(0, cli.get_int("threads", 1)));
-  cfg.duration_ns = cli.get_int("duration_s", 120) * 1'000'000'000LL;
+  cfg.duration_ns = duration_ns;
   cfg.attacks = cli.get_bool("attacks", false);
+  cfg.fast_forward = fast_forward;
   const std::string out_dir = cli.get_string("out", ".");
 
-  std::printf("fuzz campaign: %zu cases from master_seed=%llu, %llds fault phase each%s\n",
+  std::printf("fuzz campaign: %zu cases from master_seed=%llu, %llds fault phase each%s%s\n",
               cfg.num_cases, (unsigned long long)cfg.master_seed,
               (long long)(cfg.duration_ns / 1'000'000'000LL),
-              cfg.attacks ? ", adversarial schedules armed" : "");
+              cfg.attacks ? ", adversarial schedules armed" : "",
+              cfg.fast_forward ? ", fast-forward on" : "");
   const check::CampaignResult result = check::run_campaign(cfg);
   std::fputs(result.summary_text().c_str(), stdout);
 
@@ -176,6 +200,7 @@ int main(int argc, char** argv) {
     print_violations(r);
     if (!r.brought_up) continue; // no schedule to persist
     check::FuzzCase c = check::derive_case(cfg.master_seed, r.index, cfg.duration_ns, cfg.attacks);
+    c.fast_forward = cfg.fast_forward;
     const std::string stem =
         util::format("%s/fuzz_%llu_%llu", out_dir.c_str(), (unsigned long long)cfg.master_seed,
                      (unsigned long long)r.index);

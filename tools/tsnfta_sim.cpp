@@ -10,11 +10,21 @@
 //   tsnfta_sim duration_min=5 pcap=run.pcap
 //   tsnfta_sim duration_min=10 seeds=8 threads=4 csv=sweep.csv
 //   tsnfta_sim duration_min=5 num_ecds=64 topology=ring num_domains=8 partitions=8
+//   tsnfta_sim horizon=1w ff=1 num_ecds=8 topology=ring
 //
 // num_ecds=/topology=(mesh|ring|tree)/num_domains= scale the testbed
 // beyond the paper's 4-ECD mesh; partitions=N runs the world on the
 // conservative-parallel runtime with N worker shards (results identical
 // for every N >= 1; pcap/attack knobs need the serial path).
+//
+// horizon=DURATION ("600s", "90m", "36h", "1w") sets the measured phase
+// like duration_min= but with a unit suffix (horizon wins when both are
+// given). ff=1 arms the fast-forward analytic mode (DESIGN.md §12):
+// quiescent stretches of the measured phase advance analytically, so
+// week-scale holdover runs finish in minutes. Serial-only (ignored with
+// partitions>0); with inject_faults=true every kill/reboot edge is a
+// barrier the windows never cross, while attack_at_min= steps keep the
+// event queue busy and the windows shut -- leave ff off for attack runs.
 //
 // seeds=N runs N replicas (seed, seed+1, ...) through the SweepRunner on
 // threads= workers (0 = hardware concurrency). The merged series/stats
@@ -29,6 +39,7 @@
 #include "faults/injector.hpp"
 #include "net/pcap.hpp"
 #include "obs/manifest.hpp"
+#include "sim/fast_forward.hpp"
 #include "sweep/sweep_runner.hpp"
 #include "util/config.hpp"
 #include "util/log.hpp"
@@ -55,6 +66,7 @@ struct Replica {
   std::size_t attacks_attempted = 0;
   std::size_t attacks_succeeded = 0;
   std::uint64_t pcap_frames = 0;
+  sim::FfStats ff;
   double holds = 0;
   obs::MetricsSnapshot metrics;
 };
@@ -87,7 +99,19 @@ int main(int argc, char** argv) {
     base.gm_kernels = {"4.19.1", "5.4.0", "5.10.0", "6.1.0"};
   }
 
-  const std::int64_t duration = cli.get_int("duration_min", 10) * 60'000'000'000LL;
+  std::int64_t duration = cli.get_int("duration_min", 10) * 60'000'000'000LL;
+  if (cli.has("horizon")) {
+    try {
+      duration = util::parse_duration_ns(cli.get_string("horizon"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "tsnfta_sim: %s\n", e.what());
+      return 2;
+    }
+  }
+  const bool use_ff = cli.get_bool("ff", false);
+  if (use_ff && base.partitions > 0) {
+    std::fprintf(stderr, "warning: ff=1 ignored with partitions>0 (fast-forward is serial-only)\n");
+  }
   const std::size_t seeds =
       static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("seeds", 1)));
 
@@ -143,6 +167,16 @@ int main(int argc, char** argv) {
       injector->start();
     }
 
+    if (use_ff && !scenario.partitioned()) {
+      scenario.enable_fast_forward();
+      if (injector) {
+        sim::FfController* ff = scenario.fast_forward();
+        ff->add_participant(injector.get());
+        ff->add_barrier(
+            [inj = injector.get()](std::int64_t t) { return inj->next_pending_ns(t); });
+      }
+    }
+
     harness.run_measured(duration);
 
     Replica out;
@@ -160,6 +194,7 @@ int main(int argc, char** argv) {
       pcap->flush();
       out.pcap_frames = pcap->frames_written();
     }
+    if (scenario.fast_forward()) out.ff = scenario.fast_forward()->stats();
     out.holds = experiments::bound_holding_fraction(out.series, cal.bound.pi_ns, cal.gamma_ns);
     out.metrics = scenario.metrics_snapshot();
     return out;
@@ -221,6 +256,13 @@ int main(int argc, char** argv) {
   if (sums.attacks_attempted > 0) {
     std::printf("attacks: %zu attempted, %zu succeeded\n", sums.attacks_attempted,
                 sums.attacks_succeeded);
+  }
+  if (use_ff && base.partitions == 0) {
+    const sim::FfStats& ff = first.ff;
+    std::printf("fast-forward: %llu windows skipped %s of %s (%.1f%%)\n",
+                static_cast<unsigned long long>(ff.windows),
+                util::human_ns(ff.skipped_ns).c_str(), util::human_ns(duration).c_str(),
+                100.0 * static_cast<double>(ff.skipped_ns) / static_cast<double>(duration));
   }
   if (cli.has("csv")) {
     experiments::dump_series_csv(merged, cli.get_string("csv"));
